@@ -1,0 +1,191 @@
+// Package calibre is a from-scratch Go reproduction of "Calibre: Towards
+// Fair and Accurate Personalized Federated Learning with Self-Supervised
+// Learning" (Chen, Su, Li — ICDCS 2024).
+//
+// Calibre trains a global encoder with self-supervised learning across
+// federated clients, calibrates its representations with two
+// client-adaptive prototype regularizers (L_n, L_p), aggregates with
+// prototype-divergence weighting, and personalizes each client with a
+// lightweight linear head. This package is the stable public surface over
+// the internal substrates (tensor/autograd engine, synthetic datasets,
+// non-i.i.d. partitioners, six SSL methods, 20+ FL baselines, an
+// in-process simulator and a TCP federation runtime).
+//
+// Quick start:
+//
+//	env, _ := calibre.NewEnvironment("cifar10-q(2,500)", calibre.ScaleSmoke, 42)
+//	out, _ := calibre.Run(context.Background(), env, "calibre-simclr")
+//	fmt.Println(out.Participants.Summary) // mean ± std accuracy across clients
+//
+// Every table and figure of the paper is reproducible via RunExperiment
+// ("fig1".."fig8", "table1"); see EXPERIMENTS.md for the recorded shapes.
+package calibre
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"calibre/internal/baselines"
+	"calibre/internal/core"
+	"calibre/internal/data"
+	"calibre/internal/eval"
+	"calibre/internal/experiments"
+	"calibre/internal/fl"
+	"calibre/internal/flnet"
+	"calibre/internal/partition"
+	"calibre/internal/ssl"
+)
+
+// Re-exported types forming the public API. The aliases point at internal
+// implementations; construct them through the helpers in this package.
+type (
+	// Scale selects experiment size: ScaleSmoke, ScaleCI or ScalePaper.
+	Scale = experiments.Scale
+	// Environment is a materialized experiment world (data + clients).
+	Environment = experiments.Environment
+	// MethodOutcome is a method's accuracy results on an environment.
+	MethodOutcome = experiments.MethodOutcome
+	// Report is a full experiment report (one paper figure/table).
+	Report = experiments.Report
+	// EmbeddingResult quantifies representation geometry (t-SNE figures).
+	EmbeddingResult = experiments.EmbeddingResult
+	// Setting describes a dataset + non-i.i.d. partition combination.
+	Setting = experiments.Setting
+
+	// Method bundles a trainer, aggregator and personalizer.
+	Method = fl.Method
+	// RoundStats reports one federated round.
+	RoundStats = fl.RoundStats
+	// Update is a client's per-round result.
+	Update = fl.Update
+
+	// Client is one participant's local data partition.
+	Client = partition.Client
+	// Dataset is an in-memory (partially) labeled dataset.
+	Dataset = data.Dataset
+	// DataSpec parameterizes the synthetic dataset generator.
+	DataSpec = data.Spec
+
+	// Summary aggregates per-client accuracies (mean = performance,
+	// variance = fairness).
+	Summary = eval.Summary
+	// MethodResult pairs a method with its summary and raw accuracies.
+	MethodResult = eval.MethodResult
+
+	// CalibreOptions exposes the paper's hyperparameters (α, τ, K, the
+	// L_n/L_p switches and the aggregation temperature).
+	CalibreOptions = core.Options
+
+	// ServerConfig / ClientConfig / FederationResult run FL over TCP.
+	ServerConfig     = flnet.ServerConfig
+	ClientConfig     = flnet.ClientConfig
+	FederationResult = flnet.Result
+	// Server orchestrates a TCP federation.
+	Server = flnet.Server
+)
+
+// Experiment scales.
+const (
+	ScaleSmoke = experiments.ScaleSmoke
+	ScaleCI    = experiments.ScaleCI
+	ScalePaper = experiments.ScalePaper
+)
+
+// ExperimentIDs lists the reproducible paper artifacts:
+// fig1..fig8 and table1.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment reproduces one paper figure/table end to end.
+func RunExperiment(ctx context.Context, id string, scale Scale, seed int64) (*Report, error) {
+	return experiments.Run(ctx, id, scale, seed)
+}
+
+// SettingNames lists the paper's dataset/partition settings.
+func SettingNames() []string {
+	m := experiments.Settings()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewEnvironment builds the experiment world for a named setting.
+func NewEnvironment(setting string, scale Scale, seed int64) (*Environment, error) {
+	s, ok := experiments.Settings()[setting]
+	if !ok {
+		return nil, fmt.Errorf("calibre: unknown setting %q (have %v)", setting, SettingNames())
+	}
+	return experiments.BuildEnvironment(s, scale, seed)
+}
+
+// MethodNames lists every runnable method: the paper's baselines, the
+// pFL-SSL family and all Calibre variants.
+func MethodNames() []string { return baselines.MethodNames() }
+
+// BuildMethod constructs a registered method for an environment.
+func BuildMethod(env *Environment, name string) (*Method, error) {
+	return experiments.BuildMethod(env, name)
+}
+
+// Run trains a registered method on the environment (training stage) and
+// personalizes all participating and novel clients (personalization stage).
+func Run(ctx context.Context, env *Environment, methodName string) (*MethodOutcome, error) {
+	return experiments.RunMethod(ctx, env, methodName)
+}
+
+// RunCustom is Run for an externally assembled *Method (e.g. a Calibre
+// ablation variant built with NewCalibreVariant).
+func RunCustom(ctx context.Context, env *Environment, m *Method) (*MethodOutcome, error) {
+	return experiments.RunBuiltMethod(ctx, env, m)
+}
+
+// NewCalibreVariant builds a Calibre method with explicit regularizer
+// switches (the Table I ablation knobs) on any supported SSL flavor
+// (simclr, byol, simsiam, mocov2, swav, smog).
+func NewCalibreVariant(env *Environment, sslName string, useLn, useLp bool) (*Method, error) {
+	return experiments.AblationVariant(env, sslName, useLn, useLp)
+}
+
+// Summarize computes the mean/variance/std summary of per-client
+// accuracies.
+func Summarize(accs []float64) Summary { return eval.Summarize(accs) }
+
+// Improvement returns a's mean-accuracy margin over b in percentage points.
+func Improvement(a, b Summary) float64 { return eval.Improvement(a, b) }
+
+// VarianceReduction returns a's relative variance reduction vs b in
+// percent (positive = fairer).
+func VarianceReduction(a, b Summary) float64 { return eval.VarianceReduction(a, b) }
+
+// SSLMethodNames lists the supported self-supervised flavors.
+func SSLMethodNames() []string { return ssl.MethodNames() }
+
+// NewServer starts a TCP federation server (see cmd/calibre-server).
+func NewServer(cfg ServerConfig) (*Server, error) { return flnet.NewServer(cfg) }
+
+// RunClient joins a TCP federation as one client (see cmd/calibre-client).
+func RunClient(ctx context.Context, cfg ClientConfig) error { return flnet.RunClient(ctx, cfg) }
+
+// NewSyntheticDataset generates a labeled synthetic dataset from a spec
+// (see CIFAR10Spec and friends) for library users who want raw data.
+func NewSyntheticDataset(spec DataSpec, seed int64, perClass int) (*Dataset, error) {
+	gen, err := data.NewGenerator(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	return gen.GenerateLabeled(rand.New(rand.NewSource(seed+1)), perClass), nil
+}
+
+// CIFAR10Spec returns the synthetic CIFAR-10 stand-in spec.
+func CIFAR10Spec() DataSpec { return data.CIFAR10Spec() }
+
+// CIFAR100Spec returns the synthetic CIFAR-100 stand-in spec.
+func CIFAR100Spec() DataSpec { return data.CIFAR100Spec() }
+
+// STL10Spec returns the synthetic STL-10 stand-in spec (pair it with an
+// unlabeled pool at partition time, as the experiment harness does).
+func STL10Spec() DataSpec { return data.STL10Spec() }

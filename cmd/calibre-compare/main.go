@@ -1,0 +1,110 @@
+// Command calibre-compare runs a chosen set of methods on one experiment
+// setting and prints their mean/variance accuracy side by side — the quick
+// way to probe a single comparison without regenerating a whole figure.
+//
+// Usage:
+//
+//	calibre-compare -setting 'cifar10-d(0.3,600)' -scale ci -seed 42 \
+//	    pfl-simclr calibre-simclr fedavg-ft fedbabu
+//
+// Variants with explicit Calibre regularizer switches are also accepted:
+// calibre-simclr[base], calibre-simclr[ln], calibre-simclr[lp],
+// calibre-simclr[ln+lp] (likewise for swav/smog/byol/simsiam/mocov2).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"calibre/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "calibre-compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("calibre-compare", flag.ContinueOnError)
+	var (
+		setting = fs.String("setting", "cifar10-q(2,500)", "experiment setting")
+		scale   = fs.String("scale", "ci", "scale preset: smoke | ci | paper")
+		seed    = fs.Int64("seed", 42, "master seed")
+		novel   = fs.Bool("novel", false, "also personalize the held-out novel clients")
+		dump    = fs.Bool("dump", false, "print the sorted per-client accuracies")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	methods := fs.Args()
+	if len(methods) == 0 {
+		return fmt.Errorf("no methods given; e.g. calibre-compare pfl-simclr calibre-simclr")
+	}
+	s, ok := experiments.Settings()[*setting]
+	if !ok {
+		return fmt.Errorf("unknown setting %q", *setting)
+	}
+	env, err := experiments.BuildEnvironment(s, experiments.Scale(*scale), *seed)
+	if err != nil {
+		return err
+	}
+	if !*novel {
+		env.Novel = nil
+	}
+	ctx := context.Background()
+	fmt.Printf("setting %s, scale %s, seed %d, %d participants\n\n", *setting, *scale, *seed, len(env.Participants))
+	for _, name := range methods {
+		start := time.Now()
+		out, err := runOne(ctx, env, name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		sum := out.Participants.Summary
+		fmt.Printf("%-26s mean=%.4f var=%.5f std=%.4f bottom10=%.4f (%s)\n",
+			name, sum.Mean, sum.Variance, sum.Std, sum.Bottom10, time.Since(start).Round(time.Millisecond))
+		if *novel {
+			ns := out.Novel.Summary
+			fmt.Printf("%-26s   novel: mean=%.4f var=%.5f\n", "", ns.Mean, ns.Variance)
+		}
+		if *dump {
+			accs := append([]float64(nil), out.Participants.Accs...)
+			sort.Float64s(accs)
+			fmt.Printf("%-26s   accs: %.2f\n", "", accs)
+		}
+	}
+	return nil
+}
+
+// runOne supports both registry names and Calibre ablation variants
+// ("calibre-<ssl>[<combo>]").
+func runOne(ctx context.Context, env *experiments.Environment, name string) (*experiments.MethodOutcome, error) {
+	if open := strings.Index(name, "["); open > 0 && strings.HasSuffix(name, "]") && strings.HasPrefix(name, "calibre-") {
+		sslName := name[len("calibre-"):open]
+		combo := name[open+1 : len(name)-1]
+		var useLn, useLp bool
+		switch combo {
+		case "base":
+		case "ln":
+			useLn = true
+		case "lp":
+			useLp = true
+		case "ln+lp":
+			useLn, useLp = true, true
+		default:
+			return nil, fmt.Errorf("unknown regularizer combo %q (base|ln|lp|ln+lp)", combo)
+		}
+		m, err := experiments.AblationVariant(env, sslName, useLn, useLp)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RunBuiltMethod(ctx, env, m)
+	}
+	return experiments.RunMethod(ctx, env, name)
+}

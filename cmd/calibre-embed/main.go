@@ -1,0 +1,64 @@
+// Command calibre-embed regenerates the paper's representation
+// visualizations (Figs. 1, 2, 5-8): it trains the figure's methods, runs
+// t-SNE on their representations, prints the cluster-quality metrics and
+// writes the 2-D points as CSV for plotting.
+//
+// Example:
+//
+//	calibre-embed -fig fig7 -scale ci -o fig7.csv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"calibre/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "calibre-embed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("calibre-embed", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "fig1", "embedding figure: fig1, fig2, fig5, fig6, fig7 or fig8")
+		scale = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
+		seed  = fs.Int64("seed", 42, "master seed")
+		out   = fs.String("o", "", "CSV output path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *fig {
+	case "fig1", "fig2", "fig5", "fig6", "fig7", "fig8":
+	default:
+		return fmt.Errorf("%q is not an embedding figure", *fig)
+	}
+	report, err := experiments.Run(context.Background(), *fig, experiments.Scale(*scale), *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, report)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiments.WriteEmbeddingsCSV(w, report.Embeddings); err != nil {
+		return fmt.Errorf("write embeddings: %w", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	return nil
+}

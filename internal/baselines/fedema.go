@@ -1,0 +1,132 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"calibre/internal/core"
+	"calibre/internal/fl"
+	"calibre/internal/nn"
+	"calibre/internal/partition"
+	"calibre/internal/ssl"
+)
+
+// fedEMA implements FedEMA (Zhuang et al., ICLR 2022): federated
+// self-supervised learning with BYOL where each client merges the incoming
+// global model into its local model by a divergence-aware exponential
+// moving average
+//
+//	w_local ← μ·w_local + (1-μ)·w_global,   μ = min(λ·‖w_global - w_local‖, 1)
+//
+// so clients whose models drifted far from the global adopt more of their
+// own weights. Personalization is the standard linear probe.
+type fedEMA struct {
+	cfg    Config
+	arch   ssl.Arch
+	lambda float64
+	train  ssl.TrainConfig
+
+	factory ssl.Factory
+
+	mu     sync.Mutex
+	states map[int]*ssl.Trainable
+}
+
+var (
+	_ fl.Trainer      = (*fedEMA)(nil)
+	_ fl.Personalizer = (*fedEMA)(nil)
+)
+
+// NewFedEMA builds FedEMA on BYOL.
+func NewFedEMA(cfg Config) *fl.Method {
+	lambda := cfg.EMAMomentum
+	if lambda <= 0 {
+		lambda = 1.0 // the paper's autoscaler targets μ≈λ‖Δw‖; λ=1 by default
+	}
+	trainCfg := ssl.DefaultTrainConfig()
+	trainCfg.Epochs = 2 * cfg.Train.Epochs // same SSL compute budget as the pfl-*/calibre-* family
+	trainCfg.BatchSize = cfg.Train.BatchSize
+	trainCfg.Augment = cfg.Augment
+	f := &fedEMA{
+		cfg:     cfg,
+		arch:    cfg.Arch,
+		lambda:  lambda,
+		train:   trainCfg,
+		factory: ssl.NewBYOL(ssl.DefaultEMAMomentum),
+		states:  make(map[int]*ssl.Trainable),
+	}
+	return &fl.Method{
+		Name:         "fedema",
+		Trainer:      f,
+		Aggregator:   fl.WeightedAverage{},
+		Personalizer: f,
+		InitGlobal:   f.initGlobal,
+	}
+}
+
+func (f *fedEMA) initGlobal(rng *rand.Rand) ([]float64, error) {
+	backbone := ssl.NewBackbone(rng, f.arch)
+	method, err := f.factory(rng, backbone)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: fedema init: %w", err)
+	}
+	return nn.Flatten(&ssl.Trainable{Backbone: backbone, Method: method}), nil
+}
+
+func (f *fedEMA) state(rng *rand.Rand, id int) (*ssl.Trainable, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st, ok := f.states[id]; ok {
+		return st, true, nil
+	}
+	backbone := ssl.NewBackbone(rng, f.arch)
+	method, err := f.factory(rng, backbone)
+	if err != nil {
+		return nil, false, fmt.Errorf("baselines: fedema client state: %w", err)
+	}
+	st := &ssl.Trainable{Backbone: backbone, Method: method}
+	f.states[id] = st
+	return st, false, nil
+}
+
+func (f *fedEMA) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+	if err := ensureCtx(ctx); err != nil {
+		return nil, err
+	}
+	st, known, err := f.state(rng, client.ID)
+	if err != nil {
+		return nil, err
+	}
+	if !known {
+		// First participation: adopt the global model outright.
+		if err := nn.Unflatten(st, global); err != nil {
+			return nil, err
+		}
+	} else {
+		local := nn.Flatten(st)
+		div := nn.VecNorm2(nn.VecSub(global, local)) / math.Max(nn.VecNorm2(global), 1e-12)
+		mu := math.Min(f.lambda*div, 1)
+		// merged = μ·local + (1-μ)·global
+		merged := nn.VecLerp(global, local, mu)
+		if err := nn.Unflatten(st, merged); err != nil {
+			return nil, err
+		}
+	}
+	rows := client.Train.X
+	if f.cfg.UseUnlabeled && client.Unlabeled != nil {
+		rows = append(append([][]float64{}, rows...), client.Unlabeled.X...)
+	}
+	loss, err := ssl.Train(rng, st, rows, f.train, nil)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: fedema client %d: %w", client.ID, err)
+	}
+	return &fl.Update{ClientID: client.ID, Params: nn.Flatten(st), NumSamples: len(rows), TrainLoss: loss}, nil
+}
+
+func (f *fedEMA) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+	probe := &core.LinearProbe{Arch: f.arch, Factory: f.factory, NumClasses: f.cfg.NumClasses, Head: f.cfg.Head}
+	return probe.Personalize(ctx, rng, client, global)
+}

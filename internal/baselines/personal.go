@@ -1,0 +1,201 @@
+package baselines
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"calibre/internal/fl"
+	"calibre/internal/model"
+	"calibre/internal/nn"
+	"calibre/internal/partition"
+)
+
+// apfl implements Adaptive Personalized Federated Learning (Deng et al.,
+// 2020): each client maintains a personal model v alongside the federated
+// model w; its personalized predictor is the mixture ᾱ·v + (1-ᾱ)·w. The
+// federated model trains as in FedAvg; the personal model trains on the
+// local objective of the mixed parameters (we train v directly on the local
+// data, the standard first-order simplification).
+type apfl struct {
+	*supBase
+	alpha float64
+
+	mu       sync.Mutex
+	personal map[int][]float64 // per-client v
+}
+
+var (
+	_ fl.Trainer      = (*apfl)(nil)
+	_ fl.Personalizer = (*apfl)(nil)
+)
+
+// NewAPFL builds APFL with mixture weight cfg.APFLAlpha.
+func NewAPFL(cfg Config) *fl.Method {
+	alpha := cfg.APFLAlpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.5
+	}
+	a := &apfl{supBase: newSupBase(cfg), alpha: alpha, personal: make(map[int][]float64)}
+	return &fl.Method{
+		Name:         "apfl",
+		Trainer:      a,
+		Aggregator:   fl.WeightedAverage{},
+		Personalizer: a,
+		InitGlobal:   a.initGlobal,
+	}
+}
+
+func (a *apfl) personalVec(id int, init []float64) []float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if v, ok := a.personal[id]; ok {
+		return v
+	}
+	v := append([]float64(nil), init...)
+	a.personal[id] = v
+	return v
+}
+
+func (a *apfl) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+	if err := ensureCtx(ctx); err != nil {
+		return nil, err
+	}
+	m, _ := a.state(rng, client.ID)
+	if err := load(m, global); err != nil {
+		return nil, err
+	}
+	loss, err := model.TrainSupervised(rng, m, client.Train, a.cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: apfl client %d: %w", client.ID, err)
+	}
+	w := flatten(m)
+
+	// Personal branch: one local pass updating v from the mixed point.
+	v := a.personalVec(client.ID, global)
+	mixed := nn.VecLerp(w, v, a.alpha) // α·v + (1-α)·w
+	pm := a.newModel(rng)
+	if err := load(pm, mixed); err != nil {
+		return nil, err
+	}
+	pCfg := a.cfg.Train
+	pCfg.Epochs = 1
+	if _, err := model.TrainSupervised(rng, pm, client.Train, pCfg); err != nil {
+		return nil, fmt.Errorf("baselines: apfl personal branch: %w", err)
+	}
+	a.mu.Lock()
+	a.personal[client.ID] = flatten(pm)
+	a.mu.Unlock()
+
+	return &fl.Update{ClientID: client.ID, Params: w, NumSamples: client.Train.Len(), TrainLoss: loss}, nil
+}
+
+func (a *apfl) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+	if err := ensureCtx(ctx); err != nil {
+		return 0, err
+	}
+	v := a.personalVec(client.ID, global)
+	mixed := nn.VecLerp(global, v, a.alpha)
+	m := a.newModel(rng)
+	if err := load(m, mixed); err != nil {
+		return 0, err
+	}
+	// Light head refresh so novel clients (whose v is the global model) are
+	// adapted too.
+	return a.fineTuneHead(rng, m, client)
+}
+
+// ditto implements Ditto (Li et al., ICML 2021): the federated model trains
+// as FedAvg; in parallel each client maintains a personal model trained
+// with a proximal pull λ‖v - w_global‖² toward the latest global weights.
+// Fairness comes from evaluating the personal models.
+type ditto struct {
+	*supBase
+	lambda float64
+
+	mu       sync.Mutex
+	personal map[int][]float64
+}
+
+var (
+	_ fl.Trainer      = (*ditto)(nil)
+	_ fl.Personalizer = (*ditto)(nil)
+)
+
+// NewDitto builds Ditto with proximal strength cfg.DittoLambda.
+func NewDitto(cfg Config) *fl.Method {
+	lambda := cfg.DittoLambda
+	if lambda <= 0 {
+		lambda = 0.5
+	}
+	d := &ditto{supBase: newSupBase(cfg), lambda: lambda, personal: make(map[int][]float64)}
+	return &fl.Method{
+		Name:         "ditto",
+		Trainer:      d,
+		Aggregator:   fl.WeightedAverage{},
+		Personalizer: d,
+		InitGlobal:   d.initGlobal,
+	}
+}
+
+func (d *ditto) personalVec(id int, init []float64) []float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if v, ok := d.personal[id]; ok {
+		return v
+	}
+	v := append([]float64(nil), init...)
+	d.personal[id] = v
+	return v
+}
+
+func (d *ditto) trainPersonal(rng *rand.Rand, client *partition.Client, global []float64, epochs int) (*model.SupModel, error) {
+	v := d.personalVec(client.ID, global)
+	pm := d.newModel(rng)
+	if err := load(pm, v); err != nil {
+		return nil, err
+	}
+	cfg := d.cfg.Train
+	cfg.Epochs = epochs
+	cfg.ProxMu = d.lambda
+	cfg.ProxTarget = global
+	if _, err := model.TrainSupervised(rng, pm, client.Train, cfg); err != nil {
+		return nil, fmt.Errorf("baselines: ditto personal: %w", err)
+	}
+	d.mu.Lock()
+	d.personal[client.ID] = flatten(pm)
+	d.mu.Unlock()
+	return pm, nil
+}
+
+func (d *ditto) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+	if err := ensureCtx(ctx); err != nil {
+		return nil, err
+	}
+	m, _ := d.state(rng, client.ID)
+	if err := load(m, global); err != nil {
+		return nil, err
+	}
+	loss, err := model.TrainSupervised(rng, m, client.Train, d.cfg.Train)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: ditto client %d: %w", client.ID, err)
+	}
+	if _, err := d.trainPersonal(rng, client, global, d.cfg.Train.Epochs); err != nil {
+		return nil, err
+	}
+	return &fl.Update{ClientID: client.ID, Params: flatten(m), NumSamples: client.Train.Len(), TrainLoss: loss}, nil
+}
+
+func (d *ditto) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+	if err := ensureCtx(ctx); err != nil {
+		return 0, err
+	}
+	// Refresh (or, for novel clients, create) the personal model with the
+	// personalization budget, then evaluate it.
+	pm, err := d.trainPersonal(rng, client, global, d.cfg.Head.Epochs)
+	if err != nil {
+		return 0, err
+	}
+	return pm.Accuracy(client.Test), nil
+}

@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"calibre/internal/core"
+	"calibre/internal/fl"
+)
+
+// Builder constructs a method given the shared baseline configuration and
+// the total client population size (needed by SCAFFOLD's control update).
+type Builder func(cfg Config, numClients int) (*fl.Method, error)
+
+// Registry returns every baseline and pFL-SSL/Calibre variant evaluated in
+// the paper, keyed by the names used in the figures.
+func Registry() map[string]Builder {
+	reg := map[string]Builder{
+		"fedavg":            wrap(NewFedAvg),
+		"fedavg-ft":         wrap(NewFedAvgFT),
+		"fedprox":           func(cfg Config, _ int) (*fl.Method, error) { return NewFedProx(cfg, 0.1), nil },
+		"scaffold":          func(cfg Config, n int) (*fl.Method, error) { return NewScaffold(cfg, n), nil },
+		"scaffold-ft":       func(cfg Config, n int) (*fl.Method, error) { return NewScaffoldFT(cfg, n), nil },
+		"fedper":            wrap(NewFedPer),
+		"fedrep":            wrap(NewFedRep),
+		"fedbabu":           wrap(NewFedBABU),
+		"lg-fedavg":         wrap(NewLGFedAvg),
+		"perfedavg":         wrap(NewPerFedAvg),
+		"apfl":              wrap(NewAPFL),
+		"ditto":             wrap(NewDitto),
+		"fedema":            wrap(NewFedEMA),
+		"script-fair":       wrap(NewScriptFair),
+		"script-convergent": wrap(NewScriptConvergent),
+	}
+	for _, sslName := range []string{"simclr", "byol", "simsiam", "mocov2", "swav", "smog", "vicreg"} {
+		sslName := sslName
+		reg["pfl-"+sslName] = func(cfg Config, _ int) (*fl.Method, error) {
+			return core.NewPFLSSL(sslConfig(cfg, sslName))
+		}
+		reg["calibre-"+sslName] = func(cfg Config, _ int) (*fl.Method, error) {
+			return core.New(sslConfig(cfg, sslName))
+		}
+	}
+	return reg
+}
+
+func wrap(f func(Config) *fl.Method) Builder {
+	return func(cfg Config, _ int) (*fl.Method, error) { return f(cfg), nil }
+}
+
+func sslConfig(cfg Config, sslName string) core.Config {
+	c := core.DefaultConfig(cfg.Arch, sslName, cfg.NumClasses)
+	// SSL local updates run twice the supervised epoch budget: the paper
+	// trains SSL with batch 256 vs 32 supervised, i.e. a larger per-round
+	// compute budget for the self-supervised objective.
+	c.Train.Epochs = 2 * cfg.Train.Epochs
+	c.Train.BatchSize = cfg.Train.BatchSize
+	c.Train.Augment = cfg.Augment
+	c.Head = cfg.Head
+	c.UseUnlabeled = cfg.UseUnlabeled
+	if cfg.WarmupRounds > 0 {
+		c.Opts.WarmupRounds = cfg.WarmupRounds
+	}
+	return c
+}
+
+// MethodNames lists every registered method name, sorted.
+func MethodNames() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Build constructs a registered method by name.
+func Build(name string, cfg Config, numClients int) (*fl.Method, error) {
+	b, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("baselines: unknown method %q (have %v)", name, MethodNames())
+	}
+	return b(cfg, numClients)
+}

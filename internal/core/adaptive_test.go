@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"calibre/internal/eval"
+	"calibre/internal/nn"
+	"calibre/internal/ssl"
+	"calibre/internal/tensor"
+)
+
+// blobs builds points around k separated centers.
+func blobs(rng *rand.Rand, k, perCluster, d int, sep, std float64) (*tensor.Tensor, []int) {
+	centers := tensor.RandN(rng, sep, k, d)
+	x := tensor.New(k*perCluster, d)
+	truth := make([]int, k*perCluster)
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCluster; i++ {
+			idx := c*perCluster + i
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				row[j] = centers.At(c, j) + rng.NormFloat64()*std
+			}
+			x.SetRow(idx, row)
+			truth[idx] = c
+		}
+	}
+	return x, truth
+}
+
+func TestSelectKFindsTrueClusterCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, trueK := range []int{2, 3, 4} {
+		x, truth := blobs(rng, trueK, 20, 6, 8, 0.3)
+		res, err := SelectK(rng, x, 10)
+		if err != nil {
+			t.Fatalf("SelectK: %v", err)
+		}
+		if got := res.Centers.Rows(); got != trueK {
+			t.Fatalf("SelectK picked K=%d for %d true clusters", got, trueK)
+		}
+		purity, err := eval.ClusterPurity(res.Assign, truth)
+		if err != nil {
+			t.Fatalf("ClusterPurity: %v", err)
+		}
+		if purity < 0.95 {
+			t.Fatalf("purity = %v for trueK=%d", purity, trueK)
+		}
+	}
+}
+
+func TestSelectKSmallBatchClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 1, 3, 4)
+	res, err := SelectK(rng, x, 10)
+	if err != nil {
+		t.Fatalf("SelectK: %v", err)
+	}
+	if res.Centers.Rows() > 3 {
+		t.Fatalf("K=%d exceeds n=3", res.Centers.Rows())
+	}
+}
+
+func TestConfidentMembersFiltersBoundary(t *testing.T) {
+	// Two centers at ±5; points at the centers are confident, a point at 0
+	// is not.
+	centers := tensor.MustFromSlice([]float64{-5, 5}, 2, 1)
+	x := tensor.MustFromSlice([]float64{-5, -4.8, 0.1, 4.9, 5}, 5, 1)
+	assign := []int{0, 0, 1, 1, 1}
+	kept := confidentMembers(x, centers, assign, 0.8)
+	for _, i := range kept {
+		if i == 2 {
+			t.Fatal("the boundary point must be filtered out")
+		}
+	}
+	if len(kept) != 4 {
+		t.Fatalf("kept = %v, want 4 members", kept)
+	}
+	// keepFrac ≤ 0 or ≥ 1 keeps everyone.
+	if got := confidentMembers(x, centers, assign, 0); len(got) != 5 {
+		t.Fatalf("keepFrac=0 should keep all, got %v", got)
+	}
+	if got := confidentMembers(x, centers, assign, 1); len(got) != 5 {
+		t.Fatalf("keepFrac=1 should keep all, got %v", got)
+	}
+}
+
+func TestConfidentMembersMinimumTwo(t *testing.T) {
+	centers := tensor.MustFromSlice([]float64{-1, 1}, 2, 1)
+	x := tensor.MustFromSlice([]float64{-1, 1, 0}, 3, 1)
+	kept := confidentMembers(x, centers, []int{0, 1, 0}, 0.01)
+	if len(kept) < 2 {
+		t.Fatalf("must keep at least 2, got %v", kept)
+	}
+}
+
+// structuredStepCtx builds a step context whose inputs have clear cluster
+// structure, so the silhouette gate passes.
+func structuredStepCtx(t *testing.T, seed int64) *ssl.StepContext {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := ssl.NewBackbone(rng, testArch())
+	x, _ := blobs(rng, 3, 8, 16, 6, 0.2)
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	// Mild augmentation so pairs stay close.
+	v1 := tensor.New(x.Rows(), 16)
+	v2 := tensor.New(x.Rows(), 16)
+	for i, r := range rows {
+		a := make([]float64, 16)
+		bb := make([]float64, 16)
+		for j := range r {
+			a[j] = r[j] + rng.NormFloat64()*0.05
+			bb[j] = r[j] + rng.NormFloat64()*0.05
+		}
+		v1.SetRow(i, a)
+		v2.SetRow(i, bb)
+	}
+	return ssl.NewStepContext(rng, b, v1, v2)
+}
+
+func TestRegularizerGatePassesOnStructuredData(t *testing.T) {
+	reg, err := NewRegularizer(DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewRegularizer: %v", err)
+	}
+	ctx := structuredStepCtx(t, 3)
+	base := nn.PairNTXent(ctx.H1, ctx.H2, 0.5)
+	total := reg.Apply(ctx, base)
+	if total == base {
+		t.Fatal("structured batch should produce regularizer terms")
+	}
+}
+
+func TestWarmupDelaysRegularizer(t *testing.T) {
+	clients := testClients(t, 1, 30)
+	cfg := DefaultConfig(testArch(), "simclr", 10)
+	cfg.Train = shortTrainCfg()
+	cfg.Opts.WarmupRounds = 5
+	method, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	trainer := method.Trainer.(*SSLTrainer)
+	rng := rand.New(rand.NewSource(4))
+	global, err := trainer.InitGlobal(rng)
+	if err != nil {
+		t.Fatalf("InitGlobal: %v", err)
+	}
+	// During warm-up (round < 5) the update must match a pFL-SSL update
+	// with the same RNG stream: the hook is inactive.
+	pflCfg := cfg
+	pfl, err := NewPFLSSL(pflCfg)
+	if err != nil {
+		t.Fatalf("NewPFLSSL: %v", err)
+	}
+	uCal, err := trainer.Train(context.Background(), rand.New(rand.NewSource(5)), clients[0], global, 0)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	uPfl, err := pfl.Trainer.Train(context.Background(), rand.New(rand.NewSource(5)), clients[0], global, 0)
+	if err != nil {
+		t.Fatalf("Train pfl: %v", err)
+	}
+	if uCal.TrainLoss != uPfl.TrainLoss {
+		t.Fatalf("warm-up round should train identically to pFL-SSL: %v vs %v", uCal.TrainLoss, uPfl.TrainLoss)
+	}
+	// Past warm-up the losses diverge (regularizer active).
+	uCal2, err := trainer.Train(context.Background(), rand.New(rand.NewSource(5)), clients[0], global, 10)
+	if err != nil {
+		t.Fatalf("Train r10: %v", err)
+	}
+	uPfl2, err := pfl.Trainer.Train(context.Background(), rand.New(rand.NewSource(5)), clients[0], global, 10)
+	if err != nil {
+		t.Fatalf("Train pfl r10: %v", err)
+	}
+	if uCal2.TrainLoss == uPfl2.TrainLoss {
+		t.Fatal("post-warm-up round should include the regularizer")
+	}
+}

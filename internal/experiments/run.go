@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"calibre/internal/baselines"
+	"calibre/internal/core"
+	"calibre/internal/eval"
+	"calibre/internal/fl"
+	"calibre/internal/model"
+	"calibre/internal/nn"
+	"calibre/internal/ssl"
+	"calibre/internal/tensor"
+)
+
+// MethodOutcome is one method's complete result on one setting.
+type MethodOutcome struct {
+	Method       string
+	Setting      string
+	Participants eval.MethodResult
+	Novel        eval.MethodResult
+	History      []fl.RoundStats
+	Global       []float64
+}
+
+// baselineConfig derives the shared baseline configuration for an
+// environment.
+func baselineConfig(env *Environment) baselines.Config {
+	cfg := baselines.DefaultConfig(env.Arch, env.NumClasses)
+	cfg.Train.Epochs = env.Preset.LocalEpochs
+	cfg.Augment = env.Augment
+	cfg.WarmupRounds = warmupFor(env.Preset)
+	return cfg
+}
+
+// warmupFor scales Calibre's regularizer warm-up to the round budget: a
+// quarter of the rounds, capped at the default 10 (so the ci and paper
+// scales match the recorded EXPERIMENTS.md settings and short smoke runs
+// still reach the calibration phase).
+func warmupFor(p Preset) int {
+	w := p.Rounds / 4
+	if w < 1 {
+		w = 1
+	}
+	if w > 10 {
+		w = 10
+	}
+	return w
+}
+
+// BuildMethod constructs any registered method for the environment.
+func BuildMethod(env *Environment, name string) (*fl.Method, error) {
+	return baselines.Build(name, baselineConfig(env), len(env.Participants))
+}
+
+// RunMethod trains a registered method on the environment and personalizes
+// both participants and novel clients.
+func RunMethod(ctx context.Context, env *Environment, name string) (*MethodOutcome, error) {
+	m, err := BuildMethod(env, name)
+	if err != nil {
+		return nil, err
+	}
+	return RunBuiltMethod(ctx, env, m)
+}
+
+// RunBuiltMethod is RunMethod for an externally constructed method (used by
+// the Table I ablation, which toggles Calibre's regularizers directly).
+func RunBuiltMethod(ctx context.Context, env *Environment, m *fl.Method) (*MethodOutcome, error) {
+	sim, err := fl.NewSimulator(fl.SimConfig{
+		Rounds:          env.Preset.Rounds,
+		ClientsPerRound: env.Preset.ClientsPerRound,
+		Seed:            env.Seed,
+	}, m, env.Participants)
+	if err != nil {
+		return nil, err
+	}
+	global, history, err := sim.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", m.Name, env.Setting.Name, err)
+	}
+	part, err := fl.PersonalizeAll(ctx, env.Seed, m, env.Participants, global, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: personalize participants (%s): %w", m.Name, err)
+	}
+	outcome := &MethodOutcome{
+		Method:  m.Name,
+		Setting: env.Setting.Name,
+		History: history,
+		Global:  global,
+		Participants: eval.MethodResult{
+			Method: m.Name, Summary: eval.Summarize(part), Accs: part,
+		},
+	}
+	if len(env.Novel) > 0 {
+		novel, err := fl.PersonalizeAll(ctx, env.Seed, m, env.Novel, global, 0)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: personalize novel clients (%s): %w", m.Name, err)
+		}
+		outcome.Novel = eval.MethodResult{Method: m.Name, Summary: eval.Summarize(novel), Accs: novel}
+	}
+	return outcome, nil
+}
+
+// EncoderFor reconstructs the trained encoder of a method from its final
+// global vector, abstracting over the supervised vs SSL parameter layouts.
+// The returned FeatureFn maps raw observation batches to representation
+// space; it powers the t-SNE figures and cluster-quality metrics.
+func EncoderFor(env *Environment, methodName string, global []float64) (model.FeatureFn, error) {
+	rng := rand.New(rand.NewSource(env.Seed + 99))
+	switch {
+	case strings.HasPrefix(methodName, "pfl-"), strings.HasPrefix(methodName, "calibre-"):
+		sslName := methodName[strings.Index(methodName, "-")+1:]
+		factory, err := ssl.Lookup(sslName)
+		if err != nil {
+			return nil, err
+		}
+		return sslEncoder(rng, env, factory, global)
+	case methodName == "fedema":
+		return sslEncoder(rng, env, ssl.NewBYOL(ssl.DefaultEMAMomentum), global)
+	default:
+		m := model.NewSupModel(rng, env.Arch, env.NumClasses)
+		if err := nn.Unflatten(m, global); err != nil {
+			return nil, fmt.Errorf("experiments: load %s encoder: %w", methodName, err)
+		}
+		return m.EncodeValue, nil
+	}
+}
+
+func sslEncoder(rng *rand.Rand, env *Environment, factory ssl.Factory, global []float64) (model.FeatureFn, error) {
+	backbone := ssl.NewBackbone(rng, env.Arch)
+	method, err := factory(rng, backbone)
+	if err != nil {
+		return nil, err
+	}
+	st := &ssl.Trainable{Backbone: backbone, Method: method}
+	if err := nn.Unflatten(st, global); err != nil {
+		return nil, fmt.Errorf("experiments: load SSL encoder: %w", err)
+	}
+	return backbone.EncodeValue, nil
+}
+
+// ClientFeatures encodes (up to maxPerClient of) each selected client's
+// training samples with fn and returns the pooled feature matrix, class
+// labels and source client IDs.
+func ClientFeatures(env *Environment, fn model.FeatureFn, clientIdx []int, maxPerClient int) (*tensor.Tensor, []int, []int, error) {
+	var rows [][]float64
+	var labels, owners []int
+	for _, ci := range clientIdx {
+		if ci < 0 || ci >= len(env.Participants) {
+			return nil, nil, nil, fmt.Errorf("experiments: client index %d out of range", ci)
+		}
+		c := env.Participants[ci]
+		n := c.Train.Len()
+		if maxPerClient > 0 && n > maxPerClient {
+			n = maxPerClient
+		}
+		for i := 0; i < n; i++ {
+			rows = append(rows, c.Train.X[i])
+			labels = append(labels, c.Train.Y[i])
+			owners = append(owners, c.ID)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil, nil, fmt.Errorf("experiments: no features collected")
+	}
+	batch := tensor.New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		batch.SetRow(i, r)
+	}
+	return fn(batch), labels, owners, nil
+}
+
+// AblationVariant builds a Calibre method with specific regularizer
+// switches for the Table I ablation.
+func AblationVariant(env *Environment, sslName string, useLn, useLp bool) (*fl.Method, error) {
+	cfg := core.DefaultConfig(env.Arch, sslName, env.NumClasses)
+	cfg.Train.Epochs = 2 * env.Preset.LocalEpochs // same SSL budget as the registry methods
+	cfg.Train.Augment = env.Augment
+	cfg.Opts.WarmupRounds = warmupFor(env.Preset)
+	cfg.Opts.UseLn = useLn
+	cfg.Opts.UseLp = useLp
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	suffix := map[[2]bool]string{
+		{false, false}: "base",
+		{true, false}:  "ln",
+		{false, true}:  "lp",
+		{true, true}:   "ln+lp",
+	}[[2]bool{useLn, useLp}]
+	m.Name = fmt.Sprintf("calibre-%s[%s]", sslName, suffix)
+	return m, nil
+}

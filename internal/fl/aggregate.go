@@ -1,0 +1,181 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightedAverage is FedAvg aggregation: the new global vector is the
+// sample-count-weighted mean of client vectors.
+type WeightedAverage struct{}
+
+var _ Aggregator = WeightedAverage{}
+
+// Aggregate implements Aggregator.
+func (WeightedAverage) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	out := make([]float64, len(global))
+	var total float64
+	for _, u := range updates {
+		if len(u.Params) != len(global) {
+			return nil, fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(global))
+		}
+		w := float64(u.NumSamples)
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+		for i, v := range u.Params {
+			out[i] += w * v
+		}
+	}
+	inv := 1 / total
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// DivergenceWeighted is Calibre's aggregation rule: each client's weight is
+// softmax(-divergence/T) scaled by its sample count, so clients whose
+// representations sit close to their prototypes (low local divergence rate)
+// contribute more (paper §IV-B).
+type DivergenceWeighted struct {
+	// Temperature controls how sharply low-divergence clients are favored.
+	// Zero means the default of 1.
+	Temperature float64
+}
+
+var _ Aggregator = (*DivergenceWeighted)(nil)
+
+// Aggregate implements Aggregator.
+func (d *DivergenceWeighted) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	temp := d.Temperature
+	if temp <= 0 {
+		temp = 1
+	}
+	// Normalize divergences to a comparable scale before the softmax so the
+	// weighting is invariant to the representation's absolute magnitude.
+	var mean float64
+	for _, u := range updates {
+		mean += u.Divergence
+	}
+	mean /= float64(len(updates))
+	if mean <= 0 {
+		mean = 1
+	}
+	weights := make([]float64, len(updates))
+	var wsum float64
+	for i, u := range updates {
+		w := math.Exp(-u.Divergence / mean / temp)
+		n := float64(u.NumSamples)
+		if n <= 0 {
+			n = 1
+		}
+		weights[i] = w * n
+		wsum += weights[i]
+	}
+	out := make([]float64, len(global))
+	for i, u := range updates {
+		if len(u.Params) != len(global) {
+			return nil, fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(global))
+		}
+		w := weights[i] / wsum
+		for j, v := range u.Params {
+			out[j] += w * v
+		}
+	}
+	return out, nil
+}
+
+// MaskedAverage averages only the vector positions where mask is true,
+// keeping the existing global values elsewhere. It expresses
+// partial-exchange methods: LG-FedAvg (aggregate head only), FedPer/FedRep/
+// FedBABU (aggregate encoder only).
+type MaskedAverage struct {
+	Mask []bool
+}
+
+var _ Aggregator = (*MaskedAverage)(nil)
+
+// Aggregate implements Aggregator.
+func (m *MaskedAverage) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+	if len(m.Mask) != len(global) {
+		return nil, fmt.Errorf("fl: mask length %d, global %d", len(m.Mask), len(global))
+	}
+	avg, err := WeightedAverage{}.Aggregate(global, updates)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]float64(nil), global...)
+	for i, use := range m.Mask {
+		if use {
+			out[i] = avg[i]
+		}
+	}
+	return out, nil
+}
+
+// ScaffoldAggregator implements the server side of SCAFFOLD (Karimireddy et
+// al., ICML 2020): the global model moves by the average client delta with
+// a server learning rate, and the server control variate accumulates the
+// average client control delta.
+type ScaffoldAggregator struct {
+	ServerLR   float64
+	NumClients int // total client population C (control update is scaled by m/C)
+
+	control []float64 // server control variate c
+}
+
+var _ Aggregator = (*ScaffoldAggregator)(nil)
+
+// Control returns the server control variate (allocated on first use).
+func (s *ScaffoldAggregator) Control(dim int) []float64 {
+	if s.control == nil {
+		s.control = make([]float64, dim)
+	}
+	return s.control
+}
+
+// Aggregate implements Aggregator.
+func (s *ScaffoldAggregator) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	lr := s.ServerLR
+	if lr <= 0 {
+		lr = 1
+	}
+	out := append([]float64(nil), global...)
+	inv := 1 / float64(len(updates))
+	for _, u := range updates {
+		if len(u.Params) != len(global) {
+			return nil, fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(global))
+		}
+		for i := range out {
+			out[i] += lr * inv * (u.Params[i] - global[i])
+		}
+	}
+	ctl := s.Control(len(global))
+	frac := inv
+	if s.NumClients > 0 {
+		frac = 1 / float64(s.NumClients)
+	}
+	for _, u := range updates {
+		if u.ControlDelta == nil {
+			continue
+		}
+		if len(u.ControlDelta) != len(global) {
+			return nil, fmt.Errorf("fl: control delta from client %d has %d entries, want %d", u.ClientID, len(u.ControlDelta), len(global))
+		}
+		for i := range ctl {
+			ctl[i] += frac * u.ControlDelta[i]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package fl
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyDropoutKeepsAtLeastOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		rate := rng.Float64() * 0.99
+		kept := applyDropout(rng, ids, rate)
+		if len(kept) < 1 || len(kept) > n {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, id := range ids {
+			seen[id] = true
+		}
+		for _, id := range kept {
+			if !seen[id] {
+				return false // survivors must come from the sampled set
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDropoutZeroRateIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ids := []int{3, 1, 4}
+	kept := applyDropout(rng, ids, 0)
+	if len(kept) != 3 {
+		t.Fatalf("kept = %v", kept)
+	}
+}
+
+func TestSimulatorWithDropoutStillCompletes(t *testing.T) {
+	clients := testClients(t, 10)
+	tr := &fakeTrainer{}
+	sim, err := NewSimulator(SimConfig{Rounds: 8, ClientsPerRound: 4, Seed: 7, DropoutRate: 0.5}, fakeMethod(tr), clients)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	_, hist, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var total int
+	dropped := false
+	for _, h := range hist {
+		if len(h.Participants) < 1 || len(h.Participants) > 4 {
+			t.Fatalf("round %d participants = %v", h.Round, h.Participants)
+		}
+		if len(h.Participants) < 4 {
+			dropped = true
+		}
+		total += len(h.Participants)
+	}
+	if !dropped {
+		t.Fatal("50% dropout over 8 rounds should drop someone")
+	}
+	if int(tr.calls.Load()) != total {
+		t.Fatalf("trainer calls %d != surviving participants %d", tr.calls.Load(), total)
+	}
+}
+
+func TestSimulatorRejectsInvalidDropout(t *testing.T) {
+	clients := testClients(t, 4)
+	m := fakeMethod(&fakeTrainer{})
+	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 1, DropoutRate: 1}, m, clients); err == nil {
+		t.Fatal("dropout rate 1 should be rejected")
+	}
+	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 1, DropoutRate: -0.1}, m, clients); err == nil {
+		t.Fatal("negative dropout rate should be rejected")
+	}
+}

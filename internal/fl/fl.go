@@ -1,0 +1,182 @@
+// Package fl is the federated-learning runtime: the round loop, client
+// sampling, local-update dispatch and server-side aggregation. It is
+// method-agnostic — a personalized-FL method plugs in a Trainer (what a
+// client does with the global parameter vector), an Aggregator (how the
+// server merges updates) and a Personalizer (what runs in the paper's
+// personalization stage).
+package fl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"calibre/internal/partition"
+)
+
+// ErrNoUpdates is returned by aggregators when a round produced no client
+// updates.
+var ErrNoUpdates = errors.New("fl: no client updates to aggregate")
+
+// Update is a client's result for one round of local training.
+type Update struct {
+	ClientID   int
+	Params     []float64 // full updated parameter vector
+	NumSamples int       // local training set size (aggregation weight)
+	TrainLoss  float64   // mean local objective value
+
+	// Divergence is Calibre's prototype divergence rate: the mean distance
+	// between local encodings and their assigned prototypes. Zero when the
+	// method does not compute it.
+	Divergence float64
+
+	// ControlDelta carries SCAFFOLD's client control-variate change; nil
+	// for other methods.
+	ControlDelta []float64
+}
+
+// Trainer performs one client's local update for a round.
+//
+// Implementations may keep per-client state across rounds (momentum
+// encoders, personalized models, control variates); they must be safe for
+// concurrent calls on distinct clients.
+type Trainer interface {
+	Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*Update, error)
+}
+
+// Aggregator merges one round's updates into the next global vector.
+type Aggregator interface {
+	Aggregate(global []float64, updates []*Update) ([]float64, error)
+}
+
+// Personalizer runs the personalization stage for one client given the
+// final global vector, returning the client's local test accuracy.
+type Personalizer interface {
+	Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error)
+}
+
+// Method bundles everything a personalized-FL algorithm contributes.
+type Method struct {
+	Name         string
+	Trainer      Trainer
+	Aggregator   Aggregator
+	Personalizer Personalizer
+	// InitGlobal produces the initial global parameter vector.
+	InitGlobal func(rng *rand.Rand) ([]float64, error)
+}
+
+// Validate checks that all required pieces are present.
+func (m *Method) Validate() error {
+	switch {
+	case m.Name == "":
+		return errors.New("fl: method missing name")
+	case m.Trainer == nil:
+		return fmt.Errorf("fl: method %s missing trainer", m.Name)
+	case m.Aggregator == nil:
+		return fmt.Errorf("fl: method %s missing aggregator", m.Name)
+	case m.Personalizer == nil:
+		return fmt.Errorf("fl: method %s missing personalizer", m.Name)
+	case m.InitGlobal == nil:
+		return fmt.Errorf("fl: method %s missing InitGlobal", m.Name)
+	}
+	return nil
+}
+
+// RoundStats records one round's outcome.
+type RoundStats struct {
+	Round        int
+	Participants []int
+	MeanLoss     float64
+}
+
+// Sampler selects the participating clients for a round.
+type Sampler interface {
+	Sample(rng *rand.Rand, numClients, perRound int) []int
+}
+
+// UniformSampler draws perRound distinct clients uniformly (the paper's
+// "10 clients randomly selected per round").
+type UniformSampler struct{}
+
+var _ Sampler = UniformSampler{}
+
+// Sample implements Sampler.
+func (UniformSampler) Sample(rng *rand.Rand, numClients, perRound int) []int {
+	if perRound >= numClients {
+		out := make([]int, numClients)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(numClients)
+	out := append([]int(nil), perm[:perRound]...)
+	sort.Ints(out)
+	return out
+}
+
+// clientRNG derives a deterministic per-(round, client) RNG so results do
+// not depend on goroutine scheduling.
+func clientRNG(seed int64, round, clientID int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(round)*1_000_003 ^ int64(clientID)*7_777_777))
+}
+
+// runParallel executes fn for every id in ids on at most parallelism
+// goroutines, collecting results in input order. The first error cancels
+// outstanding work.
+func runParallel[T any](ctx context.Context, parallelism int, ids []int, fn func(ctx context.Context, id int) (T, error)) ([]T, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		select {
+		case <-ctx.Done():
+			break
+		default:
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(slot, id int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[slot] = ctx.Err()
+				return
+			}
+			res, err := fn(ctx, id)
+			if err != nil {
+				errs[slot] = err
+				cancel()
+				return
+			}
+			results[slot] = res
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil && errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	// A plain cancel from an error path was already surfaced above; if the
+	// parent ctx was canceled, report it.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,151 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"calibre/internal/partition"
+)
+
+// SimConfig controls a federated training simulation.
+type SimConfig struct {
+	Rounds          int
+	ClientsPerRound int
+	Seed            int64
+	// Parallelism bounds concurrent local updates; 0 means GOMAXPROCS.
+	Parallelism int
+	// Sampler defaults to UniformSampler.
+	Sampler Sampler
+	// DropoutRate simulates client failures/stragglers: each sampled
+	// client independently drops out of the round with this probability
+	// (its update is simply missing, as in production FL). At least one
+	// sampled client always survives so every round aggregates something.
+	DropoutRate float64
+	// OnRound, if set, observes each completed round (single-goroutine).
+	OnRound func(RoundStats)
+}
+
+func (c *SimConfig) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Simulator drives federated training of one method over a fixed client
+// population.
+type Simulator struct {
+	Config  SimConfig
+	Method  *Method
+	Clients []*partition.Client
+}
+
+// NewSimulator validates and assembles a simulator.
+func NewSimulator(cfg SimConfig, method *Method, clients []*partition.Client) (*Simulator, error) {
+	if err := method.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("fl: rounds must be ≥1, got %d", cfg.Rounds)
+	}
+	if cfg.ClientsPerRound < 1 {
+		return nil, fmt.Errorf("fl: clientsPerRound must be ≥1, got %d", cfg.ClientsPerRound)
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	if cfg.Sampler == nil {
+		cfg.Sampler = UniformSampler{}
+	}
+	if cfg.DropoutRate < 0 || cfg.DropoutRate >= 1 {
+		return nil, fmt.Errorf("fl: dropout rate must be in [0,1), got %v", cfg.DropoutRate)
+	}
+	return &Simulator{Config: cfg, Method: method, Clients: clients}, nil
+}
+
+// applyDropout removes each id with probability rate, keeping at least one
+// (preferring a random survivor when everyone would drop).
+func applyDropout(rng *rand.Rand, ids []int, rate float64) []int {
+	if rate <= 0 {
+		return ids
+	}
+	kept := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if rng.Float64() >= rate {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) == 0 {
+		kept = append(kept, ids[rng.Intn(len(ids))])
+	}
+	return kept
+}
+
+// Run executes the training stage and returns the final global vector and
+// per-round statistics.
+func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
+	masterRNG := rand.New(rand.NewSource(s.Config.Seed))
+	global, err := s.Method.InitGlobal(masterRNG)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fl: init global: %w", err)
+	}
+	history := make([]RoundStats, 0, s.Config.Rounds)
+	for round := 0; round < s.Config.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
+		}
+		ids := s.Config.Sampler.Sample(masterRNG, len(s.Clients), s.Config.ClientsPerRound)
+		ids = applyDropout(masterRNG, ids, s.Config.DropoutRate)
+		round := round
+		updates, err := runParallel(ctx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
+			rng := clientRNG(s.Config.Seed, round, id)
+			u, err := s.Method.Trainer.Train(ctx, rng, s.Clients[id], global, round)
+			if err != nil {
+				return nil, fmt.Errorf("fl: client %d round %d: %w", id, round, err)
+			}
+			return u, nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		global, err = s.Method.Aggregator.Aggregate(global, updates)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fl: aggregate round %d: %w", round, err)
+		}
+		stats := RoundStats{Round: round, Participants: ids}
+		for _, u := range updates {
+			stats.MeanLoss += u.TrainLoss
+		}
+		stats.MeanLoss /= float64(len(updates))
+		history = append(history, stats)
+		if s.Config.OnRound != nil {
+			s.Config.OnRound(stats)
+		}
+	}
+	return global, history, nil
+}
+
+// PersonalizeAll runs the personalization stage for every given client
+// (participants and novel clients alike) and returns their local test
+// accuracies, index-aligned with clients.
+func PersonalizeAll(ctx context.Context, seed int64, method *Method, clients []*partition.Client, global []float64, parallelism int) ([]float64, error) {
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	ids := make([]int, len(clients))
+	for i := range ids {
+		ids[i] = i
+	}
+	return runParallel(ctx, parallelism, ids, func(ctx context.Context, id int) (float64, error) {
+		// Personalization happens after training; derive RNGs from a
+		// distinct stream so adding rounds does not shift them.
+		rng := clientRNG(seed, 1<<20, clients[id].ID)
+		acc, err := method.Personalizer.Personalize(ctx, rng, clients[id], global)
+		if err != nil {
+			return 0, fmt.Errorf("fl: personalize client %d: %w", clients[id].ID, err)
+		}
+		return acc, nil
+	})
+}

@@ -1,0 +1,120 @@
+package flnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"calibre/internal/fl"
+	"calibre/internal/partition"
+)
+
+// ClientConfig configures a federated client process.
+type ClientConfig struct {
+	// Addr is the server address to dial.
+	Addr string
+	// ClientID must be unique across the federation.
+	ClientID int
+	// Data is the client's local partition.
+	Data *partition.Client
+	// Trainer and Personalizer implement the method's client side.
+	Trainer      fl.Trainer
+	Personalizer fl.Personalizer
+	// Seed derives the client's deterministic RNG streams.
+	Seed int64
+	// IOTimeout bounds each network operation (default 2 minutes).
+	IOTimeout time.Duration
+	// DialTimeout bounds the initial connection (default 10 seconds).
+	DialTimeout time.Duration
+}
+
+func (c *ClientConfig) validate() error {
+	switch {
+	case c.Addr == "":
+		return errors.New("flnet: client missing server address")
+	case c.Data == nil:
+		return errors.New("flnet: client missing local data")
+	case c.Trainer == nil:
+		return errors.New("flnet: client missing trainer")
+	case c.Personalizer == nil:
+		return errors.New("flnet: client missing personalizer")
+	}
+	return nil
+}
+
+// RunClient joins the federation and serves train/personalize requests
+// until the server sends shutdown or ctx is canceled. It returns nil on a
+// clean shutdown.
+func RunClient(ctx context.Context, cfg ClientConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 2 * time.Minute
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	raw, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("flnet: dial %s: %w", cfg.Addr, err)
+	}
+	c := newConn(raw, cfg.IOTimeout)
+	defer c.close()
+
+	if err := c.send(&Envelope{Type: MsgJoin, ClientID: cfg.ClientID}); err != nil {
+		return err
+	}
+	ack, err := c.recv()
+	if err != nil {
+		return err
+	}
+	if ack.Type == MsgError {
+		return fmt.Errorf("flnet: join rejected: %s", ack.Err)
+	}
+	if ack.Type != MsgJoinAck {
+		return fmt.Errorf("flnet: expected join-ack, got %s", ack.Type)
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("flnet: client %d: %w", cfg.ClientID, err)
+		}
+		env, err := c.recv()
+		if err != nil {
+			return err
+		}
+		switch env.Type {
+		case MsgTrain:
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(env.Round)*1_000_003 ^ int64(cfg.ClientID)*7_777_777))
+			update, terr := cfg.Trainer.Train(ctx, rng, cfg.Data, env.Global, env.Round)
+			if terr != nil {
+				_ = c.send(&Envelope{Type: MsgError, ClientID: cfg.ClientID, Err: terr.Error()})
+				return fmt.Errorf("flnet: client %d train: %w", cfg.ClientID, terr)
+			}
+			if err := c.send(&Envelope{Type: MsgTrainResult, ClientID: cfg.ClientID, Round: env.Round, Update: update}); err != nil {
+				return err
+			}
+		case MsgPersonalize:
+			rng := rand.New(rand.NewSource(cfg.Seed ^ (1 << 20) ^ int64(cfg.ClientID)*7_777_777))
+			acc, perr := cfg.Personalizer.Personalize(ctx, rng, cfg.Data, env.Global)
+			if perr != nil {
+				_ = c.send(&Envelope{Type: MsgError, ClientID: cfg.ClientID, Err: perr.Error()})
+				return fmt.Errorf("flnet: client %d personalize: %w", cfg.ClientID, perr)
+			}
+			if err := c.send(&Envelope{Type: MsgPersonalizeResult, ClientID: cfg.ClientID, Accuracy: acc}); err != nil {
+				return err
+			}
+		case MsgShutdown:
+			return nil
+		case MsgError:
+			return fmt.Errorf("flnet: server error: %s", env.Err)
+		default:
+			return fmt.Errorf("flnet: unexpected message %s", env.Type)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package flnet
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"calibre/internal/baselines"
+	"calibre/internal/data"
+	"calibre/internal/fl"
+	"calibre/internal/partition"
+	"calibre/internal/ssl"
+)
+
+type addOneTrainer struct{}
+
+func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+	params := make([]float64, len(global))
+	for i, v := range global {
+		params[i] = v + 1
+	}
+	return &fl.Update{ClientID: c.ID, Params: params, NumSamples: c.Train.Len()}, nil
+}
+
+type idPersonalizer struct{}
+
+func (idPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
+	return float64(c.ID) / 10, nil
+}
+
+func netClients(t *testing.T, n int) []*partition.Client {
+	t.Helper()
+	spec := data.CIFAR10Spec()
+	spec.Dim = 16
+	g, err := data.NewGenerator(spec, 1)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	ds := g.GenerateLabeled(rng, 10*n)
+	parts, err := partition.IID(rng, ds, n, 20)
+	if err != nil {
+		t.Fatalf("IID: %v", err)
+	}
+	return partition.BuildClients(rng, ds, parts, nil)
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	good := ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 1,
+		Aggregator: fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+	}
+	if _, err := NewServer(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, mutate := range []func(*ServerConfig){
+		func(c *ServerConfig) { c.NumClients = 0 },
+		func(c *ServerConfig) { c.Rounds = 0 },
+		func(c *ServerConfig) { c.ClientsPerRound = 0 },
+		func(c *ServerConfig) { c.Aggregator = nil },
+		func(c *ServerConfig) { c.InitGlobal = nil },
+	} {
+		bad := good
+		mutate(&bad)
+		if _, err := NewServer(bad); err == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	clients := netClients(t, 1)
+	good := ClientConfig{Addr: "127.0.0.1:1", ClientID: 0, Data: clients[0], Trainer: addOneTrainer{}, Personalizer: idPersonalizer{}}
+	for _, mutate := range []func(*ClientConfig){
+		func(c *ClientConfig) { c.Addr = "" },
+		func(c *ClientConfig) { c.Data = nil },
+		func(c *ClientConfig) { c.Trainer = nil },
+		func(c *ClientConfig) { c.Personalizer = nil },
+	} {
+		bad := good
+		mutate(&bad)
+		if err := RunClient(context.Background(), bad); err == nil {
+			t.Fatal("invalid client config accepted")
+		}
+	}
+}
+
+// runFederation spins up a server and n client goroutines on localhost and
+// returns the server result.
+func runFederation(t *testing.T, n, rounds, perRound int, trainer fl.Trainer, personalizer fl.Personalizer) *Result {
+	t.Helper()
+	clients := netClients(t, n)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: n, Rounds: rounds, ClientsPerRound: perRound, Seed: 7,
+		Aggregator: fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 4), nil },
+		IOTimeout:  20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = RunClient(ctx, ClientConfig{
+				Addr:         srv.Addr().String(),
+				ClientID:     id,
+				Data:         clients[id],
+				Trainer:      trainer,
+				Personalizer: personalizer,
+				Seed:         7,
+				IOTimeout:    20 * time.Second,
+			})
+		}(i)
+	}
+	res, err := srv.Run(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server Run: %v", err)
+	}
+	for id, cerr := range errs {
+		if cerr != nil {
+			t.Fatalf("client %d: %v", id, cerr)
+		}
+	}
+	return res
+}
+
+func TestFederationOverTCP(t *testing.T) {
+	res := runFederation(t, 4, 3, 2, addOneTrainer{}, idPersonalizer{})
+	// add-one trainer + averaging: global = rounds.
+	for _, v := range res.Global {
+		if v != 3 {
+			t.Fatalf("global = %v, want all 3", res.Global)
+		}
+	}
+	if len(res.History) != 3 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+	if len(res.Accuracies) != 4 {
+		t.Fatalf("accuracies = %v", res.Accuracies)
+	}
+	for id, acc := range res.Accuracies {
+		if acc != float64(id)/10 {
+			t.Fatalf("acc[%d] = %v", id, acc)
+		}
+	}
+}
+
+func TestFederationWithRealMethodOverTCP(t *testing.T) {
+	// A real FL method (FedAvg on the supervised model) over the wire.
+	n := 3
+	clients := netClients(t, n)
+	arch := ssl.Arch{InputDim: 16, HiddenDim: 24, FeatDim: 12, ProjDim: 8}
+	cfg := baselines.DefaultConfig(arch, 10)
+	cfg.Train.Epochs = 1
+	cfg.Train.BatchSize = 16
+	cfg.Head.Epochs = 2
+	method := baselines.NewFedAvg(cfg)
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: n, Rounds: 2, ClientsPerRound: 2, Seed: 3,
+		Aggregator: method.Aggregator,
+		InitGlobal: method.InitGlobal,
+		IOTimeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = RunClient(ctx, ClientConfig{
+				Addr:         srv.Addr().String(),
+				ClientID:     id,
+				Data:         clients[id],
+				Trainer:      method.Trainer,
+				Personalizer: method.Personalizer,
+				Seed:         3,
+				IOTimeout:    30 * time.Second,
+			})
+		}(i)
+	}
+	res, err := srv.Run(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server Run: %v", err)
+	}
+	for id, cerr := range errs {
+		if cerr != nil {
+			t.Fatalf("client %d: %v", id, cerr)
+		}
+	}
+	for id, acc := range res.Accuracies {
+		if acc < 0 || acc > 1 {
+			t.Fatalf("acc[%d] = %v", id, acc)
+		}
+	}
+}
+
+func TestDuplicateClientIDRejected(t *testing.T) {
+	clients := netClients(t, 2)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 2, Rounds: 1, ClientsPerRound: 1, Seed: 1,
+		Aggregator: fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		IOTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	serverErr := make(chan error, 1)
+	go func() {
+		_, err := srv.Run(ctx)
+		serverErr <- err
+	}()
+	mk := func(id int) error {
+		return RunClient(ctx, ClientConfig{
+			Addr: srv.Addr().String(), ClientID: id, Data: clients[0],
+			Trainer: addOneTrainer{}, Personalizer: idPersonalizer{}, IOTimeout: 10 * time.Second,
+		})
+	}
+	go func() { _ = mk(5) }()
+	time.Sleep(200 * time.Millisecond)
+	_ = mk(5) // duplicate: server aborts
+	err = <-serverErr
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("server should reject duplicate IDs, got %v", err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for m := MsgJoin; m <= MsgError; m++ {
+		if s := m.String(); s == "" || strings.HasPrefix(s, "msgtype(") {
+			t.Fatalf("missing String for %d", int(m))
+		}
+	}
+	if !strings.HasPrefix(MsgType(99).String(), "msgtype(") {
+		t.Fatal("unknown type should render numerically")
+	}
+}

@@ -1,0 +1,108 @@
+// Package flnet runs federated learning over a real network: a server
+// process orchestrates rounds over TCP connections to client processes,
+// exchanging gob-encoded parameter vectors. It mirrors the in-process
+// simulator in internal/fl (same Trainer/Aggregator/Personalizer contracts)
+// so any method can be run distributed without modification. The
+// cmd/calibre-server and cmd/calibre-client binaries are thin wrappers
+// around this package.
+package flnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"calibre/internal/fl"
+)
+
+// MsgType discriminates protocol envelopes.
+type MsgType int
+
+// Protocol message types.
+const (
+	MsgJoin MsgType = iota + 1
+	MsgJoinAck
+	MsgTrain
+	MsgTrainResult
+	MsgPersonalize
+	MsgPersonalizeResult
+	MsgShutdown
+	MsgError
+)
+
+// String renders the message type for logs and errors.
+func (m MsgType) String() string {
+	switch m {
+	case MsgJoin:
+		return "join"
+	case MsgJoinAck:
+		return "join-ack"
+	case MsgTrain:
+		return "train"
+	case MsgTrainResult:
+		return "train-result"
+	case MsgPersonalize:
+		return "personalize"
+	case MsgPersonalizeResult:
+		return "personalize-result"
+	case MsgShutdown:
+		return "shutdown"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", int(m))
+	}
+}
+
+// Envelope is the single wire message; fields are populated according to
+// Type. gob's self-describing stream keeps the framing simple.
+type Envelope struct {
+	Type     MsgType
+	ClientID int
+	Round    int
+	Global   []float64  `json:",omitempty"`
+	Update   *fl.Update `json:",omitempty"`
+	Accuracy float64
+	Err      string
+}
+
+// conn wraps a net.Conn with gob codecs and deadline management.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	// ioTimeout bounds each send/receive; zero disables deadlines.
+	ioTimeout time.Duration
+}
+
+func newConn(raw net.Conn, ioTimeout time.Duration) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw), ioTimeout: ioTimeout}
+}
+
+func (c *conn) send(e *Envelope) error {
+	if c.ioTimeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			return fmt.Errorf("flnet: set write deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(e); err != nil {
+		return fmt.Errorf("flnet: send %s: %w", e.Type, err)
+	}
+	return nil
+}
+
+func (c *conn) recv() (*Envelope, error) {
+	if c.ioTimeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(c.ioTimeout)); err != nil {
+			return nil, fmt.Errorf("flnet: set read deadline: %w", err)
+		}
+	}
+	var e Envelope
+	if err := c.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("flnet: recv: %w", err)
+	}
+	return &e, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

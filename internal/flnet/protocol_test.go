@@ -1,0 +1,84 @@
+package flnet
+
+import (
+	"encoding/gob"
+	"net"
+	"testing"
+	"time"
+
+	"calibre/internal/fl"
+)
+
+// TestEnvelopeGobRoundTrip pins the wire format: an Envelope carrying a
+// full Update must survive encode/decode over a real connection.
+func TestEnvelopeGobRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	want := &Envelope{
+		Type:     MsgTrainResult,
+		ClientID: 7,
+		Round:    3,
+		Update: &fl.Update{
+			ClientID:     7,
+			Params:       []float64{1.5, -2.25, 0},
+			NumSamples:   120,
+			TrainLoss:    3.14,
+			Divergence:   0.42,
+			ControlDelta: []float64{0.1, 0.2, 0.3},
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- gob.NewEncoder(client).Encode(want)
+	}()
+	var got Envelope
+	if err := gob.NewDecoder(server).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if got.Type != want.Type || got.ClientID != 7 || got.Round != 3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Update == nil || got.Update.Divergence != 0.42 || len(got.Update.Params) != 3 {
+		t.Fatalf("update mismatch: %+v", got.Update)
+	}
+	for i, v := range want.Update.ControlDelta {
+		if got.Update.ControlDelta[i] != v {
+			t.Fatal("control delta mismatch")
+		}
+	}
+}
+
+// TestConnDeadlineFires verifies that the per-operation timeout aborts a
+// receive on a silent connection instead of blocking forever.
+func TestConnDeadlineFires(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(2 * time.Second) // never send anything
+		}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := newConn(raw, 100*time.Millisecond)
+	defer c.close()
+	start := time.Now()
+	if _, err := c.recv(); err == nil {
+		t.Fatal("recv on a silent peer should time out")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}

@@ -1,0 +1,302 @@
+package flnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"calibre/internal/fl"
+)
+
+// ServerConfig configures a federated server.
+type ServerConfig struct {
+	// Addr is the listen address, e.g. ":9000" or "127.0.0.1:0".
+	Addr string
+	// NumClients is how many clients must join before training starts.
+	NumClients int
+	// Rounds and ClientsPerRound mirror the simulator settings.
+	Rounds          int
+	ClientsPerRound int
+	Seed            int64
+	// Aggregator merges updates; InitGlobal produces the first vector.
+	Aggregator fl.Aggregator
+	InitGlobal func(rng *rand.Rand) ([]float64, error)
+	// IOTimeout bounds each network operation (default 2 minutes).
+	IOTimeout time.Duration
+	// OnRound observes completed rounds.
+	OnRound func(fl.RoundStats)
+}
+
+func (c *ServerConfig) validate() error {
+	switch {
+	case c.NumClients < 1:
+		return errors.New("flnet: server needs ≥1 client")
+	case c.Rounds < 1:
+		return errors.New("flnet: rounds must be ≥1")
+	case c.ClientsPerRound < 1:
+		return errors.New("flnet: clientsPerRound must be ≥1")
+	case c.Aggregator == nil:
+		return errors.New("flnet: missing aggregator")
+	case c.InitGlobal == nil:
+		return errors.New("flnet: missing InitGlobal")
+	}
+	return nil
+}
+
+// Result is the outcome of a completed federation.
+type Result struct {
+	Global  []float64
+	History []fl.RoundStats
+	// Accuracies maps client ID to its personalized local test accuracy.
+	Accuracies map[int]float64
+}
+
+// Server orchestrates federated rounds over TCP.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu      sync.Mutex
+	clients map[int]*conn
+}
+
+// NewServer validates the config and starts listening (so callers can read
+// Addr before clients connect).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 2 * time.Minute
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: listen %s: %w", cfg.Addr, err)
+	}
+	return &Server{cfg: cfg, listener: ln, clients: make(map[int]*conn)}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+// Run accepts clients, executes all rounds, runs the personalization stage
+// on every client, shuts clients down, and returns the results.
+func (s *Server) Run(ctx context.Context) (*Result, error) {
+	defer s.listener.Close()
+	defer s.closeAll()
+
+	if err := s.acceptClients(ctx); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	global, err := s.cfg.InitGlobal(rng)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: init global: %w", err)
+	}
+	ids := s.clientIDs()
+	history := make([]fl.RoundStats, 0, s.cfg.Rounds)
+	sampler := fl.UniformSampler{}
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+		}
+		picks := sampler.Sample(rng, len(ids), s.cfg.ClientsPerRound)
+		participants := make([]int, len(picks))
+		for i, p := range picks {
+			participants[i] = ids[p]
+		}
+		updates, err := s.broadcastTrain(round, participants, global)
+		if err != nil {
+			return nil, err
+		}
+		global, err = s.cfg.Aggregator.Aggregate(global, updates)
+		if err != nil {
+			return nil, fmt.Errorf("flnet: aggregate round %d: %w", round, err)
+		}
+		stats := fl.RoundStats{Round: round, Participants: participants}
+		for _, u := range updates {
+			stats.MeanLoss += u.TrainLoss
+		}
+		stats.MeanLoss /= float64(len(updates))
+		history = append(history, stats)
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(stats)
+		}
+	}
+	accs, err := s.broadcastPersonalize(ids, global)
+	if err != nil {
+		return nil, err
+	}
+	s.shutdownAll()
+	return &Result{Global: global, History: history, Accuracies: accs}, nil
+}
+
+func (s *Server) acceptClients(ctx context.Context) error {
+	deadline, ok := ctx.Deadline()
+	for {
+		s.mu.Lock()
+		joined := len(s.clients)
+		s.mu.Unlock()
+		if joined >= s.cfg.NumClients {
+			return nil
+		}
+		if ok {
+			if err := s.listener.(*net.TCPListener).SetDeadline(deadline); err != nil {
+				return fmt.Errorf("flnet: set accept deadline: %w", err)
+			}
+		}
+		raw, err := s.listener.Accept()
+		if err != nil {
+			return fmt.Errorf("flnet: accept: %w", err)
+		}
+		c := newConn(raw, s.cfg.IOTimeout)
+		env, err := c.recv()
+		if err != nil {
+			_ = c.close()
+			return fmt.Errorf("flnet: join handshake: %w", err)
+		}
+		if env.Type != MsgJoin {
+			_ = c.close()
+			return fmt.Errorf("flnet: expected join, got %s", env.Type)
+		}
+		s.mu.Lock()
+		if _, dup := s.clients[env.ClientID]; dup {
+			s.mu.Unlock()
+			_ = c.send(&Envelope{Type: MsgError, Err: fmt.Sprintf("duplicate client id %d", env.ClientID)})
+			_ = c.close()
+			return fmt.Errorf("flnet: duplicate client id %d", env.ClientID)
+		}
+		s.clients[env.ClientID] = c
+		s.mu.Unlock()
+		if err := c.send(&Envelope{Type: MsgJoinAck, ClientID: env.ClientID}); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) clientIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]int, 0, len(s.clients))
+	for id := range s.clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// broadcastTrain sends the round's global vector to each participant and
+// collects their updates concurrently (one in-flight request per
+// connection).
+func (s *Server) broadcastTrain(round int, participants []int, global []float64) ([]*fl.Update, error) {
+	updates := make([]*fl.Update, len(participants))
+	errs := make([]error, len(participants))
+	var wg sync.WaitGroup
+	for i, id := range participants {
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			c := s.client(id)
+			if c == nil {
+				errs[slot] = fmt.Errorf("flnet: unknown client %d", id)
+				return
+			}
+			if err := c.send(&Envelope{Type: MsgTrain, Round: round, Global: global, ClientID: id}); err != nil {
+				errs[slot] = err
+				return
+			}
+			resp, err := c.recv()
+			if err != nil {
+				errs[slot] = err
+				return
+			}
+			switch resp.Type {
+			case MsgTrainResult:
+				updates[slot] = resp.Update
+			case MsgError:
+				errs[slot] = fmt.Errorf("flnet: client %d: %s", id, resp.Err)
+			default:
+				errs[slot] = fmt.Errorf("flnet: client %d sent %s, want train-result", id, resp.Type)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return updates, nil
+}
+
+func (s *Server) broadcastPersonalize(ids []int, global []float64) (map[int]float64, error) {
+	accs := make(map[int]float64, len(ids))
+	errs := make([]error, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(slot, id int) {
+			defer wg.Done()
+			c := s.client(id)
+			if c == nil {
+				errs[slot] = fmt.Errorf("flnet: unknown client %d", id)
+				return
+			}
+			if err := c.send(&Envelope{Type: MsgPersonalize, Global: global, ClientID: id}); err != nil {
+				errs[slot] = err
+				return
+			}
+			resp, err := c.recv()
+			if err != nil {
+				errs[slot] = err
+				return
+			}
+			switch resp.Type {
+			case MsgPersonalizeResult:
+				mu.Lock()
+				accs[id] = resp.Accuracy
+				mu.Unlock()
+			case MsgError:
+				errs[slot] = fmt.Errorf("flnet: client %d: %s", id, resp.Err)
+			default:
+				errs[slot] = fmt.Errorf("flnet: client %d sent %s, want personalize-result", id, resp.Type)
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return accs, nil
+}
+
+func (s *Server) client(id int) *conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clients[id]
+}
+
+func (s *Server) shutdownAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clients {
+		_ = c.send(&Envelope{Type: MsgShutdown})
+	}
+}
+
+func (s *Server) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, c := range s.clients {
+		_ = c.close()
+		delete(s.clients, id)
+	}
+}

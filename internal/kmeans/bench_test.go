@@ -1,0 +1,34 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"calibre/internal/tensor"
+)
+
+func BenchmarkRunBatch64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandN(rng, 1, 64, 48)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(rng, x, Config{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSilhouette64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 1, 64, 48)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = rng.Intn(10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Silhouette(x, labels)
+	}
+}

@@ -1,0 +1,237 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding. It is
+// the clustering step Calibre uses to derive pseudo-labels for prototype
+// generation (paper §IV-B, Algorithm 1 line 13).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"calibre/internal/tensor"
+)
+
+// Result holds a clustering of n points into K groups.
+type Result struct {
+	// Centers is the K×d centroid matrix.
+	Centers *tensor.Tensor
+	// Assign maps each point index to its cluster in [0, K).
+	Assign []int
+	// Groups lists the member point indices of each cluster.
+	Groups [][]int
+	// Inertia is the total within-cluster squared distance.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Config controls a Run.
+type Config struct {
+	K        int
+	MaxIters int     // default 25
+	Tol      float64 // relative inertia improvement to stop; default 1e-4
+}
+
+// Run clusters the rows of x (n×d). K is clamped to n when the batch is
+// smaller than the requested number of clusters; it must be ≥1.
+func Run(rng *rand.Rand, x *tensor.Tensor, cfg Config) (*Result, error) {
+	n, d := x.Rows(), x.Cols()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("kmeans: K must be ≥1, got %d", cfg.K)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("kmeans: empty input")
+	}
+	k := cfg.K
+	if k > n {
+		k = n
+	}
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 25
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+
+	centers := seedPlusPlus(rng, x, k)
+	assign := make([]int, n)
+	prev := math.Inf(1)
+	var inertia float64
+	var iters int
+	for iters = 1; iters <= maxIters; iters++ {
+		inertia = assignPoints(x, centers, assign)
+		updateCenters(rng, x, centers, assign)
+		if prev-inertia <= tol*math.Max(prev, 1) {
+			break
+		}
+		prev = inertia
+	}
+	// Final assignment against the last centers.
+	inertia = assignPoints(x, centers, assign)
+	groups := make([][]int, k)
+	for i, a := range assign {
+		groups[a] = append(groups[a], i)
+	}
+	_ = d
+	return &Result{Centers: centers, Assign: assign, Groups: groups, Inertia: inertia, Iters: iters}, nil
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(rng *rand.Rand, x *tensor.Tensor, k int) *tensor.Tensor {
+	n, d := x.Rows(), x.Cols()
+	centers := tensor.New(k, d)
+	first := rng.Intn(n)
+	centers.SetRow(0, x.Row(first))
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = tensor.SqDist(x.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range dist {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points identical; any choice works
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			for i, v := range dist {
+				acc += v
+				if u <= acc {
+					pick = i
+					break
+				}
+			}
+		}
+		centers.SetRow(c, x.Row(pick))
+		for i := 0; i < n; i++ {
+			if nd := tensor.SqDist(x.Row(i), centers.Row(c)); nd < dist[i] {
+				dist[i] = nd
+			}
+		}
+	}
+	return centers
+}
+
+func assignPoints(x, centers *tensor.Tensor, assign []int) float64 {
+	n := x.Rows()
+	k := centers.Rows()
+	var inertia float64
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if d := tensor.SqDist(row, centers.Row(c)); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		inertia += bestD
+	}
+	return inertia
+}
+
+// updateCenters recomputes centroids; an empty cluster is reseeded to a
+// random point so K stays constant.
+func updateCenters(rng *rand.Rand, x, centers *tensor.Tensor, assign []int) {
+	n, d := x.Rows(), x.Cols()
+	k := centers.Rows()
+	counts := make([]int, k)
+	centers.Zero()
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		counts[c]++
+		crow := centers.Row(c)
+		xrow := x.Row(i)
+		for j := 0; j < d; j++ {
+			crow[j] += xrow[j]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			centers.SetRow(c, x.Row(rng.Intn(n)))
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		crow := centers.Row(c)
+		for j := 0; j < d; j++ {
+			crow[j] *= inv
+		}
+	}
+}
+
+// Silhouette computes the mean silhouette coefficient of a labeled point
+// set: for each point, (b-a)/max(a,b) where a is the mean intra-cluster
+// distance and b the smallest mean distance to another cluster. Values near
+// +1 indicate crisp, well-separated clusters; near 0, overlapping ones.
+// Points in singleton clusters contribute 0. Returns 0 when fewer than two
+// clusters are populated.
+func Silhouette(x *tensor.Tensor, labels []int) float64 {
+	n := x.Rows()
+	if n == 0 {
+		return 0
+	}
+	groups := make(map[int][]int)
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	if len(groups) < 2 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		var a float64
+		own := groups[li]
+		if len(own) <= 1 {
+			continue // silhouette defined as 0 for singletons
+		}
+		for _, j := range own {
+			if j != i {
+				a += dist(x, i, j)
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for l, members := range groups {
+			if l == li {
+				continue
+			}
+			var m float64
+			for _, j := range members {
+				m += dist(x, i, j)
+			}
+			m /= float64(len(members))
+			if m < b {
+				b = m
+			}
+		}
+		if denom := math.Max(a, b); denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n)
+}
+
+func dist(x *tensor.Tensor, i, j int) float64 {
+	return math.Sqrt(tensor.SqDist(x.Row(i), x.Row(j)))
+}
+
+// MeanDistanceToAssigned returns the average Euclidean distance between each
+// point and its assigned center. Calibre uses this quantity as the client's
+// local divergence rate for aggregation weighting (paper §IV-B).
+func MeanDistanceToAssigned(x, centers *tensor.Tensor, assign []int) float64 {
+	n := x.Rows()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Sqrt(tensor.SqDist(x.Row(i), centers.Row(assign[i])))
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,223 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calibre/internal/tensor"
+)
+
+// blobs builds n points around k well-separated centers in d dims.
+func blobs(rng *rand.Rand, k, perCluster, d int, sep, std float64) (*tensor.Tensor, []int) {
+	centers := tensor.RandN(rng, sep, k, d)
+	n := k * perCluster
+	x := tensor.New(n, d)
+	truth := make([]int, n)
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCluster; i++ {
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				row[j] = centers.At(c, j) + rng.NormFloat64()*std
+			}
+			idx := c*perCluster + i
+			x.SetRow(idx, row)
+			truth[idx] = c
+		}
+	}
+	return x, truth
+}
+
+func TestRunRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, truth := blobs(rng, 4, 30, 8, 6, 0.3)
+	res, err := Run(rng, x, Config{K: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Clustering must match ground truth up to label permutation: check
+	// purity ≥ 0.95.
+	purity := clusterPurity(res.Assign, truth, 4)
+	if purity < 0.95 {
+		t.Fatalf("purity = %v, want ≥0.95", purity)
+	}
+	if res.Iters < 1 {
+		t.Fatal("Iters should be ≥1")
+	}
+}
+
+func clusterPurity(assign, truth []int, k int) float64 {
+	counts := make(map[[2]int]int)
+	for i := range assign {
+		counts[[2]int{assign[i], truth[i]}]++
+	}
+	perCluster := make(map[int]int)
+	for key, n := range counts {
+		if n > perCluster[key[0]] {
+			perCluster[key[0]] = n
+		}
+	}
+	var pure int
+	for _, n := range perCluster {
+		pure += n
+	}
+	return float64(pure) / float64(len(assign))
+}
+
+func TestRunValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(3, 2)
+	if _, err := Run(rng, x, Config{K: 0}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := Run(rng, tensor.New(0, 2), Config{K: 2}); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestRunClampsKToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandN(rng, 1, 3, 4)
+	res, err := Run(rng, x, Config{K: 10})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Centers.Rows() != 3 {
+		t.Fatalf("K should clamp to n=3, got %d", res.Centers.Rows())
+	}
+}
+
+func TestRunIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(10, 3)
+	x.Fill(2)
+	res, err := Run(rng, x, Config{K: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestGroupsPartitionPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, _ := blobs(rng, 3, 20, 5, 5, 0.4)
+	res, err := Run(rng, x, Config{K: 3})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	seen := make(map[int]bool)
+	for c, g := range res.Groups {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("point %d in multiple groups", i)
+			}
+			seen[i] = true
+			if res.Assign[i] != c {
+				t.Fatalf("group/assign inconsistency for point %d", i)
+			}
+		}
+	}
+	if len(seen) != x.Rows() {
+		t.Fatalf("groups cover %d of %d points", len(seen), x.Rows())
+	}
+}
+
+func TestInertiaDecreasesVsRandomAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, _ := blobs(rng, 4, 25, 6, 5, 0.5)
+	res, err := Run(rng, x, Config{K: 4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Random centers give much worse inertia.
+	randCenters := tensor.RandN(rng, 5, 4, 6)
+	assign := make([]int, x.Rows())
+	randInertia := assignPoints(x, randCenters, assign)
+	if res.Inertia >= randInertia {
+		t.Fatalf("kmeans inertia %v should beat random %v", res.Inertia, randInertia)
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xSep, truthSep := blobs(rng, 3, 25, 4, 8, 0.3)
+	sSep := Silhouette(xSep, truthSep)
+	xMix, truthMix := blobs(rng, 3, 25, 4, 0.3, 2.0) // overlapping
+	sMix := Silhouette(xMix, truthMix)
+	if sSep <= sMix {
+		t.Fatalf("separated silhouette %v should exceed mixed %v", sSep, sMix)
+	}
+	if sSep < 0.5 {
+		t.Fatalf("well-separated blobs should score high, got %v", sSep)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	if Silhouette(tensor.New(0, 2), nil) != 0 {
+		t.Fatal("empty input should score 0")
+	}
+	one := tensor.RandN(rand.New(rand.NewSource(8)), 1, 5, 2)
+	if Silhouette(one, []int{0, 0, 0, 0, 0}) != 0 {
+		t.Fatal("single cluster should score 0")
+	}
+	// Singletons contribute zero but don't crash.
+	x := tensor.MustFromSlice([]float64{0, 0, 10, 10, 20, 20}, 3, 2)
+	s := Silhouette(x, []int{0, 1, 2})
+	if s != 0 {
+		t.Fatalf("all-singleton clustering should score 0, got %v", s)
+	}
+}
+
+func TestSilhouetteRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		x := tensor.RandN(rng, 1, n, 3)
+		labels := make([]int, n)
+		k := 2 + rng.Intn(3)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		s := Silhouette(x, labels)
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanDistanceToAssigned(t *testing.T) {
+	x := tensor.MustFromSlice([]float64{0, 0, 2, 0}, 2, 2)
+	centers := tensor.MustFromSlice([]float64{0, 0, 3, 0}, 2, 2)
+	got := MeanDistanceToAssigned(x, centers, []int{0, 1})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean distance = %v, want 0.5", got)
+	}
+	if MeanDistanceToAssigned(tensor.New(0, 2), centers, nil) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+}
+
+// Property: inertia equals the sum of squared distances implied by Assign.
+func TestInertiaConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		x := tensor.RandN(rng, 2, n, 4)
+		res, err := Run(rng, x, Config{K: 3})
+		if err != nil {
+			return false
+		}
+		var want float64
+		for i := 0; i < n; i++ {
+			want += tensor.SqDist(x.Row(i), res.Centers.Row(res.Assign[i]))
+		}
+		return math.Abs(want-res.Inertia) < 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

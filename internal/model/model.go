@@ -1,0 +1,200 @@
+// Package model provides the supervised model used by the FL baselines
+// (encoder + linear classification head, mirroring the paper's "ResNet-18
+// with its fully-connected layers replaced by a linear classifier") and the
+// local training loops shared across methods, including the linear-probe
+// head training that implements the paper's personalization stage.
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calibre/internal/data"
+	"calibre/internal/nn"
+	"calibre/internal/ssl"
+	"calibre/internal/tensor"
+)
+
+// SupModel is a supervised classifier: the same encoder architecture as the
+// SSL backbone plus a linear head. The paper calls these Encoder and Head.
+type SupModel struct {
+	Arch       ssl.Arch
+	NumClasses int
+	Encoder    *nn.Sequential
+	Head       *nn.Linear
+}
+
+var _ nn.Module = (*SupModel)(nil)
+
+// NewSupModel builds a supervised model with fresh weights.
+func NewSupModel(rng *rand.Rand, arch ssl.Arch, numClasses int) *SupModel {
+	return &SupModel{
+		Arch:       arch,
+		NumClasses: numClasses,
+		Encoder:    nn.MLP(rng, "enc", arch.InputDim, arch.HiddenDim, arch.FeatDim),
+		Head:       nn.NewLinear(rng, arch.FeatDim, numClasses, "head"),
+	}
+}
+
+// Params returns encoder parameters followed by head parameters; the
+// boundary index is EncoderParamCount.
+func (m *SupModel) Params() []*nn.Param {
+	return append(m.Encoder.Params(), m.Head.Params()...)
+}
+
+// EncoderParamCount returns the number of scalar parameters in the encoder,
+// i.e. the boundary between encoder and head in the flattened vector.
+func (m *SupModel) EncoderParamCount() int { return nn.ParamCount(m.Encoder) }
+
+// EncoderMask returns a mask over the flattened vector marking encoder
+// positions true.
+func (m *SupModel) EncoderMask() []bool {
+	total := nn.ParamCount(m)
+	enc := m.EncoderParamCount()
+	mask := make([]bool, total)
+	for i := 0; i < enc; i++ {
+		mask[i] = true
+	}
+	return mask
+}
+
+// HeadMask returns a mask over the flattened vector marking head positions
+// true.
+func (m *SupModel) HeadMask() []bool {
+	mask := m.EncoderMask()
+	for i := range mask {
+		mask[i] = !mask[i]
+	}
+	return mask
+}
+
+// Forward computes class logits for a constant input batch.
+func (m *SupModel) Forward(x *tensor.Tensor) *nn.Node {
+	return m.Head.Forward(m.Encoder.Forward(nn.Input(x)))
+}
+
+// Accuracy evaluates classification accuracy on a dataset.
+func (m *SupModel) Accuracy(ds *data.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	logits := m.Forward(data.Batch(ds.X)).Value
+	return nn.Accuracy(logits, ds.Y)
+}
+
+// Features returns the encoder output for a dataset (no gradients kept).
+func (m *SupModel) Features(ds *data.Dataset) *tensor.Tensor {
+	return m.EncodeValue(data.Batch(ds.X))
+}
+
+// EncodeValue runs the encoder on a raw batch, returning the feature
+// matrix. It satisfies FeatureFn for linear-probe personalization.
+func (m *SupModel) EncodeValue(x *tensor.Tensor) *tensor.Tensor {
+	return m.Encoder.Forward(nn.Input(x)).Value
+}
+
+// paramSubset adapts a parameter slice to nn.Module so optimizers can be
+// scoped to part of a model (frozen-encoder / frozen-head training).
+type paramSubset struct{ params []*nn.Param }
+
+func (p paramSubset) Params() []*nn.Param { return p.params }
+
+// SupTrainConfig controls supervised local training.
+type SupTrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+
+	FreezeEncoder bool
+	FreezeHead    bool
+
+	// ClipNorm bounds the global gradient norm per step; 0 disables
+	// clipping. Small-batch cross-entropy on freshly initialized networks
+	// occasionally produces spiky gradients; clipping keeps runs stable.
+	ClipNorm float64
+
+	// ProxMu, when positive, adds FedProx/Ditto-style proximal pull
+	// (mu/2)·||w - ProxTarget||² toward ProxTarget (a flattened vector over
+	// all model params).
+	ProxMu     float64
+	ProxTarget []float64
+
+	// GradCorrection, when non-nil, is added to the gradient each step
+	// (SCAFFOLD's c - c_i term), in Flatten layout over all model params.
+	GradCorrection []float64
+}
+
+// DefaultSupTrainConfig mirrors the paper's local update: 3 epochs, batch
+// 32, SGD.
+func DefaultSupTrainConfig() SupTrainConfig {
+	return SupTrainConfig{Epochs: 3, BatchSize: 32, LR: 0.05, Momentum: 0.9, ClipNorm: 5}
+}
+
+// TrainSupervised runs local supervised training of m on ds and returns the
+// mean cross-entropy per step.
+func TrainSupervised(rng *rand.Rand, m *SupModel, ds *data.Dataset, cfg SupTrainConfig) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, nil
+	}
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 {
+		return 0, fmt.Errorf("model: bad train config %+v", cfg)
+	}
+	var trainable []*nn.Param
+	if !cfg.FreezeEncoder {
+		trainable = append(trainable, m.Encoder.Params()...)
+	}
+	if !cfg.FreezeHead {
+		trainable = append(trainable, m.Head.Params()...)
+	}
+	if len(trainable) == 0 {
+		return 0, fmt.Errorf("model: nothing to train (both parts frozen)")
+	}
+	opt := nn.NewSGD(paramSubset{trainable}, cfg.LR, cfg.Momentum, 0)
+
+	stepsPerEpoch := (ds.Len() + cfg.BatchSize - 1) / cfg.BatchSize
+	batcher := data.NewBatcher(rng, ds.Len(), cfg.BatchSize)
+	var total float64
+	var steps int
+	for e := 0; e < cfg.Epochs; e++ {
+		for s := 0; s < stepsPerEpoch; s++ {
+			idx, ok := batcher.Next()
+			if !ok {
+				// Degenerate single-sample dataset: train full-batch.
+				idx = []int{0}
+				if ds.Len() == 0 {
+					break
+				}
+			}
+			x := data.Batch(ds.Rows(idx))
+			y := ds.Labels(idx)
+			loss := nn.CrossEntropy(m.Forward(x), y)
+			nn.ZeroGrads(m)
+			if err := nn.Backward(loss); err != nil {
+				return 0, fmt.Errorf("model: backward: %w", err)
+			}
+			if cfg.ProxMu > 0 && cfg.ProxTarget != nil {
+				// grad += mu (w - w_target)
+				diff := nn.VecSub(nn.Flatten(m), cfg.ProxTarget)
+				if err := nn.AddToGrads(m, diff, cfg.ProxMu); err != nil {
+					return 0, fmt.Errorf("model: proximal term: %w", err)
+				}
+			}
+			if cfg.GradCorrection != nil {
+				if err := nn.AddToGrads(m, cfg.GradCorrection, 1); err != nil {
+					return 0, fmt.Errorf("model: grad correction: %w", err)
+				}
+			}
+			if cfg.ClipNorm > 0 {
+				opt.ClipGradNorm(cfg.ClipNorm)
+			}
+			opt.Step()
+			total += loss.Value.At(0, 0)
+			steps++
+		}
+	}
+	if steps == 0 {
+		return 0, nil
+	}
+	return total / float64(steps), nil
+}

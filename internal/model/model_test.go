@@ -1,0 +1,281 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"calibre/internal/data"
+	"calibre/internal/nn"
+	"calibre/internal/ssl"
+	"calibre/internal/tensor"
+)
+
+func testArch() ssl.Arch {
+	return ssl.Arch{InputDim: 16, HiddenDim: 24, FeatDim: 12, ProjDim: 8}
+}
+
+func testDataset(t *testing.T, perClass int) *data.Dataset {
+	t.Helper()
+	spec := data.CIFAR10Spec()
+	spec.Dim = 16
+	g, err := data.NewGenerator(spec, 5)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g.GenerateLabeled(rand.New(rand.NewSource(1)), perClass)
+}
+
+func TestSupModelShapesAndMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewSupModel(rng, testArch(), 10)
+	total := nn.ParamCount(m)
+	enc := m.EncoderParamCount()
+	if enc <= 0 || enc >= total {
+		t.Fatalf("encoder boundary = %d of %d", enc, total)
+	}
+	em, hm := m.EncoderMask(), m.HeadMask()
+	if len(em) != total || len(hm) != total {
+		t.Fatal("mask lengths")
+	}
+	for i := range em {
+		if em[i] == hm[i] {
+			t.Fatal("masks must be complements")
+		}
+		if em[i] != (i < enc) {
+			t.Fatal("encoder mask must cover the prefix")
+		}
+	}
+	x := tensor.RandN(rng, 1, 4, 16)
+	if got := m.Forward(x).Value; got.Rows() != 4 || got.Cols() != 10 {
+		t.Fatalf("logits shape = %v", got.Shape())
+	}
+}
+
+func TestTrainSupervisedLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := testDataset(t, 30)
+	m := NewSupModel(rng, testArch(), 10)
+	before := m.Accuracy(ds)
+	cfg := DefaultSupTrainConfig()
+	cfg.Epochs = 12
+	loss, err := TrainSupervised(rng, m, ds, cfg)
+	if err != nil {
+		t.Fatalf("TrainSupervised: %v", err)
+	}
+	after := m.Accuracy(ds)
+	if after <= before+0.2 {
+		t.Fatalf("training should improve accuracy: %v -> %v (loss %v)", before, after, loss)
+	}
+}
+
+func TestTrainSupervisedFreezeEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := testDataset(t, 10)
+	m := NewSupModel(rng, testArch(), 10)
+	encBefore := nn.Flatten(m.Encoder)
+	headBefore := nn.Flatten(m.Head)
+	cfg := DefaultSupTrainConfig()
+	cfg.Epochs = 2
+	cfg.FreezeEncoder = true
+	if _, err := TrainSupervised(rng, m, ds, cfg); err != nil {
+		t.Fatalf("TrainSupervised: %v", err)
+	}
+	encAfter := nn.Flatten(m.Encoder)
+	for i := range encBefore {
+		if encBefore[i] != encAfter[i] {
+			t.Fatal("frozen encoder must not move")
+		}
+	}
+	headAfter := nn.Flatten(m.Head)
+	moved := false
+	for i := range headBefore {
+		if headBefore[i] != headAfter[i] {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("head should move")
+	}
+}
+
+func TestTrainSupervisedFreezeHead(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := testDataset(t, 10)
+	m := NewSupModel(rng, testArch(), 10)
+	headBefore := nn.Flatten(m.Head)
+	cfg := DefaultSupTrainConfig()
+	cfg.Epochs = 1
+	cfg.FreezeHead = true
+	if _, err := TrainSupervised(rng, m, ds, cfg); err != nil {
+		t.Fatalf("TrainSupervised: %v", err)
+	}
+	headAfter := nn.Flatten(m.Head)
+	for i := range headBefore {
+		if headBefore[i] != headAfter[i] {
+			t.Fatal("frozen head must not move")
+		}
+	}
+	cfg.FreezeEncoder = true
+	if _, err := TrainSupervised(rng, m, ds, cfg); err == nil {
+		t.Fatal("freezing everything should error")
+	}
+}
+
+func TestTrainSupervisedProximalPullsTowardTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := testDataset(t, 10)
+	// Strong proximal term keeps weights near the target compared to an
+	// unconstrained run.
+	target := make([]float64, nn.ParamCount(NewSupModel(rand.New(rand.NewSource(6)), testArch(), 10)))
+	run := func(mu float64) float64 {
+		m := NewSupModel(rand.New(rand.NewSource(7)), testArch(), 10)
+		cfg := DefaultSupTrainConfig()
+		cfg.Epochs = 4
+		cfg.ProxMu = mu
+		cfg.ProxTarget = target
+		if _, err := TrainSupervised(rng, m, ds, cfg); err != nil {
+			t.Fatalf("TrainSupervised: %v", err)
+		}
+		return nn.VecNorm2(nn.VecSub(nn.Flatten(m), target))
+	}
+	free := run(0)
+	constrained := run(5)
+	if constrained >= free {
+		t.Fatalf("proximal term should pull toward target: %v vs %v", constrained, free)
+	}
+}
+
+func TestTrainSupervisedGradCorrectionShiftsResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := testDataset(t, 5)
+	run := func(correct bool) []float64 {
+		m := NewSupModel(rand.New(rand.NewSource(9)), testArch(), 10)
+		cfg := DefaultSupTrainConfig()
+		cfg.Epochs = 1
+		cfg.Momentum = 0
+		if correct {
+			gc := make([]float64, nn.ParamCount(m))
+			for i := range gc {
+				gc[i] = 0.01
+			}
+			cfg.GradCorrection = gc
+		}
+		if _, err := TrainSupervised(rand.New(rand.NewSource(10)), m, ds, cfg); err != nil {
+			t.Fatalf("TrainSupervised: %v", err)
+		}
+		_ = rng
+		return nn.Flatten(m)
+	}
+	plain := run(false)
+	corrected := run(true)
+	diff := false
+	for i := range plain {
+		if plain[i] != corrected[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("gradient correction must change the trajectory")
+	}
+}
+
+func TestTrainSupervisedEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewSupModel(rng, testArch(), 10)
+	empty := &data.Dataset{NumClasses: 10, Dim: 16}
+	if loss, err := TrainSupervised(rng, m, empty, DefaultSupTrainConfig()); err != nil || loss != 0 {
+		t.Fatalf("empty dataset = %v, %v", loss, err)
+	}
+	ds := testDataset(t, 2)
+	bad := DefaultSupTrainConfig()
+	bad.Epochs = 0
+	if _, err := TrainSupervised(rng, m, ds, bad); err == nil {
+		t.Fatal("epochs=0 should error")
+	}
+}
+
+func TestAccuracyEmptyDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := NewSupModel(rng, testArch(), 10)
+	if m.Accuracy(&data.Dataset{NumClasses: 10, Dim: 16}) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestTrainLinearHeadSeparablePerfect(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Trivially separable features: one-hot-ish clusters.
+	n, k := 60, 3
+	feats := tensor.New(n, 4)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		labels[i] = c
+		row := make([]float64, 4)
+		row[c] = 3 + rng.NormFloat64()*0.1
+		feats.SetRow(i, row)
+	}
+	head, err := TrainLinearHead(rng, feats, labels, k, DefaultHeadConfig())
+	if err != nil {
+		t.Fatalf("TrainLinearHead: %v", err)
+	}
+	if acc := HeadAccuracy(head, feats, labels); acc < 0.95 {
+		t.Fatalf("separable accuracy = %v", acc)
+	}
+}
+
+func TestTrainLinearHeadValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	feats := tensor.RandN(rng, 1, 4, 3)
+	if _, err := TrainLinearHead(rng, tensor.New(0, 3), nil, 2, DefaultHeadConfig()); err == nil {
+		t.Fatal("empty features should error")
+	}
+	if _, err := TrainLinearHead(rng, feats, []int{0}, 2, DefaultHeadConfig()); err == nil {
+		t.Fatal("label count mismatch should error")
+	}
+	bad := DefaultHeadConfig()
+	bad.BatchSize = 0
+	if _, err := TrainLinearHead(rng, feats, []int{0, 1, 0, 1}, 2, bad); err == nil {
+		t.Fatal("batch=0 should error")
+	}
+}
+
+func TestLinearProbeAccuracyEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	// An explicitly easy world: well-separated linear classes so the
+	// identity "encoder" suffices. This tests the probe pipeline, not
+	// dataset difficulty.
+	spec := data.CIFAR10Spec()
+	spec.Dim = 16
+	spec.ClassSep = 4
+	spec.StyleStd = 0.3
+	spec.NoiseStd = 0.1
+	spec.Warp = 0
+	g, err := data.NewGenerator(spec, 5)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	ds := g.GenerateLabeled(rng, 40)
+	train, test := ds.Split(rng, 0.8)
+	identity := func(x *tensor.Tensor) *tensor.Tensor { return x }
+	acc, err := LinearProbeAccuracy(rng, identity, train, test, 10, DefaultHeadConfig())
+	if err != nil {
+		t.Fatalf("LinearProbeAccuracy: %v", err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("probe accuracy = %v, want well above chance (0.1)", acc)
+	}
+	if _, err := LinearProbeAccuracy(rng, identity, &data.Dataset{}, test, 10, DefaultHeadConfig()); err == nil {
+		t.Fatal("empty train should error")
+	}
+}
+
+func TestHeadAccuracyEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	head := nn.NewLinear(rng, 3, 2, "h")
+	if HeadAccuracy(head, tensor.New(0, 3), nil) != 0 {
+		t.Fatal("empty head accuracy should be 0")
+	}
+}

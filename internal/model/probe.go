@@ -1,0 +1,104 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calibre/internal/data"
+	"calibre/internal/nn"
+	"calibre/internal/tensor"
+)
+
+// HeadConfig controls linear-probe training in the personalization stage.
+// The paper's setting: 10 epochs of SGD with learning rate 0.05, batch 32.
+type HeadConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+}
+
+// DefaultHeadConfig returns the paper's personalization hyperparameters.
+func DefaultHeadConfig() HeadConfig {
+	return HeadConfig{Epochs: 10, BatchSize: 32, LR: 0.05, Momentum: 0}
+}
+
+// TrainLinearHead fits a linear classifier on frozen features. feats is
+// (n×d), labels are class indices. This is the personalized model ϕ of the
+// paper: deliberately lightweight.
+func TrainLinearHead(rng *rand.Rand, feats *tensor.Tensor, labels []int, numClasses int, cfg HeadConfig) (*nn.Linear, error) {
+	n := feats.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("model: no samples to train head on")
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("model: %d labels for %d samples", len(labels), n)
+	}
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("model: bad head config %+v", cfg)
+	}
+	head := nn.NewLinear(rng, feats.Cols(), numClasses, "probe")
+	opt := nn.NewSGD(head, cfg.LR, cfg.Momentum, 0)
+	stepsPerEpoch := (n + cfg.BatchSize - 1) / cfg.BatchSize
+	perm := rng.Perm(n)
+	cur := 0
+	nextBatch := func() []int {
+		if cur >= n {
+			perm = rng.Perm(n)
+			cur = 0
+		}
+		end := cur + cfg.BatchSize
+		if end > n {
+			end = n
+		}
+		b := perm[cur:end]
+		cur = end
+		return b
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		for s := 0; s < stepsPerEpoch; s++ {
+			idx := nextBatch()
+			x := tensor.New(len(idx), feats.Cols())
+			y := make([]int, len(idx))
+			for i, j := range idx {
+				x.SetRow(i, feats.Row(j))
+				y[i] = labels[j]
+			}
+			loss := nn.CrossEntropy(head.Forward(nn.Input(x)), y)
+			opt.ZeroGrad()
+			if err := nn.Backward(loss); err != nil {
+				return nil, fmt.Errorf("model: head backward: %w", err)
+			}
+			opt.Step()
+		}
+	}
+	return head, nil
+}
+
+// HeadAccuracy evaluates a linear head on frozen features.
+func HeadAccuracy(head *nn.Linear, feats *tensor.Tensor, labels []int) float64 {
+	if feats.Rows() == 0 {
+		return 0
+	}
+	return nn.Accuracy(head.Forward(nn.Input(feats)).Value, labels)
+}
+
+// FeatureFn maps a raw batch to representation space; personalizers use it
+// to abstract over how the encoder is reconstructed from the global vector.
+type FeatureFn func(x *tensor.Tensor) *tensor.Tensor
+
+// LinearProbeAccuracy runs the full personalization stage for one client:
+// extract features for the local train and test sets with features, train a
+// linear head on the train features, and return the test accuracy.
+func LinearProbeAccuracy(rng *rand.Rand, features FeatureFn, train, test *data.Dataset, numClasses int, cfg HeadConfig) (float64, error) {
+	if train.Len() == 0 || test.Len() == 0 {
+		return 0, fmt.Errorf("model: client needs both train (%d) and test (%d) samples", train.Len(), test.Len())
+	}
+	trainFeats := features(data.Batch(train.X))
+	head, err := TrainLinearHead(rng, trainFeats, train.Y, numClasses, cfg)
+	if err != nil {
+		return 0, err
+	}
+	testFeats := features(data.Batch(test.X))
+	return HeadAccuracy(head, testFeats, test.Y), nil
+}

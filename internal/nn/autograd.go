@@ -1,0 +1,533 @@
+// Package nn provides a small reverse-mode automatic-differentiation engine,
+// neural-network layers, loss functions, and optimizers built on
+// internal/tensor. It is the training substrate standing in for the deep
+// learning framework used by the Calibre paper (see DESIGN.md §1).
+//
+// The engine is define-by-run: every operation on *Node values records a
+// backward closure; calling Backward on a scalar loss node topologically
+// sorts the reachable graph and accumulates gradients into the participating
+// Params. Nodes derived only from constants (Input, Detach) are skipped.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"calibre/internal/tensor"
+)
+
+// Node is a value in the computation graph.
+type Node struct {
+	// Value is the forward result. It must not be mutated after creation.
+	Value *tensor.Tensor
+
+	grad         *tensor.Tensor
+	parents      []*Node
+	back         func(grad *tensor.Tensor)
+	requiresGrad bool
+}
+
+// Input wraps a constant tensor as a graph leaf through which no gradient
+// flows.
+func Input(t *tensor.Tensor) *Node {
+	return &Node{Value: t}
+}
+
+// Detach returns a constant node holding n's value, cutting the gradient
+// path (stop-gradient).
+func Detach(n *Node) *Node {
+	return &Node{Value: n.Value}
+}
+
+// RequiresGrad reports whether gradients flow through this node.
+func (n *Node) RequiresGrad() bool { return n.requiresGrad }
+
+// Grad returns the node's accumulated gradient tensor, allocating it on
+// first use. For param nodes this aliases the Param's gradient.
+func (n *Node) Grad() *tensor.Tensor {
+	if n.grad == nil {
+		n.grad = tensor.New(n.Value.Shape()...)
+	}
+	return n.grad
+}
+
+func anyRequiresGrad(nodes ...*Node) bool {
+	for _, n := range nodes {
+		if n.requiresGrad {
+			return true
+		}
+	}
+	return false
+}
+
+func newOp(value *tensor.Tensor, back func(g *tensor.Tensor), parents ...*Node) *Node {
+	n := &Node{
+		Value:        value,
+		parents:      parents,
+		requiresGrad: anyRequiresGrad(parents...),
+	}
+	if n.requiresGrad {
+		n.back = back
+	}
+	return n
+}
+
+// Backward runs reverse-mode differentiation from loss, which must hold a
+// single element (a scalar loss). Gradients accumulate into every Param
+// reachable from loss; call Params' ZeroGrad (or SGD.ZeroGrad) between
+// optimization steps.
+func Backward(loss *Node) error {
+	if loss.Value.Len() != 1 {
+		return fmt.Errorf("nn: Backward requires a scalar loss, got shape %v", loss.Value.Shape())
+	}
+	if !loss.requiresGrad {
+		return nil // loss does not depend on any parameter
+	}
+	order := topoSort(loss)
+	loss.Grad().Data()[0] = 1
+	// Reverse topological order: each node's grad is complete before its
+	// backward closure distributes it to parents.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.back != nil {
+			n.back(n.Grad())
+		}
+	}
+	return nil
+}
+
+func topoSort(root *Node) []*Node {
+	visited := make(map[*Node]bool)
+	var order []*Node
+	// Iterative DFS to avoid stack overflow on deep graphs.
+	type frame struct {
+		n    *Node
+		next int
+	}
+	stack := []frame{{n: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(top.n.parents) {
+			p := top.n.parents[top.next]
+			top.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{n: p})
+			}
+			continue
+		}
+		order = append(order, top.n)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// --- Arithmetic ops ---------------------------------------------------------
+
+// Add returns a + b (same shapes).
+func Add(a, b *Node) *Node {
+	v, err := tensor.Add(a.Value, b.Value)
+	if err != nil {
+		panic(err) // shape bugs are programming errors inside the engine
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			mustAddScaled(a.Grad(), g, 1)
+		}
+		if b.requiresGrad {
+			mustAddScaled(b.Grad(), g, 1)
+		}
+	}, a, b)
+}
+
+// Sub returns a - b.
+func Sub(a, b *Node) *Node {
+	v, err := tensor.Sub(a.Value, b.Value)
+	if err != nil {
+		panic(err)
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			mustAddScaled(a.Grad(), g, 1)
+		}
+		if b.requiresGrad {
+			mustAddScaled(b.Grad(), g, -1)
+		}
+	}, a, b)
+}
+
+// Scale returns a*c for scalar constant c.
+func Scale(a *Node, c float64) *Node {
+	return newOp(tensor.Scale(a.Value, c), func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			mustAddScaled(a.Grad(), g, c)
+		}
+	}, a)
+}
+
+// MulElem returns the Hadamard product a∘b.
+func MulElem(a, b *Node) *Node {
+	v, err := tensor.Mul(a.Value, b.Value)
+	if err != nil {
+		panic(err)
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			ga, bd, gd := a.Grad().Data(), b.Value.Data(), g.Data()
+			for i := range ga {
+				ga[i] += gd[i] * bd[i]
+			}
+		}
+		if b.requiresGrad {
+			gb, ad, gd := b.Grad().Data(), a.Value.Data(), g.Data()
+			for i := range gb {
+				gb[i] += gd[i] * ad[i]
+			}
+		}
+	}, a, b)
+}
+
+// MatMul returns a·b for 2-D nodes.
+func MatMul(a, b *Node) *Node {
+	v, err := tensor.MatMul(a.Value, b.Value)
+	if err != nil {
+		panic(err)
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			tmp := tensor.New(a.Value.Shape()...)
+			tensor.MatMulTransBInto(tmp, g, b.Value) // g·bᵀ
+			mustAddScaled(a.Grad(), tmp, 1)
+		}
+		if b.requiresGrad {
+			tmp := tensor.New(b.Value.Shape()...)
+			tensor.MatMulTransAInto(tmp, a.Value, g) // aᵀ·g
+			mustAddScaled(b.Grad(), tmp, 1)
+		}
+	}, a, b)
+}
+
+// MatMulTransB returns a·bᵀ where a is (m×k) and b is (n×k), producing (m×n).
+// This is the similarity-matrix primitive used by the contrastive losses.
+func MatMulTransB(a, b *Node) *Node {
+	m := a.Value.Rows()
+	n := b.Value.Rows()
+	if a.Value.Cols() != b.Value.Cols() {
+		panic(fmt.Sprintf("nn: MatMulTransB inner dims %d vs %d", a.Value.Cols(), b.Value.Cols()))
+	}
+	v := tensor.New(m, n)
+	tensor.MatMulTransBInto(v, a.Value, b.Value)
+	return newOp(v, func(g *tensor.Tensor) {
+		if a.requiresGrad {
+			tmp := tensor.New(a.Value.Shape()...)
+			tensor.MatMulInto(tmp, g, b.Value) // g·b
+			mustAddScaled(a.Grad(), tmp, 1)
+		}
+		if b.requiresGrad {
+			tmp := tensor.New(b.Value.Shape()...)
+			tensor.MatMulTransAInto(tmp, g, a.Value) // gᵀ·a
+			mustAddScaled(b.Grad(), tmp, 1)
+		}
+	}, a, b)
+}
+
+// AddBias adds bias vector b (a 1×n or n-element node) to every row of x
+// (m×n).
+func AddBias(x, bias *Node) *Node {
+	bv := bias.Value.Data()
+	v, err := tensor.AddRowVec(x.Value, bv)
+	if err != nil {
+		panic(err)
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if x.requiresGrad {
+			mustAddScaled(x.Grad(), g, 1)
+		}
+		if bias.requiresGrad {
+			gb := bias.Grad().Data()
+			m, n := g.Rows(), g.Cols()
+			gd := g.Data()
+			for i := 0; i < m; i++ {
+				row := gd[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					gb[j] += row[j]
+				}
+			}
+		}
+	}, x, bias)
+}
+
+// --- Activations ------------------------------------------------------------
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(x *Node) *Node {
+	v := tensor.Apply(x.Value, func(f float64) float64 {
+		if f > 0 {
+			return f
+		}
+		return 0
+	})
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		gx, xd, gd := x.Grad().Data(), x.Value.Data(), g.Data()
+		for i := range gx {
+			if xd[i] > 0 {
+				gx[i] += gd[i]
+			}
+		}
+	}, x)
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(x *Node) *Node {
+	v := tensor.Apply(x.Value, math.Tanh)
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		gx, vd, gd := x.Grad().Data(), v.Data(), g.Data()
+		for i := range gx {
+			gx[i] += gd[i] * (1 - vd[i]*vd[i])
+		}
+	}, x)
+}
+
+// --- Row-wise geometry ------------------------------------------------------
+
+const normEps = 1e-12
+
+// L2NormalizeRows scales each row of x to unit Euclidean norm (rows with
+// norm < 1e-12 pass through unchanged).
+func L2NormalizeRows(x *Node) *Node {
+	v := tensor.L2NormalizeRows(x.Value, normEps)
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		m, n := x.Value.Rows(), x.Value.Cols()
+		gx := x.Grad()
+		for i := 0; i < m; i++ {
+			xrow := x.Value.Row(i)
+			yrow := v.Row(i)
+			grow := g.Row(i)
+			gxrow := gx.Row(i)
+			norm := tensor.Norm2(xrow)
+			if norm < normEps {
+				for j := 0; j < n; j++ {
+					gxrow[j] += grow[j]
+				}
+				continue
+			}
+			gy := tensor.Dot(grow, yrow)
+			inv := 1 / norm
+			for j := 0; j < n; j++ {
+				gxrow[j] += (grow[j] - gy*yrow[j]) * inv
+			}
+		}
+	}, x)
+}
+
+// --- Structural ops ---------------------------------------------------------
+
+// ConcatRows stacks a (ma×n) on top of b (mb×n), producing ((ma+mb)×n).
+func ConcatRows(a, b *Node) *Node {
+	if a.Value.Cols() != b.Value.Cols() {
+		panic(fmt.Sprintf("nn: ConcatRows col mismatch %d vs %d", a.Value.Cols(), b.Value.Cols()))
+	}
+	ma, mb, n := a.Value.Rows(), b.Value.Rows(), a.Value.Cols()
+	v := tensor.New(ma+mb, n)
+	copy(v.Data()[:ma*n], a.Value.Data())
+	copy(v.Data()[ma*n:], b.Value.Data())
+	return newOp(v, func(g *tensor.Tensor) {
+		gd := g.Data()
+		if a.requiresGrad {
+			ga := a.Grad().Data()
+			for i := range ga {
+				ga[i] += gd[i]
+			}
+		}
+		if b.requiresGrad {
+			gb := b.Grad().Data()
+			off := ma * n
+			for i := range gb {
+				gb[i] += gd[off+i]
+			}
+		}
+	}, a, b)
+}
+
+// ConcatCols places a (m×na) to the left of b (m×nb), producing (m×(na+nb)).
+func ConcatCols(a, b *Node) *Node {
+	if a.Value.Rows() != b.Value.Rows() {
+		panic(fmt.Sprintf("nn: ConcatCols row mismatch %d vs %d", a.Value.Rows(), b.Value.Rows()))
+	}
+	m, na, nb := a.Value.Rows(), a.Value.Cols(), b.Value.Cols()
+	v := tensor.New(m, na+nb)
+	for i := 0; i < m; i++ {
+		copy(v.Row(i)[:na], a.Value.Row(i))
+		copy(v.Row(i)[na:], b.Value.Row(i))
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		for i := 0; i < m; i++ {
+			grow := g.Row(i)
+			if a.requiresGrad {
+				garow := a.Grad().Row(i)
+				for j := 0; j < na; j++ {
+					garow[j] += grow[j]
+				}
+			}
+			if b.requiresGrad {
+				gbrow := b.Grad().Row(i)
+				for j := 0; j < nb; j++ {
+					gbrow[j] += grow[na+j]
+				}
+			}
+		}
+	}, a, b)
+}
+
+// GatherRows selects the given rows of x into a new (len(idx)×n) node.
+// Duplicate indices are allowed; gradients accumulate.
+func GatherRows(x *Node, idx []int) *Node {
+	n := x.Value.Cols()
+	v := tensor.New(len(idx), n)
+	for i, r := range idx {
+		copy(v.Row(i), x.Value.Row(r))
+	}
+	rows := append([]int(nil), idx...)
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		gx := x.Grad()
+		for i, r := range rows {
+			grow := g.Row(i)
+			gxrow := gx.Row(r)
+			for j := 0; j < n; j++ {
+				gxrow[j] += grow[j]
+			}
+		}
+	}, x)
+}
+
+// GroupMean averages the rows of x within each group, producing a
+// (len(groups)×n) node. Empty groups yield a zero row. This is the
+// prototype-construction primitive: prototypes are differentiable means of
+// member encodings.
+func GroupMean(x *Node, groups [][]int) *Node {
+	n := x.Value.Cols()
+	v := tensor.New(len(groups), n)
+	for k, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		row := v.Row(k)
+		for _, r := range grp {
+			xr := x.Value.Row(r)
+			for j := 0; j < n; j++ {
+				row[j] += xr[j]
+			}
+		}
+		inv := 1 / float64(len(grp))
+		for j := 0; j < n; j++ {
+			row[j] *= inv
+		}
+	}
+	captured := make([][]int, len(groups))
+	for k, grp := range groups {
+		captured[k] = append([]int(nil), grp...)
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		gx := x.Grad()
+		for k, grp := range captured {
+			if len(grp) == 0 {
+				continue
+			}
+			inv := 1 / float64(len(grp))
+			grow := g.Row(k)
+			for _, r := range grp {
+				gxrow := gx.Row(r)
+				for j := 0; j < n; j++ {
+					gxrow[j] += grow[j] * inv
+				}
+			}
+		}
+	}, x)
+}
+
+// RowDotConst returns the per-row dot product of x with constant rows c,
+// as an (m×1) node. c must have the same shape as x.Value.
+func RowDotConst(x *Node, c *tensor.Tensor) *Node {
+	if !tensor.SameShape(x.Value, c) {
+		panic(fmt.Sprintf("nn: RowDotConst shape %v vs %v", x.Value.Shape(), c.Shape()))
+	}
+	m := x.Value.Rows()
+	v := tensor.New(m, 1)
+	for i := 0; i < m; i++ {
+		v.Set(i, 0, tensor.Dot(x.Value.Row(i), c.Row(i)))
+	}
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		gx := x.Grad()
+		n := x.Value.Cols()
+		for i := 0; i < m; i++ {
+			gi := g.At(i, 0)
+			crow := c.Row(i)
+			gxrow := gx.Row(i)
+			for j := 0; j < n; j++ {
+				gxrow[j] += gi * crow[j]
+			}
+		}
+	}, x)
+}
+
+// Mean reduces all elements of x to their arithmetic mean (1×1 node).
+func Mean(x *Node) *Node {
+	v := tensor.New(1, 1)
+	v.Set(0, 0, x.Value.Mean())
+	cnt := float64(x.Value.Len())
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad || cnt == 0 {
+			return
+		}
+		gv := g.At(0, 0) / cnt
+		gx := x.Grad().Data()
+		for i := range gx {
+			gx[i] += gv
+		}
+	}, x)
+}
+
+// SumSquares returns Σ x² as a scalar node.
+func SumSquares(x *Node) *Node {
+	var s float64
+	for _, f := range x.Value.Data() {
+		s += f * f
+	}
+	v := tensor.New(1, 1)
+	v.Set(0, 0, s)
+	return newOp(v, func(g *tensor.Tensor) {
+		if !x.requiresGrad {
+			return
+		}
+		gv := g.At(0, 0)
+		gx, xd := x.Grad().Data(), x.Value.Data()
+		for i := range gx {
+			gx[i] += 2 * gv * xd[i]
+		}
+	}, x)
+}
+
+func mustAddScaled(dst, src *tensor.Tensor, s float64) {
+	if err := tensor.AddScaled(dst, src, s); err != nil {
+		panic(err)
+	}
+}

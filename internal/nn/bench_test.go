@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"calibre/internal/tensor"
+)
+
+func BenchmarkMatMul64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandN(rng, 1, 64, 64)
+	y := tensor.RandN(rng, 1, 64, 64)
+	out := tensor.New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, x, y)
+	}
+}
+
+func BenchmarkMLPForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := MLP(rng, "bench", 64, 96, 48)
+	x := tensor.RandN(rng, 1, 32, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ForwardTensor(m, x)
+	}
+}
+
+func BenchmarkMLPTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := MLP(rng, "bench", 64, 96, 48, 10)
+	opt := NewSGD(m, 0.05, 0.9, 0)
+	x := tensor.RandN(rng, 1, 32, 64)
+	targets := make([]int, 32)
+	for i := range targets {
+		targets[i] = rng.Intn(10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.ZeroGrad()
+		loss := CrossEntropy(ForwardTensor(m, x), targets)
+		if err := Backward(loss); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step()
+	}
+}
+
+func BenchmarkNTXentForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	h := NewParam("h", 64, 24)
+	for i, d := 0, h.Value.Data(); i < len(d); i++ {
+		d[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ZeroGrad()
+		loss := NTXent(h.Node(), 0.5)
+		if err := Backward(loss); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlattenUnflatten(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := MLP(rng, "bench", 64, 96, 48)
+	vec := Flatten(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec = Flatten(m)
+		if err := Unflatten(m, vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

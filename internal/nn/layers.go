@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calibre/internal/tensor"
+)
+
+// Layer is a module that transforms a batch node.
+type Layer interface {
+	Module
+	Forward(x *Node) *Node
+}
+
+// Linear is a fully connected layer computing y = x·W + b, with W shaped
+// (in×out).
+type Linear struct {
+	W *Param
+	B *Param
+}
+
+var _ Layer = (*Linear)(nil)
+
+// NewLinear builds a Linear layer with He-normal weights and zero bias.
+func NewLinear(rng *rand.Rand, in, out int, name string) *Linear {
+	l := &Linear{
+		W: NewParam(name+".W", in, out),
+		B: NewParam(name+".B", 1, out),
+	}
+	l.W.InitHe(rng, in)
+	return l
+}
+
+// Forward applies the affine map to a (batch×in) node.
+func (l *Linear) Forward(x *Node) *Node {
+	return AddBias(MatMul(x, l.W.Node()), l.B.Node())
+}
+
+// Params returns [W, B].
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// In returns the input dimension.
+func (l *Linear) In() int { return l.W.Value.Rows() }
+
+// Out returns the output dimension.
+func (l *Linear) Out() int { return l.W.Value.Cols() }
+
+// Activation is a parameter-free layer applying a pointwise nonlinearity.
+type Activation struct {
+	Kind ActKind
+}
+
+// ActKind selects an activation function.
+type ActKind int
+
+// Supported activation kinds.
+const (
+	ActReLU ActKind = iota + 1
+	ActTanh
+)
+
+var _ Layer = (*Activation)(nil)
+
+// Forward applies the activation.
+func (a *Activation) Forward(x *Node) *Node {
+	switch a.Kind {
+	case ActReLU:
+		return ReLU(x)
+	case ActTanh:
+		return Tanh(x)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation kind %d", a.Kind))
+	}
+}
+
+// Params returns nil; activations are parameter-free.
+func (a *Activation) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// Forward applies each layer in order.
+func (s *Sequential) Forward(x *Node) *Node {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Params concatenates the parameters of all layers in order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// MLP builds a multi-layer perceptron with ReLU between hidden layers and a
+// linear final layer. dims = [in, h1, ..., out]; it must contain at least
+// two entries.
+func MLP(rng *rand.Rand, name string, dims ...int) *Sequential {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least [in, out] dims")
+	}
+	s := &Sequential{Layers: make([]Layer, 0, 2*len(dims)-3)}
+	for i := 0; i < len(dims)-1; i++ {
+		s.Layers = append(s.Layers, NewLinear(rng, dims[i], dims[i+1], fmt.Sprintf("%s.l%d", name, i)))
+		if i < len(dims)-2 {
+			s.Layers = append(s.Layers, &Activation{Kind: ActReLU})
+		}
+	}
+	return s
+}
+
+// ForwardTensor is a convenience that wraps a constant input tensor and runs
+// a forward pass with no gradient tracking on the input (parameters still
+// receive gradients if Backward is called on a downstream loss).
+func ForwardTensor(l Layer, x *tensor.Tensor) *Node {
+	return l.Forward(Input(x))
+}
+
+// Predict runs l on x and returns the argmax class per row. Intended for
+// classifier heads at evaluation time.
+func Predict(l Layer, x *tensor.Tensor) []int {
+	out := ForwardTensor(l, x).Value
+	m := out.Rows()
+	preds := make([]int, m)
+	for i := 0; i < m; i++ {
+		preds[i] = tensor.ArgMax(out.Row(i))
+	}
+	return preds
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"math"
+
+	"calibre/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with optional classical momentum and
+// decoupled weight decay. The zero value is unusable; construct with NewSGD.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	params   []*Param
+	velocity []*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer over m's parameters.
+func NewSGD(m Module, lr, momentum, weightDecay float64) *SGD {
+	params := m.Params()
+	s := &SGD{
+		LR:          lr,
+		Momentum:    momentum,
+		WeightDecay: weightDecay,
+		params:      params,
+	}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Value.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step applies one update using the currently accumulated gradients.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		v := p.Value.Data()
+		g := p.Grad.Data()
+		if s.Momentum != 0 {
+			vel := s.velocity[i].Data()
+			for j := range v {
+				grad := g[j] + s.WeightDecay*v[j]
+				vel[j] = s.Momentum*vel[j] + grad
+				v[j] -= s.LR * vel[j]
+			}
+			continue
+		}
+		for j := range v {
+			grad := g[j] + s.WeightDecay*v[j]
+			v[j] -= s.LR * grad
+		}
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales gradients so their global L2 norm does not exceed
+// maxNorm. It returns the pre-clip norm. Contrastive losses occasionally
+// produce spiky gradients early in training; clipping keeps the small-batch
+// runs stable.
+func (s *SGD) ClipGradNorm(maxNorm float64) float64 {
+	var ss float64
+	for _, p := range s.params {
+		for _, g := range p.Grad.Data() {
+			ss += g * g
+		}
+	}
+	norm := math.Sqrt(ss)
+	if norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range s.params {
+		g := p.Grad.Data()
+		for j := range g {
+			g[j] *= scale
+		}
+	}
+	return norm
+}

@@ -1,0 +1,95 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calibre/internal/data"
+)
+
+func noisyClients(t *testing.T) []*Client {
+	t.Helper()
+	g, err := data.NewGenerator(data.CIFAR10Spec(), 21)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	ds := g.GenerateLabeled(rng, 200)
+	parts, err := IID(rng, ds, 10, 150)
+	if err != nil {
+		t.Fatalf("IID: %v", err)
+	}
+	return BuildClients(rng, ds, parts, nil)
+}
+
+func TestCorruptTrainLabelsFlipsApproxFraction(t *testing.T) {
+	clients := noisyClients(t)
+	before := make([][]int, len(clients))
+	testBefore := make([][]int, len(clients))
+	for i, c := range clients {
+		before[i] = append([]int(nil), c.Train.Y...)
+		testBefore[i] = append([]int(nil), c.Test.Y...)
+	}
+	rng := rand.New(rand.NewSource(23))
+	CorruptTrainLabels(rng, clients, 0.2, 10)
+	var flipped, total int
+	for i, c := range clients {
+		for j, y := range c.Train.Y {
+			total++
+			if y != before[i][j] {
+				flipped++
+				if y == before[i][j] {
+					t.Fatal("flip must change the label")
+				}
+				if y < 0 || y >= 10 {
+					t.Fatalf("flipped label %d out of range", y)
+				}
+			}
+		}
+		// Test labels untouched.
+		for j, y := range c.Test.Y {
+			if y != testBefore[i][j] {
+				t.Fatal("test labels must stay clean")
+			}
+		}
+	}
+	frac := float64(flipped) / float64(total)
+	if math.Abs(frac-0.2) > 0.05 {
+		t.Fatalf("flip fraction = %v, want ≈0.2", frac)
+	}
+}
+
+func TestCorruptTrainLabelsNoopCases(t *testing.T) {
+	clients := noisyClients(t)
+	before := append([]int(nil), clients[0].Train.Y...)
+	rng := rand.New(rand.NewSource(24))
+	CorruptTrainLabels(rng, clients, 0, 10)  // frac 0
+	CorruptTrainLabels(rng, clients, 0.5, 1) // 1 class: nothing to flip to
+	for j, y := range clients[0].Train.Y {
+		if y != before[j] {
+			t.Fatal("no-op corruption must not change labels")
+		}
+	}
+}
+
+func TestCorruptTrainLabelsSkipsUnlabeled(t *testing.T) {
+	g, err := data.NewGenerator(data.STL10Spec(), 25)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	rng := rand.New(rand.NewSource(26))
+	ds := g.GenerateLabeled(rng, 50)
+	parts, err := IID(rng, ds, 4, 40)
+	if err != nil {
+		t.Fatalf("IID: %v", err)
+	}
+	unl := g.GenerateUnlabeled(rng, 40)
+	clients := BuildClients(rng, ds, parts, unl)
+	// Force an unlabeled sample into a train set to exercise the guard.
+	clients[0].Train.Y[0] = data.Unlabeled
+	CorruptTrainLabels(rng, clients, 1.0, 10)
+	if clients[0].Train.Y[0] != data.Unlabeled {
+		t.Fatal("unlabeled samples must not be flipped")
+	}
+}

@@ -1,0 +1,310 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"calibre/internal/data"
+)
+
+func testDataset(t *testing.T, perClass int) *data.Dataset {
+	t.Helper()
+	g, err := data.NewGenerator(data.CIFAR10Spec(), 42)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g.GenerateLabeled(rand.New(rand.NewSource(1)), perClass)
+}
+
+func distinctClasses(ds *data.Dataset, idx []int) map[int]bool {
+	out := make(map[int]bool)
+	for _, i := range idx {
+		out[ds.Y[i]] = true
+	}
+	return out
+}
+
+func TestQuantityNonIIDClassCount(t *testing.T) {
+	ds := testDataset(t, 100)
+	rng := rand.New(rand.NewSource(2))
+	parts, err := QuantityNonIID(rng, ds, 20, 2, 50)
+	if err != nil {
+		t.Fatalf("QuantityNonIID: %v", err)
+	}
+	if len(parts) != 20 {
+		t.Fatalf("clients = %d", len(parts))
+	}
+	for c, idx := range parts {
+		if len(idx) != 50 {
+			t.Fatalf("client %d has %d samples, want 50", c, len(idx))
+		}
+		if got := len(distinctClasses(ds, idx)); got != 2 {
+			t.Fatalf("client %d spans %d classes, want 2", c, got)
+		}
+	}
+}
+
+func TestQuantityNonIIDCoversAllClasses(t *testing.T) {
+	ds := testDataset(t, 100)
+	rng := rand.New(rand.NewSource(3))
+	parts, err := QuantityNonIID(rng, ds, 10, 2, 20)
+	if err != nil {
+		t.Fatalf("QuantityNonIID: %v", err)
+	}
+	covered := make(map[int]bool)
+	for _, idx := range parts {
+		for c := range distinctClasses(ds, idx) {
+			covered[c] = true
+		}
+	}
+	// 10 clients × 2 classes, round-robin over 10 classes ⇒ all covered.
+	if len(covered) != ds.NumClasses {
+		t.Fatalf("covered %d classes, want %d", len(covered), ds.NumClasses)
+	}
+}
+
+func TestQuantityNonIIDUnevenSplit(t *testing.T) {
+	ds := testDataset(t, 100)
+	rng := rand.New(rand.NewSource(4))
+	parts, err := QuantityNonIID(rng, ds, 4, 3, 50) // 50 % 3 != 0
+	if err != nil {
+		t.Fatalf("QuantityNonIID: %v", err)
+	}
+	for _, idx := range parts {
+		if len(idx) != 50 {
+			t.Fatalf("client got %d samples, want exactly 50", len(idx))
+		}
+	}
+}
+
+func TestQuantityNonIIDValidation(t *testing.T) {
+	ds := testDataset(t, 10)
+	rng := rand.New(rand.NewSource(5))
+	if _, err := QuantityNonIID(rng, ds, 5, 0, 10); err == nil {
+		t.Fatal("classesPerClient=0 should error")
+	}
+	if _, err := QuantityNonIID(rng, ds, 5, 11, 10); err == nil {
+		t.Fatal("classesPerClient>K should error")
+	}
+	if _, err := QuantityNonIID(rng, ds, 0, 2, 10); err == nil {
+		t.Fatal("numClients=0 should error")
+	}
+}
+
+func TestDirichletNonIIDBasic(t *testing.T) {
+	ds := testDataset(t, 200)
+	rng := rand.New(rand.NewSource(6))
+	parts, err := DirichletNonIID(rng, ds, 30, 0.3, 60)
+	if err != nil {
+		t.Fatalf("DirichletNonIID: %v", err)
+	}
+	for c, idx := range parts {
+		if len(idx) != 60 {
+			t.Fatalf("client %d has %d samples", c, len(idx))
+		}
+	}
+}
+
+// With small alpha, clients should be skewed: the top class should dominate.
+func TestDirichletSkewIncreasesAsAlphaShrinks(t *testing.T) {
+	ds := testDataset(t, 400)
+	topShare := func(alpha float64) float64 {
+		rng := rand.New(rand.NewSource(7))
+		parts, err := DirichletNonIID(rng, ds, 40, alpha, 100)
+		if err != nil {
+			t.Fatalf("DirichletNonIID: %v", err)
+		}
+		var share float64
+		for _, idx := range parts {
+			counts := make(map[int]int)
+			for _, i := range idx {
+				counts[ds.Y[i]]++
+			}
+			top := 0
+			for _, n := range counts {
+				if n > top {
+					top = n
+				}
+			}
+			share += float64(top) / float64(len(idx))
+		}
+		return share / float64(len(parts))
+	}
+	skewed := topShare(0.1)
+	uniform := topShare(100)
+	if skewed <= uniform {
+		t.Fatalf("alpha=0.1 top-share %v should exceed alpha=100 %v", skewed, uniform)
+	}
+	if uniform > 0.3 {
+		t.Fatalf("alpha=100 should be near-uniform, top share = %v", uniform)
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	ds := testDataset(t, 10)
+	rng := rand.New(rand.NewSource(8))
+	if _, err := DirichletNonIID(rng, ds, 5, 0, 10); err == nil {
+		t.Fatal("alpha=0 should error")
+	}
+	if _, err := DirichletNonIID(rng, ds, 0, 0.3, 10); err == nil {
+		t.Fatal("numClients=0 should error")
+	}
+}
+
+func TestIID(t *testing.T) {
+	ds := testDataset(t, 100)
+	rng := rand.New(rand.NewSource(9))
+	parts, err := IID(rng, ds, 10, 100)
+	if err != nil {
+		t.Fatalf("IID: %v", err)
+	}
+	for _, idx := range parts {
+		if len(idx) != 100 {
+			t.Fatalf("client got %d", len(idx))
+		}
+		// Expect near-uniform classes: ≥5 distinct classes with 100 draws.
+		if got := len(distinctClasses(ds, idx)); got < 5 {
+			t.Fatalf("IID client spans only %d classes", got)
+		}
+	}
+	if _, err := IID(rng, &data.Dataset{NumClasses: 2}, 3, 5); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	if _, err := IID(rng, ds, 0, 5); err == nil {
+		t.Fatal("numClients=0 should error")
+	}
+}
+
+func TestBuildClients(t *testing.T) {
+	ds := testDataset(t, 100)
+	rng := rand.New(rand.NewSource(10))
+	parts, err := QuantityNonIID(rng, ds, 8, 2, 50)
+	if err != nil {
+		t.Fatalf("QuantityNonIID: %v", err)
+	}
+	g, err := data.NewGenerator(data.CIFAR10Spec(), 42)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	unlabeled := g.GenerateUnlabeled(rng, 81)
+	clients := BuildClients(rng, ds, parts, unlabeled)
+	if len(clients) != 8 {
+		t.Fatalf("clients = %d", len(clients))
+	}
+	var totalUnl int
+	for i, c := range clients {
+		if c.ID != i {
+			t.Fatalf("client ID = %d, want %d", c.ID, i)
+		}
+		if c.Train.Len() != 40 || c.Test.Len() != 10 {
+			t.Fatalf("client %d train/test = %d/%d, want 40/10", i, c.Train.Len(), c.Test.Len())
+		}
+		if c.Unlabeled == nil {
+			t.Fatalf("client %d missing unlabeled share", i)
+		}
+		totalUnl += c.Unlabeled.Len()
+		// Unlabeled shares must differ in size by at most 1.
+		if d := c.Unlabeled.Len() - 81/8; d < 0 || d > 1 {
+			t.Fatalf("client %d unlabeled share = %d", i, c.Unlabeled.Len())
+		}
+	}
+	if totalUnl != 81 {
+		t.Fatalf("unlabeled total = %d, want 81", totalUnl)
+	}
+}
+
+func TestBuildClientsNoUnlabeled(t *testing.T) {
+	ds := testDataset(t, 50)
+	rng := rand.New(rand.NewSource(11))
+	parts, err := IID(rng, ds, 4, 25)
+	if err != nil {
+		t.Fatalf("IID: %v", err)
+	}
+	clients := BuildClients(rng, ds, parts, nil)
+	for _, c := range clients {
+		if c.Unlabeled != nil {
+			t.Fatal("Unlabeled should be nil when no pool is given")
+		}
+	}
+}
+
+// The local test split must have (approximately) the same class make-up as
+// the local train split — the paper evaluates personalization on a test set
+// "consistent" with the training distribution.
+func TestLocalTestDistributionConsistent(t *testing.T) {
+	ds := testDataset(t, 400)
+	rng := rand.New(rand.NewSource(12))
+	parts, err := QuantityNonIID(rng, ds, 6, 2, 200)
+	if err != nil {
+		t.Fatalf("QuantityNonIID: %v", err)
+	}
+	clients := BuildClients(rng, ds, parts, nil)
+	for _, c := range clients {
+		trainClasses := make(map[int]bool)
+		for _, y := range c.Train.Y {
+			trainClasses[y] = true
+		}
+		for _, y := range c.Test.Y {
+			if !trainClasses[y] {
+				t.Fatalf("client %d test label %d unseen in train", c.ID, y)
+			}
+		}
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range []float64{0.3, 1.0, 4.5} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape)/shape > 0.1 {
+			t.Fatalf("Gamma(%v) sample mean = %v", shape, mean)
+		}
+	}
+}
+
+// Property: a Dirichlet draw is a probability vector.
+func TestDirichletIsDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 0.05 + rng.Float64()*5
+		k := 2 + rng.Intn(20)
+		p := dirichlet(rng, alpha, k)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multinomial counts always total n.
+func TestMultinomialCountsTotalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(10)
+		props := dirichlet(rng, 1, k)
+		n := 1 + rng.Intn(500)
+		counts := multinomialCounts(rng, props, n)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

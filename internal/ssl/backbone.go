@@ -1,0 +1,140 @@
+// Package ssl implements the self-supervised learning methods the Calibre
+// paper builds on: SimCLR, BYOL, SimSiam, MoCoV2, SwAV and SMoG. All methods
+// share a Backbone (encoder θb + projector θh, the paper's global model θ)
+// and differ only in how they turn two augmented views into a loss.
+package ssl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"calibre/internal/nn"
+	"calibre/internal/tensor"
+)
+
+// Arch fixes the backbone architecture. The paper uses a ResNet-18 encoder
+// with 512-d features; this reproduction uses an MLP encoder on synthetic
+// observations (DESIGN.md §1) with configurable widths.
+type Arch struct {
+	InputDim  int
+	HiddenDim int
+	FeatDim   int // encoder output z (the representation used for personalization)
+	ProjDim   int // projector output h (the representation used by SSL losses)
+}
+
+// DefaultArch returns the architecture used by the CI-scale experiments.
+func DefaultArch(inputDim int) Arch {
+	return Arch{InputDim: inputDim, HiddenDim: 96, FeatDim: 48, ProjDim: 24}
+}
+
+// Backbone is the global model θ: Encoder (θb) and Projector (θh).
+type Backbone struct {
+	Arch      Arch
+	Encoder   *nn.Sequential
+	Projector *nn.Sequential
+}
+
+// NewBackbone builds a backbone with freshly initialized weights.
+func NewBackbone(rng *rand.Rand, arch Arch) *Backbone {
+	return &Backbone{
+		Arch:      arch,
+		Encoder:   nn.MLP(rng, "enc", arch.InputDim, arch.HiddenDim, arch.FeatDim),
+		Projector: nn.MLP(rng, "proj", arch.FeatDim, arch.FeatDim, arch.ProjDim),
+	}
+}
+
+// Params returns encoder parameters followed by projector parameters.
+func (b *Backbone) Params() []*nn.Param {
+	return append(b.Encoder.Params(), b.Projector.Params()...)
+}
+
+// Encode runs the encoder on a constant input batch, returning the z node.
+func (b *Backbone) Encode(x *tensor.Tensor) *nn.Node {
+	return b.Encoder.Forward(nn.Input(x))
+}
+
+// Project runs the projector on an encoding node.
+func (b *Backbone) Project(z *nn.Node) *nn.Node {
+	return b.Projector.Forward(z)
+}
+
+// EncodeValue runs the encoder outside any gradient context and returns the
+// raw feature matrix. Used during personalization and for embeddings.
+func (b *Backbone) EncodeValue(x *tensor.Tensor) *tensor.Tensor {
+	return b.Encode(x).Value
+}
+
+// Clone returns a deep copy of the backbone (used for target networks).
+func (b *Backbone) Clone(rng *rand.Rand) (*Backbone, error) {
+	c := NewBackbone(rng, b.Arch)
+	if err := nn.CopyParams(c.Encoder, b.Encoder); err != nil {
+		return nil, fmt.Errorf("ssl: clone encoder: %w", err)
+	}
+	if err := nn.CopyParams(c.Projector, b.Projector); err != nil {
+		return nil, fmt.Errorf("ssl: clone projector: %w", err)
+	}
+	return c, nil
+}
+
+// StepContext carries one training step's shared forward results so that
+// each method (and Calibre's regularizers) can reuse them without repeating
+// the encoder pass.
+type StepContext struct {
+	RNG      *rand.Rand
+	Backbone *Backbone
+
+	View1, View2 *tensor.Tensor // augmented input views (N×inputDim)
+	Z1, Z2       *nn.Node       // encoder outputs (N×featDim)
+	H1, H2       *nn.Node       // projector outputs (N×projDim)
+}
+
+// NewStepContext performs the shared forward passes for a pair of views.
+func NewStepContext(rng *rand.Rand, b *Backbone, view1, view2 *tensor.Tensor) *StepContext {
+	z1 := b.Encode(view1)
+	z2 := b.Encode(view2)
+	return &StepContext{
+		RNG:      rng,
+		Backbone: b,
+		View1:    view1,
+		View2:    view2,
+		Z1:       z1,
+		Z2:       z2,
+		H1:       b.Project(z1),
+		H2:       b.Project(z2),
+	}
+}
+
+// Method is a self-supervised objective over a pair of augmented views.
+// Implementations may own state (momentum targets, queues, prototypes).
+type Method interface {
+	// Name identifies the method (e.g. "simclr").
+	Name() string
+	// Loss builds the scalar SSL loss node for the step.
+	Loss(ctx *StepContext) *nn.Node
+	// AfterStep updates method-owned state after an optimizer step (EMA
+	// targets, queues, group centers). It may be a no-op.
+	AfterStep(b *Backbone)
+	// ExtraParams returns method-owned learnable parameters that must be
+	// trained and federated together with the backbone (e.g. SwAV
+	// prototypes). May be nil.
+	ExtraParams() []*nn.Param
+}
+
+// Factory constructs a method bound to a backbone. Each federated client
+// owns one method instance; its state persists across rounds.
+type Factory func(rng *rand.Rand, b *Backbone) (Method, error)
+
+// Trainable bundles the backbone with a method's extra learnable
+// parameters; this is the module whose flattened parameter vector is
+// exchanged with the federated server.
+type Trainable struct {
+	Backbone *Backbone
+	Method   Method
+}
+
+var _ nn.Module = (*Trainable)(nil)
+
+// Params returns backbone params followed by method extras, in stable order.
+func (t *Trainable) Params() []*nn.Param {
+	return append(t.Backbone.Params(), t.Method.ExtraParams()...)
+}

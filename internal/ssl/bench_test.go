@@ -1,0 +1,56 @@
+package ssl
+
+import (
+	"math/rand"
+	"testing"
+
+	"calibre/internal/data"
+	"calibre/internal/nn"
+)
+
+// benchmarkMethodStep measures one full SSL training step (two-view
+// forward, loss, backward, state update) for a registered method.
+func benchmarkMethodStep(b *testing.B, name string) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	backbone := NewBackbone(rng, Arch{InputDim: 64, HiddenDim: 96, FeatDim: 48, ProjDim: 24})
+	factory, err := Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	method, err := factory(rng, backbone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := &Trainable{Backbone: backbone, Method: method}
+	opt := nn.NewSGD(tr, 0.03, 0.9, 0)
+	rows := make([][]float64, 32)
+	for i := range rows {
+		r := make([]float64, 64)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+	}
+	aug := data.DefaultAugmenter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v1, v2 := aug.TwoViews(rng, rows)
+		ctx := NewStepContext(rng, backbone, v1, v2)
+		loss := method.Loss(ctx)
+		opt.ZeroGrad()
+		if err := nn.Backward(loss); err != nil {
+			b.Fatal(err)
+		}
+		opt.Step()
+		method.AfterStep(backbone)
+	}
+}
+
+func BenchmarkSimCLRStep(b *testing.B)  { benchmarkMethodStep(b, "simclr") }
+func BenchmarkBYOLStep(b *testing.B)    { benchmarkMethodStep(b, "byol") }
+func BenchmarkSimSiamStep(b *testing.B) { benchmarkMethodStep(b, "simsiam") }
+func BenchmarkMoCoV2Step(b *testing.B)  { benchmarkMethodStep(b, "mocov2") }
+func BenchmarkSwAVStep(b *testing.B)    { benchmarkMethodStep(b, "swav") }
+func BenchmarkSMoGStep(b *testing.B)    { benchmarkMethodStep(b, "smog") }

@@ -1,0 +1,134 @@
+package ssl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"calibre/internal/data"
+	"calibre/internal/nn"
+)
+
+// Standard hyperparameters shared by the experiments (paper §V-A).
+const (
+	DefaultTau          = 0.5
+	DefaultEMAMomentum  = 0.99
+	DefaultQueueSize    = 256
+	DefaultSwAVProtos   = 30
+	DefaultSMoGGroups   = 30
+	DefaultSMoGMomentum = 0.99
+)
+
+// Factories returns the named standard factories for every SSL method the
+// paper evaluates.
+func Factories() map[string]Factory {
+	return map[string]Factory{
+		"simclr":  NewSimCLR(DefaultTau),
+		"byol":    NewBYOL(DefaultEMAMomentum),
+		"simsiam": NewSimSiam(),
+		"mocov2":  NewMoCoV2(DefaultTau, DefaultEMAMomentum, DefaultQueueSize),
+		"swav":    NewSwAV(DefaultSwAVProtos, DefaultTau),
+		"smog":    NewSMoG(DefaultSMoGGroups, DefaultTau, DefaultSMoGMomentum),
+		// vicreg extends beyond the paper's six methods (see vicreg.go);
+		// it is not part of the figure rosters but plugs into the same
+		// pfl-*/calibre-* pipelines.
+		"vicreg": NewVICReg(),
+	}
+}
+
+// MethodNames lists the registered method names in sorted order.
+func MethodNames() []string {
+	fs := Factories()
+	names := make([]string, 0, len(fs))
+	for n := range fs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the standard factory for name.
+func Lookup(name string) (Factory, error) {
+	f, ok := Factories()[name]
+	if !ok {
+		return nil, fmt.Errorf("ssl: unknown method %q (have %v)", name, MethodNames())
+	}
+	return f, nil
+}
+
+// TrainConfig controls a local self-supervised training loop.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	ClipNorm  float64 // 0 disables clipping
+	Augment   data.Augmenter
+}
+
+// DefaultTrainConfig returns the local-update hyperparameters used by the
+// experiments (3 local epochs, batch 32, SGD momentum 0.9).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:    3,
+		BatchSize: 32,
+		LR:        0.03,
+		Momentum:  0.9,
+		ClipNorm:  5,
+		Augment:   data.DefaultAugmenter(),
+	}
+}
+
+// LossHook lets callers (Calibre) extend the per-step loss. It receives the
+// step context and the method's own loss node and returns the total loss.
+type LossHook func(ctx *StepContext, methodLoss *nn.Node) *nn.Node
+
+// Train runs the local SSL loop over rows (a client's raw samples), mutating
+// the trainable's parameters in place. hook may be nil. It returns the mean
+// total loss per step.
+func Train(rng *rand.Rand, t *Trainable, rows [][]float64, cfg TrainConfig, hook LossHook) (float64, error) {
+	if len(rows) < 2 {
+		return 0, nil // not enough samples to form a contrastive batch
+	}
+	if cfg.Epochs < 1 || cfg.BatchSize < 2 {
+		return 0, fmt.Errorf("ssl: bad train config %+v", cfg)
+	}
+	opt := nn.NewSGD(t, cfg.LR, cfg.Momentum, 0)
+	stepsPerEpoch := (len(rows) + cfg.BatchSize - 1) / cfg.BatchSize
+	batcher := data.NewBatcher(rng, len(rows), cfg.BatchSize)
+	var totalLoss float64
+	var steps int
+	for e := 0; e < cfg.Epochs; e++ {
+		for s := 0; s < stepsPerEpoch; s++ {
+			idx, ok := batcher.Next()
+			if !ok {
+				break
+			}
+			batchRows := make([][]float64, len(idx))
+			for i, j := range idx {
+				batchRows[i] = rows[j]
+			}
+			v1, v2 := cfg.Augment.TwoViews(rng, batchRows)
+			ctx := NewStepContext(rng, t.Backbone, v1, v2)
+			loss := t.Method.Loss(ctx)
+			if hook != nil {
+				loss = hook(ctx, loss)
+			}
+			opt.ZeroGrad()
+			if err := nn.Backward(loss); err != nil {
+				return 0, fmt.Errorf("ssl: backward: %w", err)
+			}
+			if cfg.ClipNorm > 0 {
+				opt.ClipGradNorm(cfg.ClipNorm)
+			}
+			opt.Step()
+			t.Method.AfterStep(t.Backbone)
+			totalLoss += loss.Value.At(0, 0)
+			steps++
+		}
+	}
+	if steps == 0 {
+		return 0, nil
+	}
+	return totalLoss / float64(steps), nil
+}

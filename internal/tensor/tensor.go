@@ -1,0 +1,581 @@
+// Package tensor implements dense row-major float64 tensors and the linear
+// algebra kernels used by the neural-network substrate in internal/nn.
+//
+// Tensors are deliberately simple: a shape and a flat backing slice. All
+// operations are implemented on the standard library only. Two-dimensional
+// tensors (matrices) are the workhorse; a handful of helpers exist for 1-D
+// vectors. Operations either allocate a fresh result or, when suffixed with
+// Into, write into a caller-provided destination to avoid allocation in hot
+// loops.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ErrShape is returned (wrapped) by operations whose operands have
+// incompatible shapes.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Tensor is a dense, row-major float64 tensor.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative; a zero-dimension tensor is valid
+// and has no elements.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); it must have exactly as many elements as the shape
+// implies.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return nil, fmt.Errorf("%w: negative dimension %d", ErrShape, d)
+		}
+		n *= d
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("%w: data length %d does not match shape %v (need %d)", ErrShape, len(data), shape, n)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}, nil
+}
+
+// MustFromSlice is FromSlice but panics on error. Intended for tests and
+// literals where the shape is statically correct.
+func MustFromSlice(data []float64, shape ...int) *Tensor {
+	t, err := FromSlice(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of t with a new shape covering the same backing
+// data. The element count must match.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		return nil, fmt.Errorf("%w: cannot reshape %v (%d elems) to %v (%d elems)", ErrShape, t.shape, len(t.data), shape, n)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}, nil
+}
+
+// At returns the element at the given (row-major) indices of a 2-D tensor.
+func (t *Tensor) At(i, j int) float64 {
+	return t.data[i*t.shape[1]+j]
+}
+
+// Set assigns the element at (i, j) of a 2-D tensor.
+func (t *Tensor) Set(i, j int, v float64) {
+	t.data[i*t.shape[1]+j] = v
+}
+
+// Row returns the i-th row of a 2-D tensor as a slice view (not a copy).
+func (t *Tensor) Row(i int) []float64 {
+	c := t.shape[1]
+	return t.data[i*c : (i+1)*c]
+}
+
+// SetRow copies v into row i of a 2-D tensor.
+func (t *Tensor) SetRow(i int, v []float64) {
+	copy(t.Row(i), v)
+}
+
+// Rows returns the number of rows of a 2-D tensor (shape[0]).
+func (t *Tensor) Rows() int { return t.shape[0] }
+
+// Cols returns the number of columns of a 2-D tensor (shape[1]).
+func (t *Tensor) Cols() int { return t.shape[1] }
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// String renders small tensors for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	b.WriteString("Tensor")
+	b.WriteString(fmt.Sprintf("%v", t.shape))
+	if len(t.data) <= 64 {
+		b.WriteByte('[')
+		for i, v := range t.data {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'g', 4, 64))
+		}
+		b.WriteByte(']')
+	} else {
+		b.WriteString(fmt.Sprintf("(%d elems)", len(t.data)))
+	}
+	return b.String()
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandN fills a new tensor of the given shape with samples from
+// N(0, std^2) drawn from rng.
+func RandN(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with samples from U(lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// --- Elementwise ----------------------------------------------------------
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("%w: Add %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] + b.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("%w: Sub %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] - b.data[i]
+	}
+	return out, nil
+}
+
+// Mul returns the elementwise (Hadamard) product a * b.
+func Mul(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("%w: Mul %v vs %v", ErrShape, a.shape, b.shape)
+	}
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns a*s elementwise.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// AddScaled computes dst += s*src in place. Shapes must match.
+func AddScaled(dst, src *Tensor, s float64) error {
+	if !SameShape(dst, src) {
+		return fmt.Errorf("%w: AddScaled %v vs %v", ErrShape, dst.shape, src.shape)
+	}
+	for i := range dst.data {
+		dst.data[i] += s * src.data[i]
+	}
+	return nil
+}
+
+// Apply returns f applied elementwise to a.
+func Apply(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// --- Matrix ops ------------------------------------------------------------
+
+// MatMul returns the matrix product a (m×k) by b (k×n) as a new m×n tensor.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("%w: MatMul needs 2-D operands, got %v and %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out, nil
+}
+
+// MatMulInto computes out = a·b assuming shapes are already compatible.
+// It is the allocation-free core used by MatMul and by the autograd backward
+// passes. out must not alias a or b.
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out.Zero()
+	// ikj loop order: stream through b rows for cache friendliness.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes out = aᵀ·b where a is (k×m), b is (k×n),
+// out is (m×n). Used by Linear backward for weight gradients.
+func MatMulTransAInto(out, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out.Zero()
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes out = a·bᵀ where a is (m×k), b is (n×k),
+// out is (m×n). Used by Linear backward for input gradients.
+func MatMulTransBInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 {
+		return nil, fmt.Errorf("%w: Transpose needs 2-D operand, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out, nil
+}
+
+// AddRowVec adds vector v (length n) to every row of a (m×n), returning a
+// new tensor. This is broadcast bias addition.
+func AddRowVec(a *Tensor, v []float64) (*Tensor, error) {
+	if a.Dims() != 2 || a.shape[1] != len(v) {
+		return nil, fmt.Errorf("%w: AddRowVec %v vs vec(%d)", ErrShape, a.shape, len(v))
+	}
+	out := New(a.shape...)
+	m, n := a.shape[0], a.shape[1]
+	for i := 0; i < m; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = arow[j] + v[j]
+		}
+	}
+	return out, nil
+}
+
+// --- Reductions ------------------------------------------------------------
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ColMeans returns the per-column mean of a 2-D tensor as a length-n slice.
+func (t *Tensor) ColMeans() []float64 {
+	m, n := t.shape[0], t.shape[1]
+	out := make([]float64, n)
+	if m == 0 {
+		return out
+	}
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			out[j] += row[j]
+		}
+	}
+	inv := 1.0 / float64(m)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// RowSums returns the per-row sum of a 2-D tensor.
+func (t *Tensor) RowSums() []float64 {
+	m, n := t.shape[0], t.shape[1]
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := t.data[i*n : (i+1)*n]
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// --- Row-wise vector math used by SSL losses --------------------------------
+
+// L2NormalizeRows returns a copy of a 2-D tensor whose rows are scaled to
+// unit Euclidean norm. Rows with norm below eps are left unchanged.
+func L2NormalizeRows(a *Tensor, eps float64) *Tensor {
+	m, n := a.shape[0], a.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		var ss float64
+		for _, v := range row {
+			ss += v * v
+		}
+		norm := math.Sqrt(ss)
+		orow := out.data[i*n : (i+1)*n]
+		if norm < eps {
+			copy(orow, row)
+			continue
+		}
+		inv := 1 / norm
+		for j, v := range row {
+			orow[j] = v * inv
+		}
+	}
+	return out
+}
+
+// Dot returns the dot product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	return math.Sqrt(ss)
+}
+
+// SqDist returns the squared Euclidean distance between two vectors.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// CosineSim returns the cosine similarity of a and b (0 when either is a
+// zero vector).
+func CosineSim(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Softmax writes the softmax of src into dst (they may alias). It is
+// numerically stabilized by max subtraction.
+func Softmax(dst, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(v - m)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(v_i)), stabilized.
+func LogSumExp(v []float64) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	var s float64
+	for _, x := range v {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// ArgMax returns the index of the largest element of v (-1 for empty v).
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// Stack builds an (m×n) tensor from m rows each of length n.
+func Stack(rows [][]float64) (*Tensor, error) {
+	if len(rows) == 0 {
+		return New(0, 0), nil
+	}
+	n := len(rows[0])
+	out := New(len(rows), n)
+	for i, r := range rows {
+		if len(r) != n {
+			return nil, fmt.Errorf("%w: Stack row %d has length %d, want %d", ErrShape, i, len(r), n)
+		}
+		copy(out.Row(i), r)
+	}
+	return out, nil
+}

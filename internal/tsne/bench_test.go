@@ -1,0 +1,22 @@
+package tsne
+
+import (
+	"math/rand"
+	"testing"
+
+	"calibre/internal/tensor"
+)
+
+func BenchmarkEmbed200Points(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandN(rng, 1, 200, 48)
+	cfg := DefaultConfig()
+	cfg.Iters = 100
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Embed(rng, x, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

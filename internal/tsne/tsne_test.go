@@ -1,0 +1,158 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calibre/internal/kmeans"
+	"calibre/internal/tensor"
+)
+
+func blobs(rng *rand.Rand, k, perCluster, d int, sep, std float64) (*tensor.Tensor, []int) {
+	centers := tensor.RandN(rng, sep, k, d)
+	x := tensor.New(k*perCluster, d)
+	labels := make([]int, k*perCluster)
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCluster; i++ {
+			idx := c*perCluster + i
+			row := make([]float64, d)
+			for j := 0; j < d; j++ {
+				row[j] = centers.At(c, j) + rng.NormFloat64()*std
+			}
+			x.SetRow(idx, row)
+			labels[idx] = c
+		}
+	}
+	return x, labels
+}
+
+func TestEmbedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Embed(rng, tensor.New(1, 3), DefaultConfig()); err == nil {
+		t.Fatal("single point should error")
+	}
+}
+
+func TestEmbedOutputShapeAndFiniteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := blobs(rng, 3, 10, 8, 5, 0.5)
+	cfg := DefaultConfig()
+	cfg.Iters = 100
+	y, err := Embed(rng, x, cfg)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if y.Rows() != 30 || y.Cols() != 2 {
+		t.Fatalf("embedding shape = %v", y.Shape())
+	}
+	for _, v := range y.Data() {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite embedding value")
+		}
+	}
+	// Output is centered.
+	for _, m := range y.ColMeans() {
+		if math.Abs(m) > 1e-6 {
+			t.Fatalf("embedding not centered: %v", m)
+		}
+	}
+}
+
+// Well-separated clusters in high-dim must stay separated in the 2-D
+// embedding: the silhouette of the embedded points should be clearly
+// positive, and higher than for unstructured data.
+func TestEmbedPreservesClusterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, labels := blobs(rng, 3, 15, 10, 8, 0.4)
+	cfg := DefaultConfig()
+	cfg.Iters = 250
+	y, err := Embed(rng, x, cfg)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	sep := kmeans.Silhouette(y, labels)
+	if sep < 0.3 {
+		t.Fatalf("embedded silhouette = %v, want clearly positive", sep)
+	}
+
+	noise := tensor.RandN(rng, 1, 45, 10)
+	yn, err := Embed(rng, noise, cfg)
+	if err != nil {
+		t.Fatalf("Embed noise: %v", err)
+	}
+	mixed := kmeans.Silhouette(yn, labels)
+	if sep <= mixed {
+		t.Fatalf("structured embedding (%v) should beat noise (%v)", sep, mixed)
+	}
+}
+
+func TestEmbedTinyInputClampsPerplexity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandN(rng, 1, 5, 4)
+	cfg := DefaultConfig()
+	cfg.Perplexity = 50 // far above what 5 points support
+	cfg.Iters = 50
+	y, err := Embed(rng, x, cfg)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if y.Rows() != 5 {
+		t.Fatalf("rows = %d", y.Rows())
+	}
+}
+
+func TestEmbedDeterministicGivenRNG(t *testing.T) {
+	x, _ := blobs(rand.New(rand.NewSource(5)), 2, 8, 6, 4, 0.5)
+	cfg := DefaultConfig()
+	cfg.Iters = 60
+	y1, err := Embed(rand.New(rand.NewSource(9)), x, cfg)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	y2, err := Embed(rand.New(rand.NewSource(9)), x, cfg)
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatal("same seed must reproduce the embedding")
+		}
+	}
+}
+
+func TestEmbedZeroConfigDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.RandN(rng, 1, 10, 4)
+	y, err := Embed(rng, x, Config{Perplexity: 5, Iters: 30})
+	if err != nil {
+		t.Fatalf("Embed: %v", err)
+	}
+	if y.Cols() != 2 {
+		t.Fatalf("default output dims = %d", y.Cols())
+	}
+}
+
+func TestJointAffinitiesAreDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.RandN(rng, 1, 12, 5)
+	p := jointAffinities(x, 4)
+	var sum float64
+	n := 12
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := p[i*n+j]
+			if v < 0 {
+				t.Fatal("negative affinity")
+			}
+			if math.Abs(p[i*n+j]-p[j*n+i]) > 1e-12 {
+				t.Fatal("affinities must be symmetric")
+			}
+			sum += v
+		}
+	}
+	// Diagonal contributes only the 1e-12 floor; total ≈ 1.
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("affinities sum = %v, want ≈1", sum)
+	}
+}
