@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification gate for this repo.
+#
+#   ./ci.sh          format check, vet, build, race tests, short kernel bench
+#
+# The quick kernel bench writes its BENCH_kernels.json to a temp dir — it
+# exists to prove the harness runs, not to refresh the committed numbers.
+# When kernels change, regenerate the tracked file with a full measurement:
+#   go run ./cmd/calibre-bench -exp kernels -out .
+# (see README.md "Benchmark harness").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== kernel bench (quick) =="
+go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
+
+echo "CI gate passed."

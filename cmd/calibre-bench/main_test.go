@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"calibre/cmd/internal/climain"
+)
+
+func TestListPrintsExperimentsAndKernels(t *testing.T) {
+	out := climain.CaptureStdout(t, func() error { return run([]string{"-list"}) })
+	if !strings.Contains(out, "experiments:") || !strings.Contains(out, "kernels") {
+		t.Fatalf("-list output missing experiments/kernels:\n%s", out)
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestKernelHarnessEmitsGoldenSchema runs the kernel harness at quick scale
+// and validates the emitted BENCH_kernels.json both structurally and
+// against the committed golden file: same schema version and the same set
+// of (op, shape) measurements, so the perf trajectory stays comparable
+// across PRs. Timing values are host-dependent and deliberately unchecked.
+func TestKernelHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "kernels", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "kernel bench:") || !strings.Contains(out, "matmul") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_kernels.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got KernelBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	if got.Schema != KernelBenchSchema {
+		t.Fatalf("schema = %q, want %q", got.Schema, KernelBenchSchema)
+	}
+	if got.GOOS == "" || got.GOARCH == "" || got.GOMaxProcs < 1 || got.Workers < 1 {
+		t.Fatalf("host metadata incomplete: %+v", got)
+	}
+	if len(got.Records) == 0 {
+		t.Fatal("no records emitted")
+	}
+	for _, r := range got.Records {
+		if r.Op == "" || r.Shape == "" {
+			t.Fatalf("record missing op/shape: %+v", r)
+		}
+		if r.NsOp <= 0 || r.SerialNsOp <= 0 || r.SpeedupVsSerial <= 0 {
+			t.Fatalf("record has non-positive timings: %+v", r)
+		}
+		if r.AllocsOp < 0 {
+			t.Fatalf("record has negative allocs: %+v", r)
+		}
+	}
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_kernels.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_kernels.json: %v", err)
+	}
+	var golden KernelBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	if golden.Schema != got.Schema {
+		t.Fatalf("golden schema %q != emitted %q", golden.Schema, got.Schema)
+	}
+	key := func(r KernelBenchRecord) string { return r.Op + "|" + r.Shape }
+	want := make(map[string]bool, len(golden.Records))
+	for _, r := range golden.Records {
+		want[key(r)] = true
+	}
+	have := make(map[string]bool, len(got.Records))
+	for _, r := range got.Records {
+		have[key(r)] = true
+	}
+	for k := range want {
+		if !have[k] {
+			t.Errorf("measurement %s present in golden file but not emitted", k)
+		}
+	}
+	for k := range have {
+		if !want[k] {
+			t.Errorf("measurement %s emitted but missing from golden file (regenerate it: go run ./cmd/calibre-bench -exp kernels)", k)
+		}
+	}
+}

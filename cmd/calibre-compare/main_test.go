@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"calibre/cmd/internal/climain"
+)
+
+func TestCompareSmoke(t *testing.T) {
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-scale", "smoke", "-seed", "7", "fedavg-ft"})
+	})
+	if !strings.Contains(out, "fedavg-ft") || !strings.Contains(out, "mean=") {
+		t.Fatalf("output not parseable:\n%s", out)
+	}
+}
+
+func TestCompareAblationVariantSmoke(t *testing.T) {
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-scale", "smoke", "-seed", "7", "calibre-simclr[base]"})
+	})
+	if !strings.Contains(out, "calibre-simclr[base]") {
+		t.Fatalf("output not parseable:\n%s", out)
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-scale", "smoke"}); err == nil {
+		t.Fatal("no methods accepted")
+	}
+	if err := run([]string{"-setting", "nope", "fedavg-ft"}); err == nil {
+		t.Fatal("unknown setting accepted")
+	}
+	if err := run([]string{"-scale", "smoke", "calibre-simclr[bogus]"}); err == nil {
+		t.Fatal("unknown regularizer combo accepted")
+	}
+}

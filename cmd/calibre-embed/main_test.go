@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmbedSmokeWritesParseableCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "emb.csv")
+	if err := run([]string{"-fig", "fig1", "-scale", "smoke", "-seed", "7", "-o", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("want header + data rows, got %d rows", len(rows))
+	}
+	header := rows[0]
+	want := []string{"method", "x", "y", "label", "client"}
+	if len(header) != len(want) {
+		t.Fatalf("header = %v, want %v", header, want)
+	}
+	for i, col := range want {
+		if header[i] != col {
+			t.Fatalf("header[%d] = %q, want %q", i, header[i], col)
+		}
+	}
+}
+
+func TestEmbedRejectsNonEmbeddingFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig3"}); err == nil {
+		t.Fatal("non-embedding figure accepted")
+	}
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

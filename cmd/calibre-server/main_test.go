@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"calibre/cmd/internal/climain"
+	"calibre/internal/experiments"
+	"calibre/internal/flnet"
+)
+
+// freePort reserves an ephemeral localhost port and releases it for the
+// server under test to rebind. The tiny reuse race is acceptable in tests.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// dialClientWithRetry runs a flnet client, retrying while the server under
+// test is still binding its listener.
+func dialClientWithRetry(ctx context.Context, cfg flnet.ClientConfig) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := flnet.RunClient(ctx, cfg)
+		if err == nil || !strings.Contains(err.Error(), "dial") || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServerSmokeFederation drives the real calibre-server run() entry
+// point through one federated round against in-process flnet clients built
+// from the same deterministic experiment world.
+func TestServerSmokeFederation(t *testing.T) {
+	const (
+		setting = "cifar10-q(2,500)"
+		seed    = 7
+		n       = 2
+	)
+	addr := freePort(t)
+
+	s, ok := experiments.Settings()[setting]
+	if !ok {
+		t.Fatalf("setting %q missing", setting)
+	}
+	env, err := experiments.BuildEnvironment(s, experiments.ScaleSmoke, seed)
+	if err != nil {
+		t.Fatalf("BuildEnvironment: %v", err)
+	}
+	m, err := experiments.BuildMethod(env, "fedavg-ft")
+	if err != nil {
+		t.Fatalf("BuildMethod: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	clientErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			clientErrs[id] = dialClientWithRetry(ctx, flnet.ClientConfig{
+				Addr:         addr,
+				ClientID:     id,
+				Data:         env.Participants[id],
+				Trainer:      m.Trainer,
+				Personalizer: m.Personalizer,
+				Seed:         seed,
+				IOTimeout:    30 * time.Second,
+			})
+		}(i)
+	}
+
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{
+			"-addr", addr, "-clients", "2", "-rounds", "1", "-per-round", "2",
+			"-method", "fedavg-ft", "-setting", setting, "-scale", "smoke", "-seed", "7",
+		})
+	})
+	wg.Wait()
+	for id, cerr := range clientErrs {
+		if cerr != nil {
+			t.Fatalf("client %d: %v", id, cerr)
+		}
+	}
+	for _, needle := range []string{"round 0:", "personalized accuracy", "summary:"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("server output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestServerRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-setting", "nope"}); err == nil {
+		t.Fatal("unknown setting accepted")
+	}
+	if err := run([]string{"-method", "nope"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}

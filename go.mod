@@ -1,0 +1,3 @@
+module calibre
+
+go 1.24

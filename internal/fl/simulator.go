@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"calibre/internal/partition"
+	"calibre/internal/tensor"
 )
 
 // SimConfig controls a federated training simulation.
@@ -16,6 +17,15 @@ type SimConfig struct {
 	Seed            int64
 	// Parallelism bounds concurrent local updates; 0 means GOMAXPROCS.
 	Parallelism int
+	// KernelWorkers, when > 0, resizes the process-wide tensor kernel pool
+	// before the simulation starts (tensor.SetWorkers). The pool is shared
+	// by all concurrently-training clients, which bounds nested fan-out:
+	// kernel tiles run on at most KernelWorkers pool goroutines plus the
+	// calling client goroutines themselves (each caller also works through
+	// one chunk of its own product), so total kernel concurrency is about
+	// Parallelism + KernelWorkers rather than their product. 0 leaves the
+	// current pool size untouched.
+	KernelWorkers int
 	// Sampler defaults to UniformSampler.
 	Sampler Sampler
 	// DropoutRate simulates client failures/stragglers: each sampled
@@ -86,6 +96,9 @@ func applyDropout(rng *rand.Rand, ids []int, rate float64) []int {
 // Run executes the training stage and returns the final global vector and
 // per-round statistics.
 func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
+	if s.Config.KernelWorkers > 0 {
+		tensor.SetWorkers(s.Config.KernelWorkers)
+	}
 	masterRNG := rand.New(rand.NewSource(s.Config.Seed))
 	global, err := s.Method.InitGlobal(masterRNG)
 	if err != nil {

@@ -1,0 +1,141 @@
+package flnet
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"calibre/internal/baselines"
+	"calibre/internal/fl"
+	"calibre/internal/ssl"
+	"calibre/internal/tensor"
+)
+
+// runSSLFederation spins up a server and n concurrently-connected clients
+// training a real SSL-based method, with the shared tensor kernel pool
+// pinned to `workers`, and returns the final global vector and accuracies.
+func runSSLFederation(t *testing.T, workers, n, rounds int) *Result {
+	t.Helper()
+	tensor.SetWorkers(workers)
+	t.Cleanup(func() { tensor.SetWorkers(0) })
+
+	clients := netClients(t, n)
+	arch := ssl.Arch{InputDim: 16, HiddenDim: 24, FeatDim: 12, ProjDim: 8}
+	cfg := baselines.DefaultConfig(arch, 10)
+	cfg.Train.Epochs = 1
+	cfg.Train.BatchSize = 16
+	cfg.Head.Epochs = 2
+	method := baselines.NewFedAvg(cfg)
+
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: n, Rounds: rounds, ClientsPerRound: n, Seed: 5,
+		Aggregator: method.Aggregator,
+		InitGlobal: method.InitGlobal,
+		IOTimeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = RunClient(ctx, ClientConfig{
+				Addr:         srv.Addr().String(),
+				ClientID:     id,
+				Data:         clients[id],
+				Trainer:      method.Trainer,
+				Personalizer: method.Personalizer,
+				Seed:         5,
+				IOTimeout:    30 * time.Second,
+			})
+		}(i)
+	}
+	res, err := srv.Run(ctx)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("server Run: %v", err)
+	}
+	for id, cerr := range errs {
+		if cerr != nil {
+			t.Fatalf("client %d: %v", id, cerr)
+		}
+	}
+	return res
+}
+
+// TestFederationParallelKernelsOverTCP is the end-to-end integration gate
+// for the parallel linear-algebra core: several clients train concurrently
+// over real TCP connections while the shared kernel pool runs multi-worker.
+// Under -race (ci.sh runs the whole suite that way) this exercises the
+// pool, the per-connection server goroutines and the trainers together.
+// The kernels' determinism guarantee makes the result comparable bit for
+// bit with a single-worker run of the identical federation.
+func TestFederationParallelKernelsOverTCP(t *testing.T) {
+	parallel := runSSLFederation(t, 3, 4, 2)
+	serial := runSSLFederation(t, 1, 4, 2)
+
+	if len(parallel.Global) == 0 || len(parallel.Global) != len(serial.Global) {
+		t.Fatalf("global lengths: parallel=%d serial=%d", len(parallel.Global), len(serial.Global))
+	}
+	for i := range parallel.Global {
+		if math.Float64bits(parallel.Global[i]) != math.Float64bits(serial.Global[i]) {
+			t.Fatalf("global[%d] differs across worker counts: %x vs %x",
+				i, parallel.Global[i], serial.Global[i])
+		}
+	}
+	if len(parallel.Accuracies) != 4 {
+		t.Fatalf("accuracies = %v", parallel.Accuracies)
+	}
+	for id, acc := range parallel.Accuracies {
+		if acc != serial.Accuracies[id] {
+			t.Fatalf("accuracy[%d] differs across worker counts: %v vs %v", id, acc, serial.Accuracies[id])
+		}
+	}
+}
+
+// TestSimulatorKernelWorkersKnob checks the fl.SimConfig wiring: a
+// simulation with KernelWorkers set resizes the shared pool and still
+// produces the same result as the serial configuration.
+func TestSimulatorKernelWorkersKnob(t *testing.T) {
+	t.Cleanup(func() { tensor.SetWorkers(0) })
+	clients := netClients(t, 3)
+	arch := ssl.Arch{InputDim: 16, HiddenDim: 24, FeatDim: 12, ProjDim: 8}
+
+	runSim := func(kernelWorkers int) []float64 {
+		cfg := baselines.DefaultConfig(arch, 10)
+		cfg.Train.Epochs = 1
+		cfg.Train.BatchSize = 16
+		method := baselines.NewFedAvg(cfg)
+		sim, err := fl.NewSimulator(fl.SimConfig{
+			Rounds: 2, ClientsPerRound: 2, Seed: 9, Parallelism: 2, KernelWorkers: kernelWorkers,
+		}, method, clients)
+		if err != nil {
+			t.Fatalf("NewSimulator: %v", err)
+		}
+		global, _, err := sim.Run(context.Background())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return global
+	}
+	serial := runSim(1)
+	parallel := runSim(3)
+	if tensor.Workers() != 3 {
+		t.Fatalf("Workers() = %d after KernelWorkers=3 run, want 3", tensor.Workers())
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("global lengths %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("global[%d] differs across kernel worker counts", i)
+		}
+	}
+}

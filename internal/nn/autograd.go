@@ -7,6 +7,13 @@
 // backward closure; calling Backward on a scalar loss node topologically
 // sorts the reachable graph and accumulates gradients into the participating
 // Params. Nodes derived only from constants (Input, Detach) are skipped.
+//
+// The matrix-product ops (MatMul, MatMulTransB and the Linear layer's
+// forward/backward passes, plus the VICReg covariance ops) run on
+// internal/tensor's shared cache-blocked parallel kernels. The pool is
+// process-wide and deterministic, so forward and backward results are
+// bit-identical regardless of tensor.SetWorkers, and training many clients
+// concurrently (internal/fl) cannot oversubscribe the CPU.
 package nn
 
 import (

@@ -51,6 +51,44 @@ func BenchmarkMLPTrainStep(b *testing.B) {
 	}
 }
 
+// BenchmarkMLPTrainStepLarge exercises a train step big enough that the
+// Linear forward/backward matrix products leave tensor's serial fast path,
+// comparing a single-worker pool against the default pool size. On a
+// multi-core host the pooled variant tracks the kernel speedup; results are
+// bit-identical either way.
+func BenchmarkMLPTrainStepLarge(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"pool", 0}, // default: GOMAXPROCS or CALIBRE_KERNEL_WORKERS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			tensor.SetWorkers(bc.workers)
+			defer tensor.SetWorkers(0)
+			rng := rand.New(rand.NewSource(5))
+			m := MLP(rng, "bench", 256, 256, 128, 10)
+			opt := NewSGD(m, 0.05, 0.9, 0)
+			x := tensor.RandN(rng, 1, 128, 256)
+			targets := make([]int, 128)
+			for i := range targets {
+				targets[i] = rng.Intn(10)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt.ZeroGrad()
+				loss := CrossEntropy(ForwardTensor(m, x), targets)
+				if err := Backward(loss); err != nil {
+					b.Fatal(err)
+				}
+				opt.Step()
+			}
+		})
+	}
+}
+
 func BenchmarkNTXentForwardBackward(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	h := NewParam("h", 64, 24)

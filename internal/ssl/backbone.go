@@ -2,6 +2,11 @@
 // paper builds on: SimCLR, BYOL, SimSiam, MoCoV2, SwAV and SMoG. All methods
 // share a Backbone (encoder θb + projector θh, the paper's global model θ)
 // and differ only in how they turn two augmented views into a loss.
+//
+// All backbone and loss matrix products run on internal/tensor's shared
+// parallel kernel pool (sized with tensor.SetWorkers or
+// CALIBRE_KERNEL_WORKERS); per-step results are bit-identical for any pool
+// size, so federated runs stay reproducible under concurrency.
 package ssl
 
 import (

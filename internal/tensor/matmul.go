@@ -1,0 +1,253 @@
+package tensor
+
+import "fmt"
+
+// The MatMul family is the hot path of every SSL forward/backward pass, so
+// it comes in three layers:
+//
+//  1. Serial reference kernels (MatMulSerialInto and friends): the naive
+//     ikj loops. They define the bit-for-bit semantics of every kernel.
+//  2. Cache-blocked tile kernels (matMul*Range): the same accumulation
+//     order as the references, restricted to a contiguous range of output
+//     rows and tiled over blockI×blockK so the working set stays in cache.
+//  3. Parallel dispatch (MatMulInto and friends): splits the output rows
+//     across the shared worker pool (see pool.go). Small problems take the
+//     serial reference directly, so tiny matrices never pay goroutine or
+//     tiling overhead.
+//
+// Determinism guarantee: every output element is produced by exactly one
+// goroutine, accumulating over the inner dimension in ascending order with
+// a single accumulator — the same order as the serial references. Parallel
+// and serial kernels therefore return bit-identical results for any worker
+// count, which the property tests in matmul_test.go assert exactly (0 ULP).
+
+const (
+	// serialFLOPs is the m·k·n product below which the serial reference
+	// kernel is used directly. 64×64×64 (= 1<<18) lands on the serial
+	// path; 128³ and up go parallel. Compared in int64 so the product
+	// cannot wrap on 32-bit architectures.
+	serialFLOPs int64 = 1 << 18
+
+	// blockI×blockK is the tile shape: blockK rows of b (or a for the
+	// transposed variants) are streamed against blockI output rows, so a
+	// tile of roughly blockK·n floats is reused blockI times while hot.
+	blockI = 64
+	blockK = 64
+
+	// minRowsPerTask bounds how finely parallelRows may split the output,
+	// keeping per-task work large enough to amortize dispatch.
+	minRowsPerTask = 8
+)
+
+// MatMul returns the matrix product a (m×k) by b (k×n) as a new m×n tensor.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("%w: MatMul needs 2-D operands, got %v and %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShape, k, k2)
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out, nil
+}
+
+// MatMulInto computes out = a·b assuming shapes are already compatible.
+// It is the allocation-free core used by MatMul and by the autograd backward
+// passes. out must not alias a or b. Results are bit-identical to
+// MatMulSerialInto for any worker-pool size.
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if int64(m)*int64(k)*int64(n) <= serialFLOPs || m < 2*minRowsPerTask || Workers() == 1 {
+		MatMulSerialInto(out, a, b)
+		return
+	}
+	parallelRows(m, minRowsPerTask, func(lo, hi int) {
+		matMulRange(out, a, b, lo, hi)
+	})
+}
+
+// MatMulTransAInto computes out = aᵀ·b where a is (k×m), b is (k×n),
+// out is (m×n). Used by Linear backward for weight gradients. Results are
+// bit-identical to MatMulTransASerialInto for any worker-pool size.
+func MatMulTransAInto(out, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if int64(k)*int64(m)*int64(n) <= serialFLOPs || m < 2*minRowsPerTask || Workers() == 1 {
+		MatMulTransASerialInto(out, a, b)
+		return
+	}
+	parallelRows(m, minRowsPerTask, func(lo, hi int) {
+		matMulTransARange(out, a, b, lo, hi)
+	})
+}
+
+// MatMulTransBInto computes out = a·bᵀ where a is (m×k), b is (n×k),
+// out is (m×n). Used by Linear backward for input gradients. Results are
+// bit-identical to MatMulTransBSerialInto for any worker-pool size.
+func MatMulTransBInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if int64(m)*int64(k)*int64(n) <= serialFLOPs || m < 2*minRowsPerTask || Workers() == 1 {
+		MatMulTransBSerialInto(out, a, b)
+		return
+	}
+	parallelRows(m, minRowsPerTask, func(lo, hi int) {
+		matMulTransBRange(out, a, b, lo, hi)
+	})
+}
+
+// --- Serial references ------------------------------------------------------
+
+// MatMulSerialInto is the single-threaded reference for MatMulInto. It is
+// exported so benchmarks and property tests can compare the parallel kernels
+// against it; production code should call MatMulInto.
+func MatMulSerialInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out.Zero()
+	// ikj loop order: stream through b rows for cache friendliness.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransASerialInto is the single-threaded reference for
+// MatMulTransAInto.
+func MatMulTransASerialInto(out, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	out.Zero()
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransBSerialInto is the single-threaded reference for
+// MatMulTransBInto.
+func MatMulTransBSerialInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var s float64
+			for p := 0; p < k; p++ {
+				s += arow[p] * brow[p]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// --- Cache-blocked tile kernels ---------------------------------------------
+
+// matMulRange computes rows [lo, hi) of out = a·b, tiled blockI×blockK.
+// For each output element the inner dimension is accumulated in ascending
+// order (tiles ascend, and p ascends within a tile), matching the serial
+// reference bit for bit.
+func matMulRange(out, a, b *Tensor, lo, hi int) {
+	k := a.shape[1]
+	n := b.shape[1]
+	for i0 := lo; i0 < hi; i0 += blockI {
+		i1 := min(i0+blockI, hi)
+		for i := i0; i < i1; i++ {
+			clear(out.data[i*n : (i+1)*n])
+		}
+		for p0 := 0; p0 < k; p0 += blockK {
+			p1 := min(p0+blockK, k)
+			for i := i0; i < i1; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				orow := out.data[i*n : (i+1)*n]
+				for p := p0; p < p1; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b.data[p*n : (p+1)*n]
+					for j := 0; j < n; j++ {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// matMulTransARange computes rows [lo, hi) of out = aᵀ·b (a is k×m).
+func matMulTransARange(out, a, b *Tensor, lo, hi int) {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	for i := lo; i < hi; i++ {
+		clear(out.data[i*n : (i+1)*n])
+	}
+	for i0 := lo; i0 < hi; i0 += blockI {
+		i1 := min(i0+blockI, hi)
+		for p0 := 0; p0 < k; p0 += blockK {
+			p1 := min(p0+blockK, k)
+			for p := p0; p < p1; p++ {
+				arow := a.data[p*m : (p+1)*m]
+				brow := b.data[p*n : (p+1)*n]
+				for i := i0; i < i1; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					orow := out.data[i*n : (i+1)*n]
+					for j := 0; j < n; j++ {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// matMulTransBRange computes rows [lo, hi) of out = a·bᵀ (b is n×k). Each
+// dot product keeps a single accumulator over ascending p, exactly like the
+// serial reference; tiling only reorders which (i, j) cells are visited.
+func matMulTransBRange(out, a, b *Tensor, lo, hi int) {
+	k := a.shape[1]
+	n := b.shape[0]
+	for i0 := lo; i0 < hi; i0 += blockI {
+		i1 := min(i0+blockI, hi)
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			for i := i0; i < i1; i++ {
+				arow := a.data[i*k : (i+1)*k]
+				var s float64
+				for p := 0; p < k; p++ {
+					s += arow[p] * brow[p]
+				}
+				out.data[i*n+j] = s
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvKernelWorkers is the environment variable that overrides the default
+// size of the shared kernel worker pool. It is read once, when the pool is
+// first used; SetWorkers takes precedence at any time.
+const EnvKernelWorkers = "CALIBRE_KERNEL_WORKERS"
+
+// The package keeps one long-lived worker pool shared by every kernel
+// invocation in the process. Sharing one pool is what keeps kernel
+// parallelism composable with caller-level concurrency (internal/fl runs
+// many clients at once): kernel tiles run on at most Workers() pool
+// goroutines plus the callers themselves (each caller executes one chunk
+// of its own product inline), so N concurrent callers produce about
+// N + Workers() kernel goroutines — not N × Workers() as per-call pools
+// would.
+var (
+	poolMu sync.RWMutex
+	pool   *workerPool
+	// workerCount mirrors pool.n (0 until the pool first exists) so the
+	// serial fast path in every kernel can read the size with one atomic
+	// load instead of bouncing poolMu's cache line on each tiny product.
+	workerCount atomic.Int32
+)
+
+type workerPool struct {
+	n     int
+	tasks chan func()
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, tasks: make(chan func(), 4*n)}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func defaultWorkers() int {
+	if s := os.Getenv(EnvKernelWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers resizes the shared kernel pool to n workers. n < 1 resets to
+// the default (CALIBRE_KERNEL_WORKERS if set, else GOMAXPROCS). It blocks
+// until in-flight kernels finish, so it is safe to call concurrently with
+// kernel use; prefer calling it once at startup or between training stages.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if pool != nil {
+		if pool.n == n {
+			return
+		}
+		close(pool.tasks) // idle workers exit; in-flight tasks finished under the write lock
+	}
+	pool = newWorkerPool(n)
+	workerCount.Store(int32(n))
+}
+
+// Workers returns the current size of the shared kernel pool (the size it
+// will have on first use, if no kernel has run yet). This is a single
+// atomic load on the hot path.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return defaultWorkers()
+}
+
+func ensurePool() {
+	if workerCount.Load() > 0 {
+		return
+	}
+	poolMu.Lock()
+	if pool == nil {
+		pool = newWorkerPool(defaultWorkers())
+		workerCount.Store(int32(pool.n))
+	}
+	poolMu.Unlock()
+}
+
+// parallelRows splits [0, m) into at most Workers() contiguous chunks of at
+// least minChunk rows each and runs fn on every chunk, executing the first
+// chunk on the calling goroutine and the rest on the shared pool. fn must
+// touch only its own row range, which makes the decomposition deterministic:
+// every output element is produced by exactly one invocation, in the same
+// order as a serial sweep.
+func parallelRows(m, minChunk int, fn func(lo, hi int)) {
+	ensurePool()
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	chunks := pool.n
+	if maxChunks := m / minChunk; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	base, rem := m/chunks, m%chunks
+	// Chunk c covers base rows, the first rem chunks one extra.
+	hi := 0
+	for c := 0; c < chunks; c++ {
+		lo := hi
+		hi = lo + base
+		if c < rem {
+			hi++
+		}
+		if c == 0 {
+			continue // saved for the caller, run after all submissions
+		}
+		lo, hi := lo, hi
+		pool.tasks <- func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+	}
+	first := base
+	if rem > 0 {
+		first++
+	}
+	fn(0, first)
+	wg.Wait()
+}

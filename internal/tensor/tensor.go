@@ -7,6 +7,28 @@
 // vectors. Operations either allocate a fresh result or, when suffixed with
 // Into, write into a caller-provided destination to avoid allocation in hot
 // loops.
+//
+// # Parallel kernels
+//
+// The MatMul family (MatMulInto, MatMulTransAInto, MatMulTransBInto) is
+// cache-blocked and goroutine-parallel: large products are tiled and their
+// output rows split across a package-level worker pool (see matmul.go and
+// pool.go). The pool is shared by every kernel call in the process and is
+// sized by GOMAXPROCS, overridable with SetWorkers or the
+// CALIBRE_KERNEL_WORKERS environment variable — so caller-level concurrency
+// (for example internal/fl training many clients at once) composes with
+// kernel parallelism without oversubscribing the CPU. Products below a size
+// threshold run the serial reference kernels directly.
+//
+// # Determinism
+//
+// Parallel kernels are bit-for-bit identical to the serial references
+// (MatMulSerialInto and friends) for any worker count: each output element
+// is produced by exactly one goroutine, reducing over the inner dimension
+// in the same fixed order as the serial code. Changing worker counts never
+// changes results. (Across different architectures the usual Go caveat
+// applies — the compiler may fuse multiply-adds, so bit-identity is
+// guaranteed per build, not between, say, amd64 and arm64 binaries.)
 package tensor
 
 import (
@@ -262,85 +284,8 @@ func Apply(a *Tensor, f func(float64) float64) *Tensor {
 
 // --- Matrix ops ------------------------------------------------------------
 
-// MatMul returns the matrix product a (m×k) by b (k×n) as a new m×n tensor.
-func MatMul(a, b *Tensor) (*Tensor, error) {
-	if a.Dims() != 2 || b.Dims() != 2 {
-		return nil, fmt.Errorf("%w: MatMul needs 2-D operands, got %v and %v", ErrShape, a.shape, b.shape)
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShape, k, k2)
-	}
-	out := New(m, n)
-	MatMulInto(out, a, b)
-	return out, nil
-}
-
-// MatMulInto computes out = a·b assuming shapes are already compatible.
-// It is the allocation-free core used by MatMul and by the autograd backward
-// passes. out must not alias a or b.
-func MatMulInto(out, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	out.Zero()
-	// ikj loop order: stream through b rows for cache friendliness.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// MatMulTransAInto computes out = aᵀ·b where a is (k×m), b is (k×n),
-// out is (m×n). Used by Linear backward for weight gradients.
-func MatMulTransAInto(out, a, b *Tensor) {
-	k, m := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	out.Zero()
-	for p := 0; p < k; p++ {
-		arow := a.data[p*m : (p+1)*m]
-		brow := b.data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			orow := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-}
-
-// MatMulTransBInto computes out = a·bᵀ where a is (m×k), b is (n×k),
-// out is (m×n). Used by Linear backward for input gradients.
-func MatMulTransBInto(out, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
-			var s float64
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			orow[j] = s
-		}
-	}
-}
+// The MatMul family lives in matmul.go: parallel cache-blocked kernels with
+// exported serial references and a bit-for-bit determinism guarantee.
 
 // Transpose returns the transpose of a 2-D tensor.
 func Transpose(a *Tensor) (*Tensor, error) {
