@@ -84,6 +84,16 @@ type (
 	FederationResult = flnet.Result
 	// Server orchestrates a TCP federation.
 	Server = flnet.Server
+	// StragglerPolicy picks the fate of clients that miss a round
+	// deadline under quorum (K-of-N) aggregation.
+	StragglerPolicy = fl.StragglerPolicy
+)
+
+// Straggler policies for asynchronous federations (ServerConfig.Straggler):
+// requeue keeps deadline-missers in the federation, drop evicts them.
+const (
+	StragglerRequeue = fl.StragglerRequeue
+	StragglerDrop    = fl.StragglerDrop
 )
 
 // Experiment scales.

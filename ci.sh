@@ -28,6 +28,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== examples (build + vet) =="
+go build ./examples/...
+go vet ./examples/...
+
+echo "== doc gate =="
+go run ./tools/docgate
+
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 

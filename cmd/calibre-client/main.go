@@ -9,6 +9,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"calibre/internal/experiments"
 	"calibre/internal/flnet"
@@ -24,12 +25,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("calibre-client", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:9100", "server address")
-		id      = fs.Int("id", 0, "client id (must be unique across the federation)")
-		method  = fs.String("method", "calibre-simclr", "method name (must match the server)")
-		setting = fs.String("setting", "cifar10-q(2,500)", "experiment setting (must match the server)")
-		scale   = fs.String("scale", "smoke", "scale preset (must match the server)")
-		seed    = fs.Int64("seed", 42, "master seed (must match the server)")
+		addr       = fs.String("addr", "127.0.0.1:9100", "server address")
+		id         = fs.Int("id", 0, "client id (must be unique across the federation)")
+		method     = fs.String("method", "calibre-simclr", "method name (must match the server)")
+		setting    = fs.String("setting", "cifar10-q(2,500)", "experiment setting (must match the server)")
+		scale      = fs.String("scale", "smoke", "scale preset (must match the server)")
+		seed       = fs.Int64("seed", 42, "master seed (must match the server)")
+		simLatency = fs.Duration("sim-latency", 0, "artificial delay before each local update (straggler fault injection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +53,11 @@ func run(args []string) error {
 	}
 	fmt.Printf("client %d joining %s (method %s, %d train / %d test samples)\n",
 		*id, *addr, *method, env.Participants[*id].Train.Len(), env.Participants[*id].Test.Len())
+	var lat func(int) time.Duration
+	if *simLatency > 0 {
+		d := *simLatency
+		lat = func(int) time.Duration { return d }
+	}
 	if err := flnet.RunClient(context.Background(), flnet.ClientConfig{
 		Addr:         *addr,
 		ClientID:     *id,
@@ -58,6 +65,7 @@ func run(args []string) error {
 		Trainer:      m.Trainer,
 		Personalizer: m.Personalizer,
 		Seed:         *seed,
+		SimLatency:   lat,
 	}); err != nil {
 		return err
 	}

@@ -82,4 +82,7 @@ func TestClientRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-method", "nope"}); err == nil {
 		t.Fatal("unknown method accepted")
 	}
+	if err := run([]string{"-sim-latency", "nope"}); err == nil {
+		t.Fatal("malformed sim-latency accepted")
+	}
 }

@@ -36,16 +36,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("calibre-server", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":9100", "listen address")
-		clients  = fs.Int("clients", 3, "number of clients that must join")
-		rounds   = fs.Int("rounds", 5, "federated rounds")
-		perRound = fs.Int("per-round", 2, "clients sampled per round")
-		method   = fs.String("method", "calibre-simclr", "method name (see calibre-bench -list)")
-		setting  = fs.String("setting", "cifar10-q(2,500)", "experiment setting")
-		scale    = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
-		seed     = fs.Int64("seed", 42, "master seed (must match clients)")
+		addr      = fs.String("addr", ":9100", "listen address")
+		clients   = fs.Int("clients", 3, "number of clients that must join before training (late joiners admitted afterwards)")
+		rounds    = fs.Int("rounds", 5, "federated rounds")
+		perRound  = fs.Int("per-round", 2, "clients sampled per round")
+		method    = fs.String("method", "calibre-simclr", "method name (see calibre-bench -list)")
+		setting   = fs.String("setting", "cifar10-q(2,500)", "experiment setting")
+		scale     = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
+		seed      = fs.Int64("seed", 42, "master seed (must match clients)")
+		quorum    = fs.Int("quorum", 0, "min updates to close a round at the deadline (K of N); 0 waits for all")
+		deadline  = fs.Duration("deadline", 0, "per-round collection deadline; 0 waits for all participants")
+		straggler = fs.String("straggler", "requeue", "straggler policy at the deadline: requeue | drop")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := fl.ParseStragglerPolicy(*straggler)
+	if err != nil {
 		return err
 	}
 	s, ok := experiments.Settings()[*setting]
@@ -68,8 +75,11 @@ func run(args []string) error {
 		Seed:            *seed,
 		Aggregator:      m.Aggregator,
 		InitGlobal:      m.InitGlobal,
+		Quorum:          *quorum,
+		RoundDeadline:   *deadline,
+		Straggler:       policy,
 		OnRound: func(stats fl.RoundStats) {
-			fmt.Printf("round %d: participants=%v mean-loss=%.4f\n", stats.Round, stats.Participants, stats.MeanLoss)
+			fmt.Println(stats)
 		},
 	})
 	if err != nil {

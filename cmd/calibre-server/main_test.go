@@ -109,4 +109,13 @@ func TestServerRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-method", "nope"}); err == nil {
 		t.Fatal("unknown method accepted")
 	}
+	if err := run([]string{"-straggler", "nope"}); err == nil {
+		t.Fatal("unknown straggler policy accepted")
+	}
+	if err := run([]string{"-per-round", "2", "-quorum", "3", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("quorum above per-round accepted")
+	}
+	if err := run([]string{"-deadline", "-1s", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("negative deadline accepted")
+	}
 }

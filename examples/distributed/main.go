@@ -3,6 +3,14 @@
 // program (each client on its own goroutine, exactly the code path the
 // calibre-server / calibre-client binaries use across machines).
 //
+// The federation runs asynchronously: rounds close on a 3-of-4 quorum with
+// a per-round deadline, and one client is deliberately slowed down
+// (SimLatency) so the straggler machinery shows in the per-round log:
+// round 0 closes by deadline with the slow client listed as a straggler,
+// later rounds sample around it while it is busy, and — because the policy
+// is requeue, not drop — it still appears in the final per-client
+// accuracies once its stale reply drains.
+//
 //	go run ./examples/distributed
 package main
 
@@ -33,11 +41,19 @@ func main() {
 		Addr:            "127.0.0.1:0",
 		NumClients:      numClients,
 		Rounds:          3,
-		ClientsPerRound: 2,
+		ClientsPerRound: numClients,
 		Seed:            3,
 		Aggregator:      method.Aggregator,
 		InitGlobal:      method.InitGlobal,
-		IOTimeout:       time.Minute,
+		IOTimeout:       2 * time.Minute,
+		// Asynchronous rounds: close on a 3-of-4 quorum once the deadline
+		// passes; deadline-missers are requeued for later rounds.
+		Quorum:        numClients - 1,
+		RoundDeadline: 10 * time.Second,
+		Straggler:     calibre.StragglerRequeue,
+		OnRound: func(stats calibre.RoundStats) {
+			fmt.Println(stats)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -52,6 +68,18 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
+			// The last client simulates a slow device in round 0: it
+			// sleeps through the deadline, misses the quorum cut, and is
+			// requeued — watch the round log for its late update.
+			var latency func(round int) time.Duration
+			if id == numClients-1 {
+				latency = func(round int) time.Duration {
+					if round == 0 {
+						return 25 * time.Second
+					}
+					return 0
+				}
+			}
 			err := calibre.RunClient(ctx, calibre.ClientConfig{
 				Addr:         srv.Addr().String(),
 				ClientID:     id,
@@ -59,7 +87,8 @@ func main() {
 				Trainer:      method.Trainer,
 				Personalizer: method.Personalizer,
 				Seed:         3,
-				IOTimeout:    time.Minute,
+				IOTimeout:    2 * time.Minute,
+				SimLatency:   latency,
 			})
 			if err != nil {
 				log.Printf("client %d: %v", id, err)
@@ -71,9 +100,6 @@ func main() {
 	wg.Wait()
 	if err != nil {
 		log.Fatal(err)
-	}
-	for _, h := range res.History {
-		fmt.Printf("round %d: clients %v, mean SSL loss %.4f\n", h.Round, h.Participants, h.MeanLoss)
 	}
 	ids := make([]int, 0, len(res.Accuracies))
 	accs := make([]float64, 0, len(res.Accuracies))

@@ -3,6 +3,7 @@ package fl
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -16,7 +17,7 @@ func TestApplyDropoutKeepsAtLeastOne(t *testing.T) {
 			ids[i] = i
 		}
 		rate := rng.Float64() * 0.99
-		kept := applyDropout(rng, ids, rate)
+		kept := applyDropout(rng, ids, rate, 0)
 		if len(kept) < 1 || len(kept) > n {
 			return false
 		}
@@ -39,9 +40,23 @@ func TestApplyDropoutKeepsAtLeastOne(t *testing.T) {
 func TestApplyDropoutZeroRateIsIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	ids := []int{3, 1, 4}
-	kept := applyDropout(rng, ids, 0)
+	kept := applyDropout(rng, ids, 0, 0)
 	if len(kept) != 3 {
 		t.Fatalf("kept = %v", kept)
+	}
+}
+
+func TestApplyDropoutRespectsQuorum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ids := []int{0, 1, 2, 3, 4, 5}
+	for trial := 0; trial < 50; trial++ {
+		kept := applyDropout(rng, ids, 0.95, 4)
+		if len(kept) < 4 {
+			t.Fatalf("trial %d: quorum 4 violated, kept %v", trial, kept)
+		}
+		if !sort.IntsAreSorted(kept) {
+			t.Fatalf("survivors not sorted: %v", kept)
+		}
 	}
 }
 
@@ -59,13 +74,22 @@ func TestSimulatorWithDropoutStillCompletes(t *testing.T) {
 	var total int
 	dropped := false
 	for _, h := range hist {
-		if len(h.Participants) < 1 || len(h.Participants) > 4 {
-			t.Fatalf("round %d participants = %v", h.Round, h.Participants)
+		if len(h.Participants) != 4 {
+			t.Fatalf("round %d sampled = %v", h.Round, h.Participants)
 		}
-		if len(h.Participants) < 4 {
+		survivors := h.Participants
+		if h.Responders != nil {
+			survivors = h.Responders
 			dropped = true
+			if len(h.Stragglers)+len(h.Responders) != len(h.Participants) {
+				t.Fatalf("round %d accounting: %d stragglers + %d responders != %d sampled",
+					h.Round, len(h.Stragglers), len(h.Responders), len(h.Participants))
+			}
 		}
-		total += len(h.Participants)
+		if len(survivors) < 1 || len(survivors) > 4 {
+			t.Fatalf("round %d survivors = %v", h.Round, survivors)
+		}
+		total += len(survivors)
 	}
 	if !dropped {
 		t.Fatal("50% dropout over 8 rounds should drop someone")
@@ -83,5 +107,48 @@ func TestSimulatorRejectsInvalidDropout(t *testing.T) {
 	}
 	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 1, DropoutRate: -0.1}, m, clients); err == nil {
 		t.Fatal("negative dropout rate should be rejected")
+	}
+	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 2, Quorum: 3}, m, clients); err == nil {
+		t.Fatal("quorum above clientsPerRound should be rejected")
+	}
+	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 8, Quorum: 5}, m, clients); err == nil {
+		t.Fatal("quorum above the client population should be rejected")
+	}
+	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 1, Quorum: -1}, m, clients); err == nil {
+		t.Fatal("negative quorum should be rejected")
+	}
+	if _, err := NewSimulator(SimConfig{Rounds: 1, ClientsPerRound: 1, Straggler: StragglerPolicy(9)}, m, clients); err == nil {
+		t.Fatal("unknown straggler policy should be rejected")
+	}
+}
+
+// TestSimulatorStragglerDropShrinksPopulation checks StragglerDrop: a
+// client that drops out of a round never reappears in a later round.
+func TestSimulatorStragglerDropShrinksPopulation(t *testing.T) {
+	clients := testClients(t, 8)
+	tr := &fakeTrainer{}
+	sim, err := NewSimulator(SimConfig{
+		Rounds: 10, ClientsPerRound: 4, Seed: 11, DropoutRate: 0.4, Straggler: StragglerDrop,
+	}, fakeMethod(tr), clients)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	_, hist, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	evicted := map[int]bool{}
+	for _, h := range hist {
+		for _, id := range h.Participants {
+			if evicted[id] {
+				t.Fatalf("round %d sampled evicted client %d", h.Round, id)
+			}
+		}
+		for _, id := range h.Stragglers {
+			evicted[id] = true
+		}
+	}
+	if len(evicted) == 0 {
+		t.Fatal("40% dropout over 10 rounds should evict someone")
 	}
 }

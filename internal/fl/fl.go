@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"calibre/internal/partition"
@@ -20,6 +21,48 @@ import (
 // ErrNoUpdates is returned by aggregators when a round produced no client
 // updates.
 var ErrNoUpdates = errors.New("fl: no client updates to aggregate")
+
+// ErrQuorumNotMet is returned (wrapped) when a round's deadline expires
+// before the configured quorum of client updates has arrived.
+var ErrQuorumNotMet = errors.New("fl: quorum not met before round deadline")
+
+// StragglerPolicy decides what happens to a sampled client that misses the
+// round deadline under quorum aggregation.
+type StragglerPolicy int
+
+const (
+	// StragglerRequeue (the default) discards the straggler's late update
+	// but keeps the client in the federation: it rejoins the eligible pool
+	// as soon as its stale reply drains and can be sampled in later rounds.
+	StragglerRequeue StragglerPolicy = iota
+	// StragglerDrop evicts the straggler from the federation entirely; it
+	// is never sampled again and takes no part in personalization.
+	StragglerDrop
+)
+
+// String renders the policy for logs and flags.
+func (p StragglerPolicy) String() string {
+	switch p {
+	case StragglerRequeue:
+		return "requeue"
+	case StragglerDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("stragglerpolicy(%d)", int(p))
+	}
+}
+
+// ParseStragglerPolicy parses the CLI spelling of a policy.
+func ParseStragglerPolicy(s string) (StragglerPolicy, error) {
+	switch s {
+	case "requeue", "":
+		return StragglerRequeue, nil
+	case "drop":
+		return StragglerDrop, nil
+	default:
+		return 0, fmt.Errorf("fl: unknown straggler policy %q (want requeue or drop)", s)
+	}
+}
 
 // Update is a client's result for one round of local training.
 type Update struct {
@@ -85,11 +128,44 @@ func (m *Method) Validate() error {
 	return nil
 }
 
-// RoundStats records one round's outcome.
+// RoundStats records one round's outcome, including the asynchronous
+// runtime's straggler accounting. In a fully synchronous round Responders
+// equals Participants and the remaining fields are zero.
 type RoundStats struct {
 	Round        int
-	Participants []int
+	Participants []int // clients sampled for the round
 	MeanLoss     float64
+
+	// Responders lists the participants whose updates were aggregated,
+	// in canonical (ascending-slot) order. Nil means all participants
+	// responded (fully synchronous round).
+	Responders []int
+	// Stragglers lists participants whose updates were not aggregated:
+	// they missed the round deadline, dropped out, or failed mid-round.
+	Stragglers []int
+	// LateUpdates counts stale replies from earlier rounds' stragglers
+	// that drained during this round's collection window.
+	LateUpdates int
+	// DeadlineExpired reports that the round was closed by its deadline
+	// with a quorum of updates, rather than by every participant replying.
+	DeadlineExpired bool
+}
+
+// String renders the round on one log line, including straggler accounting
+// when present; cmd/calibre-server and examples use it for OnRound output.
+func (r RoundStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "round %d: participants=%v mean-loss=%.4f", r.Round, r.Participants, r.MeanLoss)
+	if r.Responders != nil {
+		fmt.Fprintf(&b, " responders=%v stragglers=%v", r.Responders, r.Stragglers)
+	}
+	if r.LateUpdates > 0 {
+		fmt.Fprintf(&b, " late-updates=%d", r.LateUpdates)
+	}
+	if r.DeadlineExpired {
+		b.WriteString(" deadline-expired")
+	}
+	return b.String()
 }
 
 // Sampler selects the participating clients for a round.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
+	"time"
 
 	"calibre/internal/partition"
 	"calibre/internal/tensor"
@@ -30,9 +32,25 @@ type SimConfig struct {
 	Sampler Sampler
 	// DropoutRate simulates client failures/stragglers: each sampled
 	// client independently drops out of the round with this probability
-	// (its update is simply missing, as in production FL). At least one
-	// sampled client always survives so every round aggregates something.
+	// (its update is simply missing, as in production FL). At least
+	// max(1, Quorum) sampled clients always survive so every round
+	// aggregates something.
 	DropoutRate float64
+	// Quorum is the minimum number of surviving updates a round keeps
+	// under DropoutRate (K in K-of-N aggregation). 0 means 1 — the
+	// historical "at least one survivor" floor. It mirrors the flnet
+	// server's quorum knob: the networked server waits for K updates,
+	// the simulator guarantees K survivors.
+	Quorum int
+	// RoundDeadline bounds each round's wall-clock time; a round that
+	// exceeds it fails with context.DeadlineExceeded. 0 means unbounded.
+	// In the networked runtime the same knob instead closes the round
+	// with whatever quorum of updates has arrived.
+	RoundDeadline time.Duration
+	// Straggler decides the fate of dropped clients: StragglerRequeue
+	// (default) drops them for the round only, StragglerDrop evicts them
+	// from the population for the rest of the simulation.
+	Straggler StragglerPolicy
 	// OnRound, if set, observes each completed round (single-goroutine).
 	OnRound func(RoundStats)
 }
@@ -72,24 +90,49 @@ func NewSimulator(cfg SimConfig, method *Method, clients []*partition.Client) (*
 	if cfg.DropoutRate < 0 || cfg.DropoutRate >= 1 {
 		return nil, fmt.Errorf("fl: dropout rate must be in [0,1), got %v", cfg.DropoutRate)
 	}
+	if cfg.Quorum < 0 {
+		return nil, fmt.Errorf("fl: quorum must be ≥0, got %d", cfg.Quorum)
+	}
+	if cfg.Quorum > cfg.ClientsPerRound {
+		return nil, fmt.Errorf("fl: quorum %d exceeds clientsPerRound %d", cfg.Quorum, cfg.ClientsPerRound)
+	}
+	if cfg.Quorum > len(clients) {
+		return nil, fmt.Errorf("fl: quorum %d exceeds client population %d", cfg.Quorum, len(clients))
+	}
+	if _, err := ParseStragglerPolicy(cfg.Straggler.String()); err != nil {
+		return nil, err
+	}
 	return &Simulator{Config: cfg, Method: method, Clients: clients}, nil
 }
 
-// applyDropout removes each id with probability rate, keeping at least one
-// (preferring a random survivor when everyone would drop).
-func applyDropout(rng *rand.Rand, ids []int, rate float64) []int {
+// applyDropout removes each id with probability rate, keeping at least
+// max(1, quorum) survivors (preferring random survivors when too many
+// would drop).
+func applyDropout(rng *rand.Rand, ids []int, rate float64, quorum int) []int {
 	if rate <= 0 {
 		return ids
 	}
+	if quorum < 1 {
+		quorum = 1
+	}
+	if quorum > len(ids) {
+		quorum = len(ids)
+	}
 	kept := make([]int, 0, len(ids))
+	dropped := make([]int, 0, len(ids))
 	for _, id := range ids {
 		if rng.Float64() >= rate {
 			kept = append(kept, id)
+		} else {
+			dropped = append(dropped, id)
 		}
 	}
-	if len(kept) == 0 {
-		kept = append(kept, ids[rng.Intn(len(ids))])
+	for len(kept) < quorum {
+		i := rng.Intn(len(dropped))
+		kept = append(kept, dropped[i])
+		dropped = append(dropped[:i], dropped[i+1:]...)
 	}
+	sort.Ints(kept)
 	return kept
 }
 
@@ -104,15 +147,37 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("fl: init global: %w", err)
 	}
+	// alive tracks the sampleable population; StragglerDrop shrinks it.
+	alive := make([]int, len(s.Clients))
+	for i := range alive {
+		alive[i] = i
+	}
 	history := make([]RoundStats, 0, s.Config.Rounds)
 	for round := 0; round < s.Config.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
 		}
-		ids := s.Config.Sampler.Sample(masterRNG, len(s.Clients), s.Config.ClientsPerRound)
-		ids = applyDropout(masterRNG, ids, s.Config.DropoutRate)
+		picks := s.Config.Sampler.Sample(masterRNG, len(alive), s.Config.ClientsPerRound)
+		sampled := make([]int, len(picks))
+		for i, p := range picks {
+			sampled[i] = alive[p]
+		}
+		// Guard the K-of-N contract loudly rather than letting applyDropout
+		// clamp the floor: a round that cannot keep Quorum survivors fails.
+		// (Unreachable in normal operation — validation bounds Quorum by
+		// both ClientsPerRound and the population, and StragglerDrop only
+		// evicts dropped clients, leaving ≥ Quorum survivors alive.)
+		if s.Config.Quorum > 0 && len(sampled) < s.Config.Quorum {
+			return nil, nil, fmt.Errorf("fl: round %d: only %d sampled clients for quorum %d: %w",
+				round, len(sampled), s.Config.Quorum, ErrQuorumNotMet)
+		}
+		ids := applyDropout(masterRNG, sampled, s.Config.DropoutRate, s.Config.Quorum)
+		roundCtx, cancelRound := ctx, context.CancelFunc(func() {})
+		if s.Config.RoundDeadline > 0 {
+			roundCtx, cancelRound = context.WithTimeout(ctx, s.Config.RoundDeadline)
+		}
 		round := round
-		updates, err := runParallel(ctx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
+		updates, err := runParallel(roundCtx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
 			rng := clientRNG(s.Config.Seed, round, id)
 			u, err := s.Method.Trainer.Train(ctx, rng, s.Clients[id], global, round)
 			if err != nil {
@@ -120,14 +185,28 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 			}
 			return u, nil
 		})
+		cancelRound()
 		if err != nil {
 			return nil, nil, err
 		}
-		global, err = s.Method.Aggregator.Aggregate(global, updates)
+		sink := NewRoundSink(s.Method.Aggregator, global)
+		for _, u := range updates {
+			if err := sink.Ingest(u); err != nil {
+				return nil, nil, fmt.Errorf("fl: aggregate round %d: %w", round, err)
+			}
+		}
+		global, err = sink.Finish()
 		if err != nil {
 			return nil, nil, fmt.Errorf("fl: aggregate round %d: %w", round, err)
 		}
-		stats := RoundStats{Round: round, Participants: ids}
+		stats := RoundStats{Round: round, Participants: sampled}
+		if len(ids) != len(sampled) {
+			stats.Responders = ids
+			stats.Stragglers = diffSorted(sampled, ids)
+			if s.Config.Straggler == StragglerDrop {
+				alive = diffSorted(alive, stats.Stragglers)
+			}
+		}
 		for _, u := range updates {
 			stats.MeanLoss += u.TrainLoss
 		}
@@ -138,6 +217,23 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 		}
 	}
 	return global, history, nil
+}
+
+// diffSorted returns the elements of a (ascending) not present in b
+// (ascending), preserving order.
+func diffSorted(a, b []int) []int {
+	out := make([]int, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // PersonalizeAll runs the personalization stage for every given client

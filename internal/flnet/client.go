@@ -29,6 +29,12 @@ type ClientConfig struct {
 	IOTimeout time.Duration
 	// DialTimeout bounds the initial connection (default 10 seconds).
 	DialTimeout time.Duration
+	// SimLatency, when non-nil, sleeps for the returned duration before a
+	// round's local training starts — a fault-injection knob that turns
+	// this client into a controlled straggler for exercising the server's
+	// quorum/deadline/straggler handling in tests, demos and chaos runs.
+	// Non-positive durations mean no delay for that round.
+	SimLatency func(round int) time.Duration
 }
 
 func (c *ClientConfig) validate() error {
@@ -90,6 +96,15 @@ func RunClient(ctx context.Context, cfg ClientConfig) error {
 		}
 		switch env.Type {
 		case MsgTrain:
+			if cfg.SimLatency != nil {
+				if d := cfg.SimLatency(env.Round); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return fmt.Errorf("flnet: client %d: %w", cfg.ClientID, ctx.Err())
+					}
+				}
+			}
 			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(env.Round)*1_000_003 ^ int64(cfg.ClientID)*7_777_777))
 			update, terr := cfg.Trainer.Train(ctx, rng, cfg.Data, env.Global, env.Round)
 			if terr != nil {

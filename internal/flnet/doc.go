@@ -1,0 +1,85 @@
+// Package flnet runs federated learning over a real network: a server
+// process orchestrates rounds over TCP connections to client processes,
+// exchanging gob-encoded parameter vectors. It mirrors the in-process
+// simulator in internal/fl (same Trainer/Aggregator/Personalizer contracts)
+// so any method can be run distributed without modification. The
+// cmd/calibre-server and cmd/calibre-client binaries are thin wrappers
+// around this package.
+//
+// # Wire protocol
+//
+// Every message on the wire is one Envelope, gob-encoded onto the raw TCP
+// stream. gob's self-describing stream provides the framing: type
+// descriptors travel once per connection, each subsequent Encode emits one
+// length-delimited value, and a Decode that hits a truncated or corrupt
+// stream fails cleanly instead of desynchronizing. The Envelope.Type field
+// discriminates which of the remaining fields are meaningful:
+//
+//	Type                Direction        Fields used
+//	join                client → server  ClientID
+//	join-ack            server → client  ClientID
+//	train               server → client  Round, Global
+//	train-result        client → server  ClientID, Round, Update
+//	personalize         server → client  Global
+//	personalize-result  client → server  ClientID, Accuracy
+//	shutdown            server → client  —
+//	error               either           Err (also ClientID from clients)
+//
+// Strictly one request is in flight per connection: the server never sends
+// a second train/personalize before the reply to the first arrives (or the
+// round machinery gives up on the connection). Replies carry the Round they
+// answer, which is how the server tells a live update from a straggler's
+// stale one.
+//
+// # Round lifecycle
+//
+// A federation passes through these states:
+//
+//	joining    Clients dial in and handshake (join / join-ack). Training
+//	           starts once ServerConfig.NumClients have joined. The
+//	           listener stays open afterwards: late joiners are admitted
+//	           at any time and become sampleable at the next round
+//	           boundary. Duplicate IDs and garbage handshakes are
+//	           rejected per-connection without disturbing the federation.
+//
+//	dispatch   Each round samples ClientsPerRound eligible clients
+//	           (joined, not evicted, no in-flight request) and sends each
+//	           a train message with the current global vector.
+//
+//	collect    Updates are folded into a running aggregate (fl.UpdateSink)
+//	           in canonical participant order as they become contiguous —
+//	           payloads are buffered only while reordering demands it.
+//	           The round closes when either
+//	             (a) every participant replied, or
+//	             (b) RoundDeadline expired with ≥ Quorum updates.
+//	           If the deadline expires short of quorum — or client
+//	           failures make quorum unreachable — the federation fails
+//	           with fl.ErrQuorumNotMet.
+//
+//	straggle   Participants that miss a deadline-closed round are
+//	           stragglers. Under fl.StragglerRequeue (default) a
+//	           straggler stays in the federation: it is simply not
+//	           sampled again until its stale reply drains, which is
+//	           counted as a LateUpdate in the round that observes it.
+//	           Under fl.StragglerDrop the straggler is evicted and its
+//	           connection closed. Per-round accounting (Responders,
+//	           Stragglers, LateUpdates, DeadlineExpired) is surfaced in
+//	           fl.RoundStats.
+//
+//	personalize After the last round the server waits for in-flight
+//	           stragglers to drain, then sends every surviving client a
+//	           personalize request and collects local test accuracies.
+//
+//	shutdown   Clients receive shutdown and exit cleanly.
+//
+// # Determinism
+//
+// With Quorum and RoundDeadline left zero the server is fully synchronous
+// and bit-identical to the historical lock-step implementation. With quorum
+// aggregation configured, a run in which every participant replies within
+// the deadline is still bit-identical to the synchronous path: sampling
+// consumes the master RNG identically, and ingestion order is canonical
+// participant order regardless of arrival order (see fl.UpdateSink). When
+// stragglers do occur, the aggregate depends only on *which* clients
+// responded, never on arrival timing.
+package flnet

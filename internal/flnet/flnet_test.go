@@ -25,6 +25,19 @@ func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Cli
 	return &fl.Update{ClientID: c.ID, Params: params, NumSamples: c.Train.Len()}, nil
 }
 
+// gatedTrainer blocks each local update until release is closed, letting
+// tests hold a federation mid-round.
+type gatedTrainer struct{ release chan struct{} }
+
+func (g gatedTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return addOneTrainer{}.Train(ctx, rng, c, global, round)
+}
+
 type idPersonalizer struct{}
 
 func (idPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
@@ -213,10 +226,14 @@ func TestFederationWithRealMethodOverTCP(t *testing.T) {
 	}
 }
 
+// TestDuplicateClientIDRejected pins the async-server semantics: a second
+// join with an already-taken ID is rejected on its own connection with an
+// error message, while the federation carries on undisturbed with the
+// original holder of the ID.
 func TestDuplicateClientIDRejected(t *testing.T) {
 	clients := netClients(t, 2)
 	srv, err := NewServer(ServerConfig{
-		Addr: "127.0.0.1:0", NumClients: 2, Rounds: 1, ClientsPerRound: 1, Seed: 1,
+		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 1,
 		Aggregator: fl.WeightedAverage{},
 		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
 		IOTimeout:  10 * time.Second,
@@ -226,23 +243,56 @@ func TestDuplicateClientIDRejected(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
-	serverErr := make(chan error, 1)
-	go func() {
-		_, err := srv.Run(ctx)
-		serverErr <- err
-	}()
-	mk := func(id int) error {
+	release := make(chan struct{})
+	mk := func(id int, tr fl.Trainer) error {
 		return RunClient(ctx, ClientConfig{
 			Addr: srv.Addr().String(), ClientID: id, Data: clients[0],
-			Trainer: addOneTrainer{}, Personalizer: idPersonalizer{}, IOTimeout: 10 * time.Second,
+			Trainer: tr, Personalizer: idPersonalizer{}, IOTimeout: 10 * time.Second,
 		})
 	}
-	go func() { _ = mk(5) }()
-	time.Sleep(200 * time.Millisecond)
-	_ = mk(5) // duplicate: server aborts
-	err = <-serverErr
-	if err == nil || !strings.Contains(err.Error(), "duplicate") {
-		t.Fatalf("server should reject duplicate IDs, got %v", err)
+	type outcome struct {
+		res *Result
+		err error
+	}
+	srvCh := make(chan outcome, 1)
+	firstErr := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		res, err := srv.Run(ctx)
+		srvCh <- outcome{res, err}
+	}()
+	<-started
+	// The original client's first local update blocks until released, so
+	// the federation is provably mid-round while the duplicate collides.
+	go func() { firstErr <- mk(5, gatedTrainer{release}) }()
+	waitUntil(t, 5*time.Second, func() bool { return len(srv.Joined()) == 1 })
+	dupErr := mk(5, addOneTrainer{})
+	if dupErr == nil || !strings.Contains(dupErr.Error(), "duplicate") {
+		t.Fatalf("duplicate joiner should be rejected with an error, got %v", dupErr)
+	}
+	close(release)
+	sr := <-srvCh
+	if sr.err != nil {
+		t.Fatalf("server Run: %v", sr.err)
+	}
+	if err := <-firstErr; err != nil {
+		t.Fatalf("original client: %v", err)
+	}
+	if len(sr.res.Accuracies) != 1 {
+		t.Fatalf("accuracies = %v, want the original client only", sr.res.Accuracies)
+	}
+}
+
+// waitUntil polls cond until it holds or the timeout elapses.
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

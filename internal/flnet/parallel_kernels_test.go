@@ -16,7 +16,9 @@ import (
 // runSSLFederation spins up a server and n concurrently-connected clients
 // training a real SSL-based method, with the shared tensor kernel pool
 // pinned to `workers`, and returns the final global vector and accuracies.
-func runSSLFederation(t *testing.T, workers, n, rounds int) *Result {
+// opts may mutate the server config before it starts (e.g. to enable
+// quorum/deadline aggregation).
+func runSSLFederation(t *testing.T, workers, n, rounds int, opts ...func(*ServerConfig)) *Result {
 	t.Helper()
 	tensor.SetWorkers(workers)
 	t.Cleanup(func() { tensor.SetWorkers(0) })
@@ -29,12 +31,16 @@ func runSSLFederation(t *testing.T, workers, n, rounds int) *Result {
 	cfg.Head.Epochs = 2
 	method := baselines.NewFedAvg(cfg)
 
-	srv, err := NewServer(ServerConfig{
+	scfg := ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: n, Rounds: rounds, ClientsPerRound: n, Seed: 5,
 		Aggregator: method.Aggregator,
 		InitGlobal: method.InitGlobal,
 		IOTimeout:  30 * time.Second,
-	})
+	}
+	for _, opt := range opts {
+		opt(&scfg)
+	}
+	srv, err := NewServer(scfg)
 	if err != nil {
 		t.Fatalf("NewServer: %v", err)
 	}

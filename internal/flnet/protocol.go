@@ -1,16 +1,10 @@
-// Package flnet runs federated learning over a real network: a server
-// process orchestrates rounds over TCP connections to client processes,
-// exchanging gob-encoded parameter vectors. It mirrors the in-process
-// simulator in internal/fl (same Trainer/Aggregator/Personalizer contracts)
-// so any method can be run distributed without modification. The
-// cmd/calibre-server and cmd/calibre-client binaries are thin wrappers
-// around this package.
 package flnet
 
 import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"calibre/internal/fl"
@@ -72,6 +66,11 @@ type conn struct {
 	raw net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// wmu serializes writers: sends are normally funneled through one
+	// goroutine per connection, but the join handshake and the final
+	// shutdown broadcast can overlap on a freshly admitted client, and
+	// gob encoders are not goroutine-safe.
+	wmu sync.Mutex
 	// ioTimeout bounds each send/receive; zero disables deadlines.
 	ioTimeout time.Duration
 }
@@ -81,6 +80,8 @@ func newConn(raw net.Conn, ioTimeout time.Duration) *conn {
 }
 
 func (c *conn) send(e *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	if c.ioTimeout > 0 {
 		if err := c.raw.SetWriteDeadline(time.Now().Add(c.ioTimeout)); err != nil {
 			return fmt.Errorf("flnet: set write deadline: %w", err)

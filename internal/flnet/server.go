@@ -18,6 +18,8 @@ type ServerConfig struct {
 	// Addr is the listen address, e.g. ":9000" or "127.0.0.1:0".
 	Addr string
 	// NumClients is how many clients must join before training starts.
+	// More clients may keep joining after the first round begins (late
+	// joiners); they enter the sampling pool at the next round boundary.
 	NumClients int
 	// Rounds and ClientsPerRound mirror the simulator settings.
 	Rounds          int
@@ -28,6 +30,21 @@ type ServerConfig struct {
 	InitGlobal func(rng *rand.Rand) ([]float64, error)
 	// IOTimeout bounds each network operation (default 2 minutes).
 	IOTimeout time.Duration
+
+	// Quorum is the minimum number of client updates needed to close a
+	// round at its deadline (K in K-of-N aggregation). 0 means every
+	// participant must reply — the fully synchronous discipline.
+	Quorum int
+	// RoundDeadline bounds each round's collection window. 0 means wait
+	// for every participant (synchronous). When the deadline expires with
+	// at least Quorum updates the round closes and the missing
+	// participants become stragglers, handled per Straggler; with fewer
+	// updates the federation fails with fl.ErrQuorumNotMet.
+	RoundDeadline time.Duration
+	// Straggler is the fate of participants that miss the deadline:
+	// requeue (default) keeps them in the federation, drop evicts them.
+	Straggler fl.StragglerPolicy
+
 	// OnRound observes completed rounds.
 	OnRound func(fl.RoundStats)
 }
@@ -44,6 +61,15 @@ func (c *ServerConfig) validate() error {
 		return errors.New("flnet: missing aggregator")
 	case c.InitGlobal == nil:
 		return errors.New("flnet: missing InitGlobal")
+	case c.Quorum < 0:
+		return errors.New("flnet: quorum must be ≥0")
+	case c.Quorum > c.ClientsPerRound:
+		return fmt.Errorf("flnet: quorum %d exceeds clientsPerRound %d", c.Quorum, c.ClientsPerRound)
+	case c.RoundDeadline < 0:
+		return errors.New("flnet: round deadline must be ≥0")
+	}
+	if _, err := fl.ParseStragglerPolicy(c.Straggler.String()); err != nil {
+		return err
 	}
 	return nil
 }
@@ -53,16 +79,43 @@ type Result struct {
 	Global  []float64
 	History []fl.RoundStats
 	// Accuracies maps client ID to its personalized local test accuracy.
+	// Clients evicted during training (StragglerDrop, connection failures)
+	// are absent.
 	Accuracies map[int]float64
 }
 
-// Server orchestrates federated rounds over TCP.
+// clientHandle is the engine's view of one connected client. A dedicated
+// worker goroutine owns the connection: the engine pushes one request at a
+// time into req and the worker delivers the matching reply (or a transport
+// error) to the server's event stream. The engine never sends a second
+// request before the first resolves, so req never blocks.
+type clientHandle struct {
+	id  int
+	c   *conn
+	req chan *Envelope
+}
+
+// event is what a client worker reports back to the round engine: a reply
+// envelope, or a terminal transport error.
+type event struct {
+	id  int
+	env *Envelope
+	err error
+}
+
+// Server orchestrates federated rounds over TCP as an asynchronous round
+// state machine; see doc.go for the protocol and round lifecycle.
 type Server struct {
 	cfg      ServerConfig
 	listener net.Listener
 
 	mu      sync.Mutex
-	clients map[int]*conn
+	clients map[int]*clientHandle // roster: joined and not evicted
+	closing bool                  // set by closeAll: no further joins
+
+	events chan event    // replies and failures from client workers
+	joined chan struct{} // edge-triggered join notification (cap 1)
+	done   chan struct{} // closed when Run returns; releases workers
 }
 
 // NewServer validates the config and starts listening (so callers can read
@@ -78,108 +131,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flnet: listen %s: %w", cfg.Addr, err)
 	}
-	return &Server{cfg: cfg, listener: ln, clients: make(map[int]*conn)}, nil
+	return &Server{
+		cfg:      cfg,
+		listener: ln,
+		clients:  make(map[int]*clientHandle),
+		events:   make(chan event, 64),
+		joined:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.listener.Addr() }
 
-// Run accepts clients, executes all rounds, runs the personalization stage
-// on every client, shuts clients down, and returns the results.
-func (s *Server) Run(ctx context.Context) (*Result, error) {
-	defer s.listener.Close()
-	defer s.closeAll()
-
-	if err := s.acceptClients(ctx); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(s.cfg.Seed))
-	global, err := s.cfg.InitGlobal(rng)
-	if err != nil {
-		return nil, fmt.Errorf("flnet: init global: %w", err)
-	}
-	ids := s.clientIDs()
-	history := make([]fl.RoundStats, 0, s.cfg.Rounds)
-	sampler := fl.UniformSampler{}
-	for round := 0; round < s.cfg.Rounds; round++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
-		}
-		picks := sampler.Sample(rng, len(ids), s.cfg.ClientsPerRound)
-		participants := make([]int, len(picks))
-		for i, p := range picks {
-			participants[i] = ids[p]
-		}
-		updates, err := s.broadcastTrain(round, participants, global)
-		if err != nil {
-			return nil, err
-		}
-		global, err = s.cfg.Aggregator.Aggregate(global, updates)
-		if err != nil {
-			return nil, fmt.Errorf("flnet: aggregate round %d: %w", round, err)
-		}
-		stats := fl.RoundStats{Round: round, Participants: participants}
-		for _, u := range updates {
-			stats.MeanLoss += u.TrainLoss
-		}
-		stats.MeanLoss /= float64(len(updates))
-		history = append(history, stats)
-		if s.cfg.OnRound != nil {
-			s.cfg.OnRound(stats)
-		}
-	}
-	accs, err := s.broadcastPersonalize(ids, global)
-	if err != nil {
-		return nil, err
-	}
-	s.shutdownAll()
-	return &Result{Global: global, History: history, Accuracies: accs}, nil
-}
-
-func (s *Server) acceptClients(ctx context.Context) error {
-	deadline, ok := ctx.Deadline()
-	for {
-		s.mu.Lock()
-		joined := len(s.clients)
-		s.mu.Unlock()
-		if joined >= s.cfg.NumClients {
-			return nil
-		}
-		if ok {
-			if err := s.listener.(*net.TCPListener).SetDeadline(deadline); err != nil {
-				return fmt.Errorf("flnet: set accept deadline: %w", err)
-			}
-		}
-		raw, err := s.listener.Accept()
-		if err != nil {
-			return fmt.Errorf("flnet: accept: %w", err)
-		}
-		c := newConn(raw, s.cfg.IOTimeout)
-		env, err := c.recv()
-		if err != nil {
-			_ = c.close()
-			return fmt.Errorf("flnet: join handshake: %w", err)
-		}
-		if env.Type != MsgJoin {
-			_ = c.close()
-			return fmt.Errorf("flnet: expected join, got %s", env.Type)
-		}
-		s.mu.Lock()
-		if _, dup := s.clients[env.ClientID]; dup {
-			s.mu.Unlock()
-			_ = c.send(&Envelope{Type: MsgError, Err: fmt.Sprintf("duplicate client id %d", env.ClientID)})
-			_ = c.close()
-			return fmt.Errorf("flnet: duplicate client id %d", env.ClientID)
-		}
-		s.clients[env.ClientID] = c
-		s.mu.Unlock()
-		if err := c.send(&Envelope{Type: MsgJoinAck, ClientID: env.ClientID}); err != nil {
-			return err
-		}
-	}
-}
-
-func (s *Server) clientIDs() []int {
+// Joined returns the IDs currently in the roster, sorted. It is safe to
+// call from OnRound callbacks and tests while the federation runs.
+func (s *Server) Joined() []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ids := make([]int, 0, len(s.clients))
@@ -190,113 +157,478 @@ func (s *Server) clientIDs() []int {
 	return ids
 }
 
-// broadcastTrain sends the round's global vector to each participant and
-// collects their updates concurrently (one in-flight request per
-// connection).
-func (s *Server) broadcastTrain(round int, participants []int, global []float64) ([]*fl.Update, error) {
-	updates := make([]*fl.Update, len(participants))
-	errs := make([]error, len(participants))
-	var wg sync.WaitGroup
-	for i, id := range participants {
-		wg.Add(1)
-		go func(slot, id int) {
-			defer wg.Done()
-			c := s.client(id)
-			if c == nil {
-				errs[slot] = fmt.Errorf("flnet: unknown client %d", id)
-				return
-			}
-			if err := c.send(&Envelope{Type: MsgTrain, Round: round, Global: global, ClientID: id}); err != nil {
-				errs[slot] = err
-				return
-			}
-			resp, err := c.recv()
-			if err != nil {
-				errs[slot] = err
-				return
-			}
-			switch resp.Type {
-			case MsgTrainResult:
-				updates[slot] = resp.Update
-			case MsgError:
-				errs[slot] = fmt.Errorf("flnet: client %d: %s", id, resp.Err)
-			default:
-				errs[slot] = fmt.Errorf("flnet: client %d sent %s, want train-result", id, resp.Type)
-			}
-		}(i, id)
+// Run accepts clients, executes all rounds, runs the personalization stage
+// on every surviving client, shuts clients down, and returns the results.
+func (s *Server) Run(ctx context.Context) (*Result, error) {
+	defer func() {
+		s.listener.Close()
+		s.closeAll()
+		close(s.done)
+	}()
+
+	go s.acceptLoop()
+	if err := s.awaitQuorumJoin(ctx); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
+
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	global, err := s.cfg.InitGlobal(rng)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: init global: %w", err)
+	}
+
+	eng := &roundEngine{s: s, busy: make(map[int]int)}
+	history := make([]fl.RoundStats, 0, s.cfg.Rounds)
+	for round := 0; round < s.cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
+		}
+		stats, next, err := eng.runRound(ctx, rng, round, global)
 		if err != nil {
 			return nil, err
 		}
-	}
-	return updates, nil
-}
-
-func (s *Server) broadcastPersonalize(ids []int, global []float64) (map[int]float64, error) {
-	accs := make(map[int]float64, len(ids))
-	errs := make([]error, len(ids))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i, id := range ids {
-		wg.Add(1)
-		go func(slot, id int) {
-			defer wg.Done()
-			c := s.client(id)
-			if c == nil {
-				errs[slot] = fmt.Errorf("flnet: unknown client %d", id)
-				return
-			}
-			if err := c.send(&Envelope{Type: MsgPersonalize, Global: global, ClientID: id}); err != nil {
-				errs[slot] = err
-				return
-			}
-			resp, err := c.recv()
-			if err != nil {
-				errs[slot] = err
-				return
-			}
-			switch resp.Type {
-			case MsgPersonalizeResult:
-				mu.Lock()
-				accs[id] = resp.Accuracy
-				mu.Unlock()
-			case MsgError:
-				errs[slot] = fmt.Errorf("flnet: client %d: %s", id, resp.Err)
-			default:
-				errs[slot] = fmt.Errorf("flnet: client %d sent %s, want personalize-result", id, resp.Type)
-			}
-		}(i, id)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		global = next
+		history = append(history, stats)
+		if s.cfg.OnRound != nil {
+			s.cfg.OnRound(stats)
 		}
 	}
-	return accs, nil
+
+	if err := eng.drainStragglers(ctx); err != nil {
+		return nil, err
+	}
+	accs, err := eng.personalizeAll(ctx, global)
+	if err != nil {
+		return nil, err
+	}
+	s.shutdownAll()
+	return &Result{Global: global, History: history, Accuracies: accs}, nil
 }
 
-func (s *Server) client(id int) *conn {
+// acceptLoop admits clients for the whole federation lifetime, so late
+// joiners can enter mid-training. It exits when the listener closes.
+func (s *Server) acceptLoop() {
+	for {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		go s.handleJoin(raw)
+	}
+}
+
+// handleJoin performs the join handshake on one fresh connection. Garbage
+// connections (truncated or non-join first messages) and duplicate client
+// IDs are rejected without disturbing the rest of the federation.
+func (s *Server) handleJoin(raw net.Conn) {
+	c := newConn(raw, s.cfg.IOTimeout)
+	env, err := c.recv()
+	if err != nil || env.Type != MsgJoin {
+		_ = c.close()
+		return
+	}
+	h := &clientHandle{id: env.ClientID, c: c, req: make(chan *Envelope, 1)}
+	s.mu.Lock()
+	if s.closing {
+		// The federation is tearing down; a join registered now would
+		// leave an orphaned connection nobody closes.
+		s.mu.Unlock()
+		_ = c.close()
+		return
+	}
+	if _, dup := s.clients[env.ClientID]; dup {
+		s.mu.Unlock()
+		_ = c.send(&Envelope{Type: MsgError, Err: fmt.Sprintf("duplicate client id %d", env.ClientID)})
+		_ = c.close()
+		return
+	}
+	s.clients[env.ClientID] = h
+	s.mu.Unlock()
+	if err := c.send(&Envelope{Type: MsgJoinAck, ClientID: env.ClientID}); err != nil {
+		s.evict(env.ClientID)
+		// The engine may already have dispatched to this roster entry (it
+		// becomes eligible the moment it is inserted); with no worker ever
+		// started, surface the failure so the round doesn't wait forever.
+		s.report(event{id: env.ClientID, err: err})
+		return
+	}
+	go s.serveClient(h)
+	select {
+	case s.joined <- struct{}{}:
+	default:
+	}
+}
+
+// serveClient is a client's worker goroutine: it owns all I/O on the
+// connection, turning each engine request into exactly one send and (except
+// for shutdown) one receive, delivered to the event stream.
+func (s *Server) serveClient(h *clientHandle) {
+	for {
+		var req *Envelope
+		select {
+		case req = <-h.req:
+		case <-s.done:
+			return
+		}
+		if err := h.c.send(req); err != nil {
+			s.report(event{id: h.id, err: err})
+			return
+		}
+		resp, err := h.c.recv()
+		if err != nil {
+			s.report(event{id: h.id, err: err})
+			return
+		}
+		s.report(event{id: h.id, env: resp})
+	}
+}
+
+func (s *Server) report(ev event) {
+	select {
+	case s.events <- ev:
+	case <-s.done:
+	}
+}
+
+// awaitQuorumJoin blocks until NumClients have joined (or ctx expires).
+func (s *Server) awaitQuorumJoin(ctx context.Context) error {
+	for {
+		if len(s.Joined()) >= s.cfg.NumClients {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("flnet: waiting for %d clients: %w", s.cfg.NumClients, ctx.Err())
+		case <-s.joined:
+		case <-time.After(50 * time.Millisecond):
+			// Paranoia poll: joins are edge-triggered with a 1-slot
+			// channel, so a burst can coalesce notifications.
+		}
+	}
+}
+
+func (s *Server) handle(id int) *clientHandle {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.clients[id]
 }
 
+// evict removes a client from the roster and closes its connection. Its
+// worker (if mid-receive) will surface a transport error event, which the
+// engine ignores for evicted IDs.
+func (s *Server) evict(id int) {
+	s.mu.Lock()
+	h := s.clients[id]
+	delete(s.clients, id)
+	s.mu.Unlock()
+	if h != nil {
+		_ = h.c.close()
+	}
+}
+
+// shutdownAll writes shutdown directly on each connection. It runs only
+// after the personalization stage resolved every in-flight request, so all
+// workers are idle in <-req and no concurrent send can interleave.
 func (s *Server) shutdownAll() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, c := range s.clients {
-		_ = c.send(&Envelope{Type: MsgShutdown})
+	for _, h := range s.clients {
+		_ = h.c.send(&Envelope{Type: MsgShutdown})
 	}
 }
 
 func (s *Server) closeAll() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for id, c := range s.clients {
-		_ = c.close()
+	s.closing = true
+	for id, h := range s.clients {
+		_ = h.c.close()
 		delete(s.clients, id)
 	}
+}
+
+// roundEngine is the asynchronous round state machine. It is single-
+// goroutine (driven by Server.Run); all concurrency lives in the per-client
+// workers feeding s.events.
+type roundEngine struct {
+	s *Server
+	// busy maps a client ID to the round of its in-flight train request.
+	// Busy clients are not eligible for sampling; a requeued straggler
+	// stays busy until its stale reply drains.
+	busy map[int]int
+}
+
+// eligible returns the sorted roster IDs with no in-flight request.
+func (e *roundEngine) eligible() []int {
+	all := e.s.Joined()
+	ids := all[:0]
+	for _, id := range all {
+		if _, b := e.busy[id]; !b {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// runRound dispatches one training round and collects updates until the
+// round closes: either every participant replied, or the deadline expired
+// with at least a quorum of updates. Updates are streamed into the
+// aggregate in canonical participant order as they become contiguous, so
+// payloads are not buffered beyond reordering needs.
+func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, global []float64) (fl.RoundStats, []float64, error) {
+	s := e.s
+	stats := fl.RoundStats{Round: round}
+
+	eligible := e.eligible()
+	if len(eligible) == 0 {
+		return stats, nil, fmt.Errorf("flnet: round %d: no eligible clients", round)
+	}
+	picks := fl.UniformSampler{}.Sample(rng, len(eligible), s.cfg.ClientsPerRound)
+	participants := make([]int, len(picks))
+	for i, p := range picks {
+		participants[i] = eligible[p]
+	}
+	stats.Participants = participants
+
+	// Guard the K-of-N contract: a round that cannot possibly reach the
+	// configured quorum must fail rather than silently aggregate fewer
+	// updates. (Unreachable in normal operation — every successful round
+	// frees at least Quorum responders, and Quorum ≤ ClientsPerRound is
+	// validated — but cheap insurance against invariant drift.)
+	if s.cfg.Quorum > 0 && len(participants) < s.cfg.Quorum {
+		return stats, nil, fmt.Errorf("flnet: round %d: only %d eligible participants for quorum %d: %w",
+			round, len(participants), s.cfg.Quorum, fl.ErrQuorumNotMet)
+	}
+	quorum := s.cfg.Quorum
+	if quorum == 0 {
+		quorum = len(participants)
+	}
+
+	// Dispatch. Workers are idle (we only sample non-busy clients), so the
+	// 1-slot request channels never block.
+	slotOf := make(map[int]int, len(participants))
+	for slot, id := range participants {
+		h := s.handle(id)
+		if h == nil {
+			return stats, nil, fmt.Errorf("flnet: round %d: client %d vanished before dispatch", round, id)
+		}
+		h.req <- &Envelope{Type: MsgTrain, Round: round, Global: global, ClientID: id}
+		e.busy[id] = round
+		slotOf[id] = slot
+	}
+
+	// Collect.
+	sink := fl.NewRoundSink(s.cfg.Aggregator, global)
+	var (
+		pending   = make(map[int]*fl.Update) // slot → update awaiting its turn
+		arrived   = make([]bool, len(participants))
+		skipped   = make([]bool, len(participants)) // straggler or failed slots
+		cursor    = 0
+		nArrived  = 0
+		nSkipped  = 0
+		lossSum   float64
+		nIngested = 0
+	)
+	ingest := func() error {
+		for cursor < len(participants) {
+			if skipped[cursor] {
+				cursor++
+				continue
+			}
+			u, ok := pending[cursor]
+			if !ok {
+				break
+			}
+			if err := sink.Ingest(u); err != nil {
+				return fmt.Errorf("flnet: aggregate round %d: %w", round, err)
+			}
+			lossSum += u.TrainLoss
+			nIngested++
+			delete(pending, cursor)
+			cursor++
+		}
+		return nil
+	}
+	var deadlineC <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		timer := time.NewTimer(s.cfg.RoundDeadline)
+		defer timer.Stop()
+		deadlineC = timer.C
+	}
+
+	// skipParticipant handles every way a client fails out of the round
+	// (transport error, client-reported error, protocol violation): it is
+	// evicted, and — when the failure belongs to this round rather than a
+	// requeued straggler's stale reply — its slot is skipped, with the
+	// round failing if the quorum became unreachable. A non-nil return is
+	// fatal to the federation.
+	skipParticipant := func(id, reqRound int, cause string) error {
+		delete(e.busy, id)
+		s.evict(id)
+		slot, inRound := slotOf[id]
+		if !inRound || reqRound != round || arrived[slot] || skipped[slot] {
+			return nil // stale misbehavior: evicted, round unaffected
+		}
+		skipped[slot] = true
+		nSkipped++
+		stats.Stragglers = append(stats.Stragglers, id)
+		if len(participants)-nSkipped < quorum {
+			return fmt.Errorf("flnet: round %d: client %d %s; need %d of %d participants: %w",
+				round, id, cause, quorum, len(participants), fl.ErrQuorumNotMet)
+		}
+		return ingest()
+	}
+
+	for nArrived+nSkipped < len(participants) {
+		select {
+		case <-ctx.Done():
+			return stats, nil, fmt.Errorf("flnet: round %d: %w", round, ctx.Err())
+
+		case ev := <-s.events:
+			reqRound, wasBusy := e.busy[ev.id]
+			if !wasBusy {
+				continue // event from an already-evicted client
+			}
+			var err error
+			switch {
+			case ev.err != nil:
+				err = skipParticipant(ev.id, reqRound, fmt.Sprintf("failed (%v)", ev.err))
+			case ev.env.Type == MsgTrainResult:
+				delete(e.busy, ev.id) // idle again, whatever round it was for
+				if reqRound != round {
+					// A straggler's stale reply drained during this round's
+					// window: discard it, the client re-enters the pool.
+					stats.LateUpdates++
+					continue
+				}
+				slot := slotOf[ev.id]
+				pending[slot] = ev.env.Update
+				arrived[slot] = true
+				nArrived++
+				err = ingest()
+			case ev.env.Type == MsgError:
+				err = skipParticipant(ev.id, reqRound, fmt.Sprintf("reported %q", ev.env.Err))
+			default:
+				err = skipParticipant(ev.id, reqRound, fmt.Sprintf("sent %s, want train-result", ev.env.Type))
+			}
+			if err != nil {
+				return stats, nil, err
+			}
+
+		case <-deadlineC:
+			if nArrived < quorum {
+				return stats, nil, fmt.Errorf("flnet: round %d deadline (%s) with %d/%d updates: %w",
+					round, s.cfg.RoundDeadline, nArrived, quorum, fl.ErrQuorumNotMet)
+			}
+			// Quorum met: everyone unresolved becomes a straggler.
+			stats.DeadlineExpired = true
+			for slot, id := range participants {
+				if arrived[slot] || skipped[slot] {
+					continue
+				}
+				skipped[slot] = true
+				nSkipped++
+				stats.Stragglers = append(stats.Stragglers, id)
+				if s.cfg.Straggler == fl.StragglerDrop {
+					delete(e.busy, id)
+					s.evict(id)
+				}
+				// Under requeue the client stays busy until its stale
+				// reply drains through a later round's collection window.
+			}
+		}
+	}
+
+	if err := ingest(); err != nil {
+		return stats, nil, err
+	}
+	next, err := sink.Finish()
+	if err != nil {
+		return stats, nil, fmt.Errorf("flnet: aggregate round %d: %w", round, err)
+	}
+	if nIngested > 0 {
+		stats.MeanLoss = lossSum / float64(nIngested)
+	}
+	if nSkipped > 0 {
+		responders := make([]int, 0, nArrived)
+		for slot, id := range participants {
+			if arrived[slot] {
+				responders = append(responders, id)
+			}
+		}
+		stats.Responders = responders
+		sort.Ints(stats.Stragglers)
+	}
+	return stats, next, nil
+}
+
+// drainStragglers waits for requeued stragglers' stale replies (bounded by
+// the connection IOTimeout) so the personalization stage starts with a
+// quiet wire. Clients that never drain are evicted.
+func (e *roundEngine) drainStragglers(ctx context.Context) error {
+	s := e.s
+	if len(e.busy) == 0 {
+		return nil
+	}
+	grace := time.NewTimer(s.cfg.IOTimeout + 5*time.Second)
+	defer grace.Stop()
+	for len(e.busy) > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("flnet: draining stragglers: %w", ctx.Err())
+		case ev := <-s.events:
+			if _, wasBusy := e.busy[ev.id]; !wasBusy {
+				continue
+			}
+			delete(e.busy, ev.id)
+			if ev.err != nil {
+				s.evict(ev.id)
+			}
+		case <-grace.C:
+			for id := range e.busy {
+				delete(e.busy, id)
+				s.evict(id)
+			}
+		}
+	}
+	return nil
+}
+
+// personalizeAll runs the personalization stage on every surviving client.
+func (e *roundEngine) personalizeAll(ctx context.Context, global []float64) (map[int]float64, error) {
+	s := e.s
+	ids := s.Joined()
+	accs := make(map[int]float64, len(ids))
+	outstanding := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		h := s.handle(id)
+		if h == nil {
+			continue
+		}
+		h.req <- &Envelope{Type: MsgPersonalize, Global: global, ClientID: id}
+		outstanding[id] = true
+	}
+	for len(outstanding) > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("flnet: personalize: %w", ctx.Err())
+		case ev := <-s.events:
+			if !outstanding[ev.id] {
+				continue
+			}
+			delete(outstanding, ev.id)
+			if ev.err != nil {
+				return nil, fmt.Errorf("flnet: personalize client %d: %w", ev.id, ev.err)
+			}
+			switch ev.env.Type {
+			case MsgPersonalizeResult:
+				accs[ev.id] = ev.env.Accuracy
+			case MsgError:
+				return nil, fmt.Errorf("flnet: personalize client %d: %s", ev.id, ev.env.Err)
+			default:
+				return nil, fmt.Errorf("flnet: client %d sent %s, want personalize-result", ev.id, ev.env.Type)
+			}
+		}
+	}
+	return accs, nil
 }

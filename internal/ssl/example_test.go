@@ -1,0 +1,28 @@
+package ssl_test
+
+import (
+	"fmt"
+
+	"calibre/internal/ssl"
+)
+
+// ExampleMethodNames lists the registry of self-supervised methods that
+// plug into the pfl-*/calibre-* federated pipelines. Lookup resolves a name
+// to its standard factory.
+func ExampleMethodNames() {
+	for _, name := range ssl.MethodNames() {
+		fmt.Println(name)
+	}
+	if _, err := ssl.Lookup("simclr"); err == nil {
+		fmt.Println("simclr resolves")
+	}
+	// Output:
+	// byol
+	// mocov2
+	// simclr
+	// simsiam
+	// smog
+	// swav
+	// vicreg
+	// simclr resolves
+}

@@ -1,0 +1,124 @@
+// Command docgate is the repo's documentation gate, run by ci.sh. It fails
+// when any gated package — the root calibre package and everything under
+// internal/ (including cmd/internal/) — lacks a godoc package comment, or
+// when the repo as a whole has fewer runnable Example functions (doc +
+// test in one, with an // Output: comment) than the required minimum.
+//
+//	go run ./tools/docgate [-min-examples 3] [root]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	minExamples := flag.Int("min-examples", 3, "minimum number of runnable Example functions repo-wide")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	if err := run(root, *minExamples); err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(1)
+	}
+}
+
+// gated reports whether the package at rel (slash-separated, "." for the
+// repo root) must carry a package comment.
+func gated(rel string) bool {
+	if rel == "." {
+		return true
+	}
+	return strings.HasPrefix(rel, "internal/") || rel == "internal" ||
+		strings.HasPrefix(rel, "cmd/internal/")
+}
+
+func run(root string, minExamples int) error {
+	var missing []string
+	examples := 0
+
+	// Collect every directory containing Go files.
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && strings.HasPrefix(d.Name(), ".") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+
+	for _, dir := range sorted {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		fset := token.NewFileSet()
+		hasDoc := false
+		hasNonTest := false
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			file, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("%s: %w", filepath.Join(rel, e.Name()), err)
+			}
+			if strings.HasSuffix(e.Name(), "_test.go") {
+				for _, ex := range doc.Examples(file) {
+					if ex.Output != "" {
+						examples++
+					}
+				}
+				continue
+			}
+			hasNonTest = true
+			if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+				hasDoc = true
+			}
+		}
+		if hasNonTest && gated(rel) && !hasDoc {
+			missing = append(missing, rel)
+		}
+	}
+
+	if len(missing) > 0 {
+		return fmt.Errorf("packages missing a godoc package comment:\n\t%s", strings.Join(missing, "\n\t"))
+	}
+	if examples < minExamples {
+		return fmt.Errorf("found %d runnable Example functions (with // Output:), need ≥ %d", examples, minExamples)
+	}
+	fmt.Printf("docgate: all gated packages documented; %d runnable examples (≥ %d required)\n", examples, minExamples)
+	return nil
+}
