@@ -36,6 +36,7 @@ import (
 	"calibre/internal/flnet"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
+	"calibre/internal/store"
 )
 
 // Re-exported types forming the public API. The aliases point at internal
@@ -87,6 +88,19 @@ type (
 	// StragglerPolicy picks the fate of clients that miss a round
 	// deadline under quorum (K-of-N) aggregation.
 	StragglerPolicy = fl.StragglerPolicy
+
+	// CheckpointStore is a durable directory of versioned federation
+	// snapshots (atomic writes, CRC-validated binary codec, crash
+	// fallback to the previous good version).
+	CheckpointStore = store.Store
+	// Snapshot is one durable checkpoint: metadata plus round state.
+	Snapshot = store.Snapshot
+	// SnapshotMeta describes which federation a snapshot belongs to.
+	SnapshotMeta = store.Meta
+	// SimState is a federation's complete resumable round state; both the
+	// simulator (SimConfig) and the TCP server (ServerConfig) emit it via
+	// OnCheckpoint and accept it back via ResumeFrom.
+	SimState = fl.SimState
 )
 
 // Straggler policies for asynchronous federations (ServerConfig.Straggler):
@@ -151,6 +165,24 @@ func Run(ctx context.Context, env *Environment, methodName string) (*MethodOutco
 // ablation variant built with NewCalibreVariant).
 func RunCustom(ctx context.Context, env *Environment, m *Method) (*MethodOutcome, error) {
 	return experiments.RunBuiltMethod(ctx, env, m)
+}
+
+// OpenCheckpointStore opens (creating if needed) a durable checkpoint
+// directory for crash-recoverable training; see RunResumable and
+// ServerConfig.OnCheckpoint/ResumeFrom.
+func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return store.Open(dir) }
+
+// RunResumable is Run with durability: round state is snapshotted into dir
+// every `every` rounds (≤0 means every round), and a rerun after a crash
+// resumes from the latest snapshot, bit-identical to a run that never
+// stopped. Snapshots are fingerprint-bound to the (method, setting, seed,
+// population) combination; inspect them with the calibre-ckpt CLI.
+func RunResumable(ctx context.Context, env *Environment, methodName, dir string, every int) (*MethodOutcome, error) {
+	ckpt, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunMethodResumable(ctx, env, methodName, ckpt, every)
 }
 
 // NewCalibreVariant builds a Calibre method with explicit regularizer

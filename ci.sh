@@ -3,10 +3,12 @@
 #
 #   ./ci.sh          format check, vet, build, race tests, short kernel bench
 #
-# The quick kernel bench writes its BENCH_kernels.json to a temp dir — it
-# exists to prove the harness runs, not to refresh the committed numbers.
-# When kernels change, regenerate the tracked file with a full measurement:
+# The quick kernel/codec benches write their BENCH_*.json to temp dirs —
+# they exist to prove the harnesses run, not to refresh the committed
+# numbers. When kernels or the checkpoint codec change, regenerate the
+# tracked files with a full measurement:
 #   go run ./cmd/calibre-bench -exp kernels -out .
+#   go run ./cmd/calibre-bench -exp codec -out .
 # (see README.md "Benchmark harness").
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -37,5 +39,8 @@ go run ./tools/docgate
 
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
+
+echo "== codec bench (quick) =="
+go run ./cmd/calibre-bench -exp codec -quick -out "$(mktemp -d)"
 
 echo "CI gate passed."

@@ -1,0 +1,190 @@
+package main
+
+// The codec harness (-exp codec) is the reproducible perf gate for the
+// durability layer: it measures internal/store's binary snapshot codec
+// against encoding/gob — the wire/serialization baseline this repo started
+// from — on representative model states, and emits BENCH_codec.json so the
+// acceptance criterion (smaller AND faster than gob on encode+decode) is
+// tracked in-repo. The JSON schema is validated by the cmd smoke tests.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"calibre/internal/fl"
+	"calibre/internal/store"
+)
+
+// CodecBenchSchema identifies the BENCH_codec.json layout.
+const CodecBenchSchema = "calibre/bench-codec/v1"
+
+// CodecBenchFile is the top-level layout of BENCH_codec.json.
+type CodecBenchFile struct {
+	Schema     string             `json:"schema"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMaxProcs int                `json:"gomaxprocs"`
+	Records    []CodecBenchRecord `json:"records"`
+}
+
+// CodecBenchRecord is one state's codec-vs-gob measurement.
+type CodecBenchRecord struct {
+	State      string  `json:"state"`
+	Elems      int     `json:"elems"`
+	CodecBytes int     `json:"codec_bytes"`
+	GobBytes   int     `json:"gob_bytes"`
+	SizeRatio  float64 `json:"gob_over_codec_size"`
+	CodecEncNs int64   `json:"codec_encode_ns_op"`
+	CodecDecNs int64   `json:"codec_decode_ns_op"`
+	GobEncNs   int64   `json:"gob_encode_ns_op"`
+	GobDecNs   int64   `json:"gob_decode_ns_op"`
+	EncSpeedup float64 `json:"encode_speedup_vs_gob"`
+	DecSpeedup float64 `json:"decode_speedup_vs_gob"`
+}
+
+// benchState measures one snapshot through both serializers. Each gob op
+// uses a fresh encoder/decoder, exactly as a checkpoint file write/read
+// would.
+func benchState(minTime time.Duration, name string, snap *store.Snapshot) CodecBenchRecord {
+	codecBlob, err := store.EncodeSnapshot(snap)
+	if err != nil {
+		panic(err)
+	}
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(snap); err != nil {
+		panic(err)
+	}
+	gobBlob := append([]byte(nil), gobBuf.Bytes()...)
+
+	codecEnc, _ := measure(minTime, func() {
+		if _, err := store.EncodeSnapshot(snap); err != nil {
+			panic(err)
+		}
+	})
+	codecDec, _ := measure(minTime, func() {
+		if _, err := store.DecodeSnapshot(codecBlob); err != nil {
+			panic(err)
+		}
+	})
+	gobEnc, _ := measure(minTime, func() {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			panic(err)
+		}
+	})
+	gobDec, _ := measure(minTime, func() {
+		var out store.Snapshot
+		if err := gob.NewDecoder(bytes.NewReader(gobBlob)).Decode(&out); err != nil {
+			panic(err)
+		}
+	})
+	return CodecBenchRecord{
+		State:      name,
+		Elems:      len(snap.State.Global),
+		CodecBytes: len(codecBlob),
+		GobBytes:   len(gobBlob),
+		SizeRatio:  float64(len(gobBlob)) / float64(len(codecBlob)),
+		CodecEncNs: codecEnc,
+		CodecDecNs: codecDec,
+		GobEncNs:   gobEnc,
+		GobDecNs:   gobDec,
+		EncSpeedup: float64(gobEnc) / float64(codecEnc),
+		DecSpeedup: float64(gobDec) / float64(codecDec),
+	}
+}
+
+// codecStates builds the representative model states: flattened global
+// vectors at three model scales (weights drawn N(0,1), the payload shape
+// real checkpoints have) plus a long-federation snapshot with a deep
+// RoundStats history.
+func codecStates() []struct {
+	name string
+	snap *store.Snapshot
+} {
+	rng := rand.New(rand.NewSource(42))
+	vec := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out
+	}
+	history := func(rounds, participants int) ([]fl.RoundStats, []int) {
+		hist := make([]fl.RoundStats, rounds)
+		counts := make([]int, rounds)
+		for r := range hist {
+			ids := make([]int, participants)
+			for i := range ids {
+				ids[i] = rng.Intn(100)
+			}
+			hist[r] = fl.RoundStats{Round: r, Participants: ids, MeanLoss: rng.Float64()}
+			counts[r] = 100
+		}
+		return hist, counts
+	}
+	meta := store.Meta{Seed: 42, Fingerprint: store.Fingerprint("bench", "codec"), Runtime: "simulator"}
+	snap := func(params, rounds int) *store.Snapshot {
+		h, c := history(rounds, 10)
+		return &store.Snapshot{
+			Meta:  meta,
+			State: fl.SimState{Round: rounds, Global: vec(params), History: h, EligibleCounts: c},
+		}
+	}
+	return []struct {
+		name string
+		snap *store.Snapshot
+	}{
+		{"model-4k-round10", snap(4_096, 10)},
+		{"model-64k-round10", snap(65_536, 10)},
+		{"model-512k-round10", snap(524_288, 10)},
+		{"model-64k-round500", snap(65_536, 500)},
+	}
+}
+
+// runCodecBench runs the codec harness and writes BENCH_codec.json into
+// outDir. quick shrinks per-measurement time so the harness fits in CI.
+func runCodecBench(outDir string, quick bool) error {
+	minTime := 300 * time.Millisecond
+	if quick {
+		minTime = 30 * time.Millisecond
+	}
+	file := CodecBenchFile{
+		Schema:     CodecBenchSchema,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range codecStates() {
+		file.Records = append(file.Records, benchState(minTime, c.name, c.snap))
+	}
+
+	fmt.Printf("codec bench: %s/%s gomaxprocs=%d (store binary codec vs encoding/gob)\n",
+		file.GOOS, file.GOARCH, file.GOMaxProcs)
+	fmt.Printf("%-20s %10s %10s %6s %12s %12s %8s %8s\n",
+		"state", "bytes", "gob", "ratio", "enc ns/op", "dec ns/op", "enc-x", "dec-x")
+	for _, r := range file.Records {
+		fmt.Printf("%-20s %10d %10d %5.2fx %12d %12d %7.2fx %7.2fx\n",
+			r.State, r.CodecBytes, r.GobBytes, r.SizeRatio, r.CodecEncNs, r.CodecDecNs, r.EncSpeedup, r.DecSpeedup)
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	path := filepath.Join(outDir, "BENCH_codec.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}

@@ -33,31 +33,34 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("calibre-bench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "fig3", "experiment id (fig1..fig8, table1, 'kernels', or 'all')")
+		exp   = fs.String("exp", "fig3", "experiment id (fig1..fig8, table1, 'kernels', 'codec', or 'all')")
 		scale = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
 		seed  = fs.Int64("seed", 42, "master seed")
 		out   = fs.String("out", "", "directory for CSV/JSON outputs (optional)")
 		list  = fs.Bool("list", false, "list experiments and methods, then exit")
-		quick = fs.Bool("quick", false, "shrink the kernel harness measurement time (CI preset)")
+		quick = fs.Bool("quick", false, "shrink the perf-harness measurement time (CI preset)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		fmt.Println("experiments:", experiments.IDs())
-		fmt.Println("perf harness: kernels (run with -exp kernels; not part of -exp all)")
+		fmt.Println("perf harnesses: kernels, codec (run with -exp; not part of -exp all)")
 		fmt.Println("settings:")
 		for name := range experiments.Settings() {
 			fmt.Println("  ", name)
 		}
 		return nil
 	}
-	if *exp == "kernels" {
+	if *exp == "kernels" || *exp == "codec" {
 		dir := *out
 		if dir == "" {
 			dir = "."
 		}
-		return runKernelBench(dir, *quick)
+		if *exp == "kernels" {
+			return runKernelBench(dir, *quick)
+		}
+		return runCodecBench(dir, *quick)
 	}
 	ids := []string{*exp}
 	if *exp == "all" {

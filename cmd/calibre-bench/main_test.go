@@ -12,8 +12,8 @@ import (
 
 func TestListPrintsExperimentsAndKernels(t *testing.T) {
 	out := climain.CaptureStdout(t, func() error { return run([]string{"-list"}) })
-	if !strings.Contains(out, "experiments:") || !strings.Contains(out, "kernels") {
-		t.Fatalf("-list output missing experiments/kernels:\n%s", out)
+	if !strings.Contains(out, "experiments:") || !strings.Contains(out, "kernels") || !strings.Contains(out, "codec") {
+		t.Fatalf("-list output missing experiments/kernels/codec:\n%s", out)
 	}
 }
 
@@ -94,6 +94,72 @@ func TestKernelHarnessEmitsGoldenSchema(t *testing.T) {
 	for k := range have {
 		if !want[k] {
 			t.Errorf("measurement %s emitted but missing from golden file (regenerate it: go run ./cmd/calibre-bench -exp kernels)", k)
+		}
+	}
+}
+
+// TestCodecHarnessEmitsGoldenSchema runs the codec harness at quick scale
+// and validates BENCH_codec.json structurally, against the committed
+// golden file, and against the acceptance criterion the subsystem ships
+// under: the binary codec must beat gob on encoded size for every
+// representative state (size is deterministic; timings are host-dependent
+// and only checked for sanity).
+func TestCodecHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "codec", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "codec bench:") || !strings.Contains(out, "model-4k") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_codec.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got CodecBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	if got.Schema != CodecBenchSchema {
+		t.Fatalf("schema = %q, want %q", got.Schema, CodecBenchSchema)
+	}
+	if len(got.Records) < 4 {
+		t.Fatalf("only %d records emitted", len(got.Records))
+	}
+	for _, r := range got.Records {
+		if r.State == "" || r.Elems <= 0 {
+			t.Fatalf("record missing state/elems: %+v", r)
+		}
+		if r.CodecBytes <= 0 || r.GobBytes <= 0 || r.CodecBytes >= r.GobBytes {
+			t.Fatalf("codec must encode smaller than gob: %+v", r)
+		}
+		if r.CodecEncNs <= 0 || r.CodecDecNs <= 0 || r.GobEncNs <= 0 || r.GobDecNs <= 0 {
+			t.Fatalf("record has non-positive timings: %+v", r)
+		}
+	}
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_codec.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_codec.json: %v", err)
+	}
+	var golden CodecBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	if golden.Schema != got.Schema {
+		t.Fatalf("golden schema %q != emitted %q", golden.Schema, got.Schema)
+	}
+	states := make(map[string]bool, len(got.Records))
+	for _, r := range got.Records {
+		states[r.State] = true
+	}
+	for _, r := range golden.Records {
+		if !states[r.State] {
+			t.Errorf("golden state %s not emitted (regenerate: go run ./cmd/calibre-bench -exp codec -out .)", r.State)
+		}
+		if r.CodecBytes >= r.GobBytes || r.EncSpeedup <= 1 || r.DecSpeedup <= 1 {
+			t.Errorf("committed golden record does not beat gob on size and time: %+v", r)
 		}
 	}
 }

@@ -11,10 +11,17 @@
 //	calibre-client -addr 127.0.0.1:9100 -id 0 -method calibre-simclr
 //	calibre-client -addr 127.0.0.1:9100 -id 1 -method calibre-simclr
 //	calibre-client -addr 127.0.0.1:9100 -id 2 -method calibre-simclr
+//
+// With -checkpoint-dir the server snapshots its round state durably
+// (atomic versioned files, see internal/store) and a killed server can be
+// restarted with -resume to continue the federation from the latest
+// snapshot once its clients redial — bit-identically, when every
+// participant responds. Inspect snapshots with calibre-ckpt.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +31,7 @@ import (
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
 	"calibre/internal/flnet"
+	"calibre/internal/store"
 )
 
 func main() {
@@ -47,9 +55,15 @@ func run(args []string) error {
 		quorum    = fs.Int("quorum", 0, "min updates to close a round at the deadline (K of N); 0 waits for all")
 		deadline  = fs.Duration("deadline", 0, "per-round collection deadline; 0 waits for all participants")
 		straggler = fs.String("straggler", "requeue", "straggler policy at the deadline: requeue | drop")
+		ckptDir   = fs.String("checkpoint-dir", "", "durable checkpoint directory; snapshots round state for crash recovery")
+		ckptEvery = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
+		resume    = fs.Bool("resume", false, "resume from the latest matching checkpoint in -checkpoint-dir (fresh start when none exists)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return errors.New("-resume requires -checkpoint-dir")
 	}
 	policy, err := fl.ParseStragglerPolicy(*straggler)
 	if err != nil {
@@ -67,7 +81,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := flnet.NewServer(flnet.ServerConfig{
+	cfg := flnet.ServerConfig{
 		Addr:            *addr,
 		NumClients:      *clients,
 		Rounds:          *rounds,
@@ -81,7 +95,38 @@ func run(args []string) error {
 		OnRound: func(stats fl.RoundStats) {
 			fmt.Println(stats)
 		},
-	})
+	}
+	if *ckptDir != "" {
+		ckpt, err := store.Open(*ckptDir)
+		if err != nil {
+			return err
+		}
+		// The fingerprint binds snapshots to the run-defining knobs (round
+		// budget excluded: -resume legitimately extends it), so -resume can
+		// never silently continue a differently-configured federation.
+		fp := store.Fingerprint("server", *method, *setting, *scale,
+			fmt.Sprint(*seed), fmt.Sprint(*clients), fmt.Sprint(*perRound),
+			fmt.Sprint(*quorum), deadline.String(), policy.String())
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.OnCheckpoint = ckpt.SaveHook(
+			store.Meta{Seed: *seed, Fingerprint: fp, Runtime: "server"},
+			func(v int, state *fl.SimState) {
+				fmt.Printf("checkpoint v%d saved at round %d\n", v, state.Round)
+			})
+		if *resume {
+			snap, v, err := ckpt.Resume(fp)
+			switch {
+			case errors.Is(err, store.ErrNoCheckpoint):
+				fmt.Printf("no checkpoint in %s; starting fresh\n", *ckptDir)
+			case err != nil:
+				return err
+			default:
+				cfg.ResumeFrom = &snap.State
+				fmt.Printf("resuming from checkpoint v%d (round %d/%d)\n", v, snap.State.Round, *rounds)
+			}
+		}
+	}
+	srv, err := flnet.NewServer(cfg)
 	if err != nil {
 		return err
 	}

@@ -102,9 +102,93 @@ func TestServerSmokeFederation(t *testing.T) {
 	}
 }
 
+// TestServerCheckpointResumeFederation runs a federation with
+// -checkpoint-dir, then a second server with -resume and a higher round
+// budget: it must pick up the snapshot and continue instead of starting
+// over.
+func TestServerCheckpointResumeFederation(t *testing.T) {
+	const (
+		setting = "cifar10-q(2,500)"
+		seed    = 7
+		n       = 2
+	)
+	ckptDir := t.TempDir()
+	s, ok := experiments.Settings()[setting]
+	if !ok {
+		t.Fatalf("setting %q missing", setting)
+	}
+	env, err := experiments.BuildEnvironment(s, experiments.ScaleSmoke, seed)
+	if err != nil {
+		t.Fatalf("BuildEnvironment: %v", err)
+	}
+	m, err := experiments.BuildMethod(env, "fedavg-ft")
+	if err != nil {
+		t.Fatalf("BuildMethod: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	phase := func(rounds string, resume bool) string {
+		addr := freePort(t)
+		var wg sync.WaitGroup
+		clientErrs := make([]error, n)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				clientErrs[id] = dialClientWithRetry(ctx, flnet.ClientConfig{
+					Addr:         addr,
+					ClientID:     id,
+					Data:         env.Participants[id],
+					Trainer:      m.Trainer,
+					Personalizer: m.Personalizer,
+					Seed:         seed,
+					IOTimeout:    30 * time.Second,
+				})
+			}(i)
+		}
+		args := []string{
+			"-addr", addr, "-clients", "2", "-rounds", rounds, "-per-round", "2",
+			"-method", "fedavg-ft", "-setting", setting, "-scale", "smoke", "-seed", "7",
+			"-checkpoint-dir", ckptDir,
+		}
+		if resume {
+			args = append(args, "-resume")
+		}
+		out := climain.CaptureStdout(t, func() error { return run(args) })
+		wg.Wait()
+		for id, cerr := range clientErrs {
+			if cerr != nil {
+				t.Fatalf("client %d: %v", id, cerr)
+			}
+		}
+		return out
+	}
+
+	out := phase("1", false)
+	if !strings.Contains(out, "checkpoint v1 saved at round 1") {
+		t.Fatalf("phase 1 did not checkpoint:\n%s", out)
+	}
+	out = phase("2", true)
+	if !strings.Contains(out, "resuming from checkpoint v1 (round 1/2)") {
+		t.Fatalf("phase 2 did not resume:\n%s", out)
+	}
+	if strings.Contains(out, "round 0:") {
+		t.Fatalf("resumed run re-ran round 0:\n%s", out)
+	}
+	for _, needle := range []string{"round 1:", "personalized accuracy", "summary:"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("resumed output missing %q:\n%s", needle, out)
+		}
+	}
+}
+
 func TestServerRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-setting", "nope"}); err == nil {
 		t.Fatal("unknown setting accepted")
+	}
+	if err := run([]string{"-resume"}); err == nil {
+		t.Fatal("-resume without -checkpoint-dir accepted")
 	}
 	if err := run([]string{"-method", "nope"}); err == nil {
 		t.Fatal("unknown method accepted")

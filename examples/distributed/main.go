@@ -1,23 +1,30 @@
 // Distributed: run a real networked federation — a TCP server and several
-// client processes exchanging gob-encoded model vectors — inside one
-// program (each client on its own goroutine, exactly the code path the
-// calibre-server / calibre-client binaries use across machines).
+// client processes exchanging model vectors — inside one program (each
+// client on its own goroutine, exactly the code path the calibre-server /
+// calibre-client binaries use across machines), then kill the server
+// mid-federation and resume it from its durable checkpoints.
 //
-// The federation runs asynchronously: rounds close on a 3-of-4 quorum with
-// a per-round deadline, and one client is deliberately slowed down
-// (SimLatency) so the straggler machinery shows in the per-round log:
-// round 0 closes by deadline with the slow client listed as a straggler,
-// later rounds sample around it while it is busy, and — because the policy
-// is requeue, not drop — it still appears in the final per-client
-// accuracies once its stale reply drains.
+// Phase 1 runs asynchronously (rounds close on a 3-of-4 quorum with a
+// per-round deadline, one deliberately slow client shows up as a
+// straggler) while every completed round is snapshotted into a checkpoint
+// store. After round 1 the server process is killed: its context is
+// canceled, every connection drops and the clients fail out — the crash.
+//
+// Phase 2 is the operator's restart: a fresh server loads the latest
+// snapshot (calibre.OpenCheckpointStore + ServerConfig.ResumeFrom), the
+// clients redial, and the federation continues from round 2 through
+// personalization as if nothing had happened. With all participants
+// responding, the resumed run is bit-identical to an uninterrupted one.
 //
 //	go run ./examples/distributed
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -25,24 +32,26 @@ import (
 	"calibre"
 )
 
-func main() {
-	const numClients = 4
+const (
+	numClients = 4
+	rounds     = 4
+	seed       = 3
+)
 
-	env, err := calibre.NewEnvironment("cifar10-q(2,500)", calibre.ScaleSmoke, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	method, err := calibre.BuildMethod(env, "calibre-simclr")
-	if err != nil {
-		log.Fatal(err)
-	}
+// runPhase starts a server (resuming from resume when non-nil) plus one
+// goroutine per client, and returns the server outcome. kill, when
+// non-nil, is invoked at the round boundary named by killAfter — the
+// simulated crash.
+func runPhase(ctx context.Context, env *calibre.Environment, method *calibre.Method,
+	ckpt *calibre.CheckpointStore, fingerprint string, resume *calibre.SimState,
+	killAfter int, kill context.CancelFunc) (*calibre.FederationResult, error) {
 
 	srv, err := calibre.NewServer(calibre.ServerConfig{
 		Addr:            "127.0.0.1:0",
 		NumClients:      numClients,
-		Rounds:          3,
+		Rounds:          rounds,
 		ClientsPerRound: numClients,
-		Seed:            3,
+		Seed:            seed,
 		Aggregator:      method.Aggregator,
 		InitGlobal:      method.InitGlobal,
 		IOTimeout:       2 * time.Minute,
@@ -51,17 +60,27 @@ func main() {
 		Quorum:        numClients - 1,
 		RoundDeadline: 10 * time.Second,
 		Straggler:     calibre.StragglerRequeue,
+		// Durability: every completed round lands in the checkpoint store
+		// (atomic versioned snapshot files) before OnRound fires.
+		CheckpointEvery: 1,
+		OnCheckpoint: ckpt.SaveHook(
+			calibre.SnapshotMeta{Seed: seed, Fingerprint: fingerprint, Runtime: "server"},
+			func(v int, state *calibre.SimState) {
+				fmt.Printf("  [checkpoint v%d saved at round %d]\n", v, state.Round)
+			}),
+		ResumeFrom: resume,
 		OnRound: func(stats calibre.RoundStats) {
 			fmt.Println(stats)
+			if kill != nil && stats.Round == killAfter {
+				fmt.Println("  [killing the server process here]")
+				kill()
+			}
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	fmt.Println("server listening on", srv.Addr())
-
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
-	defer cancel()
 
 	var wg sync.WaitGroup
 	for id := 0; id < numClients; id++ {
@@ -72,7 +91,7 @@ func main() {
 			// sleeps through the deadline, misses the quorum cut, and is
 			// requeued — watch the round log for its late update.
 			var latency func(round int) time.Duration
-			if id == numClients-1 {
+			if id == numClients-1 && resume == nil {
 				latency = func(round int) time.Duration {
 					if round == 0 {
 						return 25 * time.Second
@@ -86,21 +105,65 @@ func main() {
 				Data:         env.Participants[id],
 				Trainer:      method.Trainer,
 				Personalizer: method.Personalizer,
-				Seed:         3,
+				Seed:         seed,
 				IOTimeout:    2 * time.Minute,
 				SimLatency:   latency,
 			})
 			if err != nil {
-				log.Printf("client %d: %v", id, err)
+				log.Printf("client %d: %v (expected when the server is killed)", id, err)
 			}
 		}(id)
 	}
-
 	res, err := srv.Run(ctx)
 	wg.Wait()
+	return res, err
+}
+
+func main() {
+	env, err := calibre.NewEnvironment("cifar10-q(2,500)", calibre.ScaleSmoke, seed)
 	if err != nil {
 		log.Fatal(err)
 	}
+	method, err := calibre.BuildMethod(env, "calibre-simclr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "calibre-distributed-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt, err := calibre.OpenCheckpointStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fingerprint := "distributed-demo" // binds snapshots to this config
+
+	fmt.Printf("=== phase 1: async federation with checkpoints (killed after round 1) ===\n")
+	phase1, cancel1 := context.WithTimeout(context.Background(), 5*time.Minute)
+	_, err = runPhase(phase1, env, method, ckpt, fingerprint, nil, 1, cancel1)
+	cancel1()
+	if err == nil {
+		log.Fatal("phase 1 was supposed to die mid-federation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		log.Fatalf("phase 1 failed for the wrong reason: %v", err)
+	}
+	fmt.Printf("server died as scripted: %v\n\n", err)
+
+	fmt.Printf("=== phase 2: restart, resume from the latest snapshot ===\n")
+	snap, version, err := ckpt.Resume(fingerprint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resuming from checkpoint v%d (round %d/%d)\n", version, snap.State.Round, rounds)
+	phase2, cancel2 := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel2()
+	res, err := runPhase(phase2, env, method, ckpt, fingerprint, &snap.State, -1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ids := make([]int, 0, len(res.Accuracies))
 	accs := make([]float64, 0, len(res.Accuracies))
 	for id := range res.Accuracies {

@@ -76,13 +76,21 @@ func newSupBase(cfg Config) *supBase {
 
 // state returns the client's persistent model, creating it on first use.
 // The boolean reports whether the client was already known (false = novel).
+//
+// Exactly one draw is consumed from rng in BOTH branches (it seeds the
+// construction RNG when the model is actually built), so the caller's
+// downstream RNG stream never depends on whether this process has seen
+// the client before. That invariance is what lets a checkpoint-resumed
+// process — whose caches start cold — train bit-identically to one that
+// was never restarted.
 func (b *supBase) state(rng *rand.Rand, id int) (*model.SupModel, bool) {
+	initSeed := rng.Int63()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if m, ok := b.states[id]; ok {
 		return m, true
 	}
-	m := model.NewSupModel(rng, b.cfg.Arch, b.cfg.NumClasses)
+	m := model.NewSupModel(rand.New(rand.NewSource(initSeed)), b.cfg.Arch, b.cfg.NumClasses)
 	b.states[id] = m
 	return m, false
 }

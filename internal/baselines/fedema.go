@@ -76,14 +76,19 @@ func (f *fedEMA) initGlobal(rng *rand.Rand) ([]float64, error) {
 	return nn.Flatten(&ssl.Trainable{Backbone: backbone, Method: method}), nil
 }
 
+// state burns exactly one rng draw in both branches (see supBase.state):
+// the caller's stream stays invariant to cache warmth, which checkpoint
+// resume relies on.
 func (f *fedEMA) state(rng *rand.Rand, id int) (*ssl.Trainable, bool, error) {
+	initSeed := rng.Int63()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if st, ok := f.states[id]; ok {
 		return st, true, nil
 	}
-	backbone := ssl.NewBackbone(rng, f.arch)
-	method, err := f.factory(rng, backbone)
+	initRNG := rand.New(rand.NewSource(initSeed))
+	backbone := ssl.NewBackbone(initRNG, f.arch)
+	method, err := f.factory(initRNG, backbone)
 	if err != nil {
 		return nil, false, fmt.Errorf("baselines: fedema client state: %w", err)
 	}

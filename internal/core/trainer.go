@@ -41,7 +41,12 @@ type SSLTrainer struct {
 
 var _ fl.Trainer = (*SSLTrainer)(nil)
 
+// clientState burns exactly one rng draw in both branches (it seeds the
+// construction RNG on first use), so the caller's downstream stream never
+// depends on whether this process has seen the client before — the
+// invariance checkpoint resume relies on (see baselines.supBase.state).
 func (t *SSLTrainer) clientState(rng *rand.Rand, id int) (*ssl.Trainable, error) {
+	initSeed := rng.Int63()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.states == nil {
@@ -50,8 +55,9 @@ func (t *SSLTrainer) clientState(rng *rand.Rand, id int) (*ssl.Trainable, error)
 	if st, ok := t.states[id]; ok {
 		return st, nil
 	}
-	backbone := ssl.NewBackbone(rng, t.Arch)
-	method, err := t.Factory(rng, backbone)
+	initRNG := rand.New(rand.NewSource(initSeed))
+	backbone := ssl.NewBackbone(initRNG, t.Arch)
+	method, err := t.Factory(initRNG, backbone)
 	if err != nil {
 		return nil, fmt.Errorf("core: method init for client %d: %w", id, err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"calibre/internal/model"
 	"calibre/internal/nn"
 	"calibre/internal/ssl"
+	"calibre/internal/store"
 	"calibre/internal/tensor"
 )
 
@@ -69,11 +71,63 @@ func RunMethod(ctx context.Context, env *Environment, name string) (*MethodOutco
 // RunBuiltMethod is RunMethod for an externally constructed method (used by
 // the Table I ablation, which toggles Calibre's regularizers directly).
 func RunBuiltMethod(ctx context.Context, env *Environment, m *fl.Method) (*MethodOutcome, error) {
-	sim, err := fl.NewSimulator(fl.SimConfig{
+	return runBuilt(ctx, env, m, nil)
+}
+
+// RunMethodResumable is RunMethod with durable round snapshots: round
+// state is checkpointed into ckpt every `every` rounds (≤0 means every
+// round) and, when the store already holds a matching snapshot, training
+// resumes from it instead of starting over — the crash-recovery path for
+// long simulator runs. The snapshot fingerprint binds the store to this
+// (method, setting, scale, seed, population) combination; resuming under a
+// different configuration fails with store.ErrFingerprintMismatch.
+func RunMethodResumable(ctx context.Context, env *Environment, name string, ckpt *store.Store, every int) (*MethodOutcome, error) {
+	m, err := BuildMethod(env, name)
+	if err != nil {
+		return nil, err
+	}
+	// The fingerprint covers every training-affecting knob — the whole
+	// preset except Rounds (which resume legitimately extends) — so a
+	// checkpoint can never silently continue under a drifted configuration.
+	preset := env.Preset
+	preset.Rounds = 0
+	fp := store.Fingerprint("simulator", name, env.Setting.Name,
+		fmt.Sprint(env.Seed), fmt.Sprintf("%+v", preset), fmt.Sprint(len(env.Participants)))
+	var resumeFrom *fl.SimState
+	snap, version, err := ckpt.Resume(fp)
+	switch {
+	case errors.Is(err, store.ErrNoCheckpoint):
+		// Empty store: a fresh run that starts checkpointing.
+	case err != nil:
+		return nil, err
+	case snap.State.Round > env.Preset.Rounds:
+		// Refuse loudly (like the server path) rather than silently
+		// discarding checkpointed training and appending from-scratch
+		// snapshots to the same store.
+		return nil, fmt.Errorf("experiments: checkpoint v%d is at round %d, beyond the %d-round budget (raise Rounds or use a fresh store)",
+			version, snap.State.Round, env.Preset.Rounds)
+	default:
+		resumeFrom = &snap.State
+	}
+	return runBuilt(ctx, env, m, func(cfg *fl.SimConfig) {
+		cfg.CheckpointEvery = every
+		cfg.ResumeFrom = resumeFrom
+		cfg.OnCheckpoint = ckpt.SaveHook(store.Meta{Seed: env.Seed, Fingerprint: fp, Runtime: "simulator"}, nil)
+	})
+}
+
+// runBuilt drives the simulator and both personalization stages; mutate,
+// when non-nil, adjusts the simulator config (checkpoint wiring).
+func runBuilt(ctx context.Context, env *Environment, m *fl.Method, mutate func(*fl.SimConfig)) (*MethodOutcome, error) {
+	cfg := fl.SimConfig{
 		Rounds:          env.Preset.Rounds,
 		ClientsPerRound: env.Preset.ClientsPerRound,
 		Seed:            env.Seed,
-	}, m, env.Participants)
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim, err := fl.NewSimulator(cfg, m, env.Participants)
 	if err != nil {
 		return nil, err
 	}

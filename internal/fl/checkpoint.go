@@ -1,0 +1,90 @@
+package fl
+
+import "fmt"
+
+// SimState is a federation's complete server-side state at a round
+// boundary: everything the round loop needs to continue exactly as if the
+// process had never stopped. Both runtimes — the in-process Simulator and
+// the flnet TCP server — emit it through their OnCheckpoint hooks and
+// accept it back through their ResumeFrom knobs; internal/store persists
+// it durably with the versioned binary codec.
+//
+// The master RNG is deliberately not part of the state. Both runtimes
+// consume it only for client sampling and dropout draws, so the resume
+// path restores it exactly by replaying those draws: the simulator re-runs
+// its deterministic sampling loop, and the networked server — whose
+// sampling-pool size depends on real-world join timing — replays against
+// the recorded EligibleCounts. Client-side training state never needs
+// snapshotting: local updates are pure functions of (seed, round, client,
+// global), which is what makes a resumed federation bit-identical to an
+// uninterrupted one.
+type SimState struct {
+	// Round is the number of completed rounds; the resumed loop starts
+	// here.
+	Round int
+	// Global is the aggregated global parameter vector after Round rounds.
+	Global []float64
+	// History holds the RoundStats of every completed round, in order.
+	History []RoundStats
+	// EligibleCounts[r] is the size of the sampling pool when round r was
+	// drawn. The simulator re-derives the pool during replay and uses the
+	// recorded counts as an integrity cross-check; the networked server
+	// replays Sample with them directly.
+	EligibleCounts []int
+}
+
+// Clone returns a deep copy, so a checkpoint sink can retain the state
+// after the round loop moves on.
+func (st *SimState) Clone() *SimState {
+	if st == nil {
+		return nil
+	}
+	c := &SimState{Round: st.Round}
+	c.Global = append([]float64(nil), st.Global...)
+	c.History = append([]RoundStats(nil), st.History...)
+	for i, h := range c.History {
+		c.History[i].Participants = append([]int(nil), h.Participants...)
+		if h.Responders != nil {
+			c.History[i].Responders = append([]int(nil), h.Responders...)
+		}
+		if h.Stragglers != nil {
+			c.History[i].Stragglers = append([]int(nil), h.Stragglers...)
+		}
+	}
+	c.EligibleCounts = append([]int(nil), st.EligibleCounts...)
+	return c
+}
+
+// Validate checks the state's internal consistency against a round budget
+// (rounds ≤ 0 skips the budget check, for callers that extend the run).
+func (st *SimState) Validate(rounds int) error {
+	switch {
+	case st.Round < 0:
+		return fmt.Errorf("fl: checkpoint state has negative round %d", st.Round)
+	case rounds > 0 && st.Round > rounds:
+		return fmt.Errorf("fl: checkpoint at round %d exceeds the %d-round budget", st.Round, rounds)
+	case len(st.Global) == 0:
+		return fmt.Errorf("fl: checkpoint state has an empty global vector")
+	case len(st.History) != st.Round:
+		return fmt.Errorf("fl: checkpoint history has %d rounds, want %d", len(st.History), st.Round)
+	case len(st.EligibleCounts) != st.Round:
+		return fmt.Errorf("fl: checkpoint has %d eligible counts, want %d", len(st.EligibleCounts), st.Round)
+	}
+	for r, n := range st.EligibleCounts {
+		if n < 1 {
+			return fmt.Errorf("fl: checkpoint eligible count for round %d is %d, want ≥1", r, n)
+		}
+	}
+	return nil
+}
+
+// CheckpointDue reports whether a checkpoint should be taken after
+// `completed` rounds under stride `every` (≤0 means every round) of a
+// `total`-round federation. The final round always checkpoints, so a
+// completed run leaves its terminal state on disk.
+func CheckpointDue(completed, every, total int) bool {
+	if every <= 0 {
+		every = 1
+	}
+	return completed%every == 0 || completed == total
+}

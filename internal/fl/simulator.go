@@ -53,6 +53,24 @@ type SimConfig struct {
 	Straggler StragglerPolicy
 	// OnRound, if set, observes each completed round (single-goroutine).
 	OnRound func(RoundStats)
+
+	// OnCheckpoint, if set, receives a deep-copied SimState after every
+	// CheckpointEvery-th completed round and after the final round. It
+	// fires before OnRound for the same round, so a callback that stops
+	// the run still finds that round's state persisted. A checkpoint
+	// error aborts the run: durability was requested, so failing loudly
+	// beats training on without it.
+	OnCheckpoint func(*SimState) error
+	// CheckpointEvery is the round stride between checkpoints; ≤0 means
+	// every round. Ignored unless OnCheckpoint is set.
+	CheckpointEvery int
+	// ResumeFrom, if non-nil, continues a previous federation: the round
+	// loop starts at ResumeFrom.Round with its global vector and history,
+	// after replaying the completed rounds' RNG draws so the continuation
+	// is bit-identical to a run that never stopped. The configuration
+	// must match the checkpointed run's (internal/store fingerprints
+	// guard this at the CLI layer).
+	ResumeFrom *SimState
 }
 
 func (c *SimConfig) parallelism() int {
@@ -102,6 +120,11 @@ func NewSimulator(cfg SimConfig, method *Method, clients []*partition.Client) (*
 	if _, err := ParseStragglerPolicy(cfg.Straggler.String()); err != nil {
 		return nil, err
 	}
+	if cfg.ResumeFrom != nil {
+		if err := cfg.ResumeFrom.Validate(cfg.Rounds); err != nil {
+			return nil, fmt.Errorf("fl: resume: %w", err)
+		}
+	}
 	return &Simulator{Config: cfg, Method: method, Clients: clients}, nil
 }
 
@@ -136,6 +159,25 @@ func applyDropout(rng *rand.Rand, ids []int, rate float64, quorum int) []int {
 	return kept
 }
 
+// drawRound consumes one round's worth of master-RNG draws — client
+// sampling and dropout — and derives the next sampleable population
+// (shrunk under StragglerDrop). Both the live round loop and the resume
+// replay path go through it, which is what makes a resumed run's RNG
+// stream bit-identical to an uninterrupted one.
+func (s *Simulator) drawRound(rng *rand.Rand, alive []int) (sampled, ids, nextAlive []int) {
+	picks := s.Config.Sampler.Sample(rng, len(alive), s.Config.ClientsPerRound)
+	sampled = make([]int, len(picks))
+	for i, p := range picks {
+		sampled[i] = alive[p]
+	}
+	ids = applyDropout(rng, sampled, s.Config.DropoutRate, s.Config.Quorum)
+	nextAlive = alive
+	if len(ids) != len(sampled) && s.Config.Straggler == StragglerDrop {
+		nextAlive = diffSorted(alive, diffSorted(sampled, ids))
+	}
+	return sampled, ids, nextAlive
+}
+
 // Run executes the training stage and returns the final global vector and
 // per-round statistics.
 func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
@@ -153,15 +195,34 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 		alive[i] = i
 	}
 	history := make([]RoundStats, 0, s.Config.Rounds)
-	for round := 0; round < s.Config.Rounds; round++ {
+	var eligibleCounts []int
+	startRound := 0
+	if st := s.Config.ResumeFrom; st != nil {
+		if len(st.Global) != len(global) {
+			return nil, nil, fmt.Errorf("fl: resume: checkpoint has %d params, method initializes %d", len(st.Global), len(global))
+		}
+		// Replay the completed rounds' sampling and dropout draws so the
+		// master RNG and the sampleable population are exactly where the
+		// checkpointed run left them. The recorded pool sizes double as an
+		// integrity check against resuming under a drifted configuration.
+		for r := 0; r < st.Round; r++ {
+			if len(alive) != st.EligibleCounts[r] {
+				return nil, nil, fmt.Errorf("fl: resume: round %d replays a pool of %d clients, checkpoint recorded %d (configuration drift?)",
+					r, len(alive), st.EligibleCounts[r])
+			}
+			_, _, alive = s.drawRound(masterRNG, alive)
+		}
+		global = append([]float64(nil), st.Global...)
+		history = append(history, st.History...)
+		eligibleCounts = append(eligibleCounts, st.EligibleCounts...)
+		startRound = st.Round
+	}
+	for round := startRound; round < s.Config.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
 		}
-		picks := s.Config.Sampler.Sample(masterRNG, len(alive), s.Config.ClientsPerRound)
-		sampled := make([]int, len(picks))
-		for i, p := range picks {
-			sampled[i] = alive[p]
-		}
+		eligibleCount := len(alive)
+		sampled, ids, nextAlive := s.drawRound(masterRNG, alive)
 		// Guard the K-of-N contract loudly rather than letting applyDropout
 		// clamp the floor: a round that cannot keep Quorum survivors fails.
 		// (Unreachable in normal operation — validation bounds Quorum by
@@ -171,7 +232,6 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 			return nil, nil, fmt.Errorf("fl: round %d: only %d sampled clients for quorum %d: %w",
 				round, len(sampled), s.Config.Quorum, ErrQuorumNotMet)
 		}
-		ids := applyDropout(masterRNG, sampled, s.Config.DropoutRate, s.Config.Quorum)
 		roundCtx, cancelRound := ctx, context.CancelFunc(func() {})
 		if s.Config.RoundDeadline > 0 {
 			roundCtx, cancelRound = context.WithTimeout(ctx, s.Config.RoundDeadline)
@@ -203,15 +263,20 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 		if len(ids) != len(sampled) {
 			stats.Responders = ids
 			stats.Stragglers = diffSorted(sampled, ids)
-			if s.Config.Straggler == StragglerDrop {
-				alive = diffSorted(alive, stats.Stragglers)
-			}
 		}
+		alive = nextAlive
 		for _, u := range updates {
 			stats.MeanLoss += u.TrainLoss
 		}
 		stats.MeanLoss /= float64(len(updates))
 		history = append(history, stats)
+		eligibleCounts = append(eligibleCounts, eligibleCount)
+		if s.Config.OnCheckpoint != nil && CheckpointDue(round+1, s.Config.CheckpointEvery, s.Config.Rounds) {
+			st := &SimState{Round: round + 1, Global: global, History: history, EligibleCounts: eligibleCounts}
+			if err := s.Config.OnCheckpoint(st.Clone()); err != nil {
+				return nil, nil, fmt.Errorf("fl: checkpoint after round %d: %w", round, err)
+			}
+		}
 		if s.Config.OnRound != nil {
 			s.Config.OnRound(stats)
 		}

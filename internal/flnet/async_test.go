@@ -332,6 +332,12 @@ func dialRaw(t *testing.T, addr string) *rawClient {
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
+	if err := writePreamble(conn, 5*time.Second); err != nil {
+		t.Fatalf("raw preamble write: %v", err)
+	}
+	if err := readPreamble(conn, 5*time.Second); err != nil {
+		t.Fatalf("raw preamble read: %v", err)
+	}
 	return &rawClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 

@@ -1,0 +1,192 @@
+package flnet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"calibre/internal/fl"
+	"calibre/internal/partition"
+	"calibre/internal/store"
+)
+
+// seededTrainer makes updates depend on the round RNG and the round
+// number, so any drift in the resumed server's replayed RNG or round
+// counter shows up in the final bits.
+type seededTrainer struct{}
+
+func (seededTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+	params := make([]float64, len(global))
+	for i, v := range global {
+		params[i] = v + rng.NormFloat64()*0.1 + float64(round+1)*0.001
+	}
+	return &fl.Update{ClientID: c.ID, Params: params, NumSamples: c.Train.Len(), TrainLoss: rng.Float64()}, nil
+}
+
+// runCkptFederation drives one complete federation with in-process clients
+// and returns the server result; client errors are returned for the
+// caller to judge (a killed server legitimately fails its clients).
+func runCkptFederation(t *testing.T, ctx context.Context, cfg ServerConfig, clients []*partition.Client) (*Result, error, []error) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Aggregator = fl.WeightedAverage{}
+	cfg.InitGlobal = func(rng *rand.Rand) ([]float64, error) {
+		out := make([]float64, 5)
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out, nil
+	}
+	if cfg.IOTimeout == 0 {
+		cfg.IOTimeout = 20 * time.Second
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ch := startServer(ctx, srv)
+	var wg sync.WaitGroup
+	cerrs := make([]error, len(clients))
+	for i := range clients {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cerrs[id] = RunClient(ctx, ClientConfig{
+				Addr: srv.Addr().String(), ClientID: id, Data: clients[id],
+				Trainer: seededTrainer{}, Personalizer: idPersonalizer{},
+				Seed: cfg.Seed, IOTimeout: 20 * time.Second,
+			})
+		}(i)
+	}
+	out := <-ch
+	wg.Wait()
+	return out.res, out.err, cerrs
+}
+
+// TestServerKillResumeBitIdentical is the tentpole durability gate for the
+// networked runtime: a federation checkpointed every round, killed after
+// round 1 (the server process and every connection die), then restarted
+// from the on-disk snapshot with rejoining clients, must produce the
+// byte-identical global model, RoundStats history and accuracies of a
+// federation that was never interrupted.
+func TestServerKillResumeBitIdentical(t *testing.T) {
+	const n, total = 3, 4
+	base := ServerConfig{NumClients: n, Rounds: total, ClientsPerRound: 2, Seed: 11}
+
+	// Reference: uninterrupted run.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	ref, err, cerrs := runCkptFederation(t, ctx, base, netClients(t, n))
+	if err != nil {
+		t.Fatalf("reference Run: %v", err)
+	}
+	for id, cerr := range cerrs {
+		if cerr != nil {
+			t.Fatalf("reference client %d: %v", id, cerr)
+		}
+	}
+
+	// Phase 1: same config, checkpointing every round into a real store,
+	// killed via context cancellation right after round 1 completes (its
+	// checkpoint is guaranteed on disk: OnCheckpoint fires before OnRound).
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	fp := store.Fingerprint("flnet-test", "seeded", "11")
+	killCtx, kill := context.WithTimeout(context.Background(), 60*time.Second)
+	defer kill()
+	cfgA := base
+	cfgA.CheckpointEvery = 1
+	cfgA.OnCheckpoint = func(state *fl.SimState) error {
+		_, err := st.Save(&store.Snapshot{
+			Meta:  store.Meta{Seed: base.Seed, Fingerprint: fp, Runtime: "server"},
+			State: *state,
+		})
+		return err
+	}
+	cfgA.OnRound = func(stats fl.RoundStats) {
+		if stats.Round == 1 {
+			kill()
+		}
+	}
+	_, err, _ = runCkptFederation(t, killCtx, cfgA, netClients(t, n))
+	if err == nil {
+		t.Fatal("killed federation reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed federation err = %v, want context.Canceled", err)
+	}
+
+	// Phase 2: a fresh server process resumes from disk; clients redial.
+	snap, version, err := st.Resume(fp)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if snap.State.Round != 2 {
+		t.Fatalf("latest snapshot v%d at round %d, want round 2", version, snap.State.Round)
+	}
+	cfgB := base
+	cfgB.ResumeFrom = &snap.State
+	res, err, cerrs := runCkptFederation(t, ctx, cfgB, netClients(t, n))
+	if err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	for id, cerr := range cerrs {
+		if cerr != nil {
+			t.Fatalf("resumed client %d: %v", id, cerr)
+		}
+	}
+
+	if len(res.Global) != len(ref.Global) {
+		t.Fatalf("global lengths: %d vs %d", len(res.Global), len(ref.Global))
+	}
+	for i := range res.Global {
+		if math.Float64bits(res.Global[i]) != math.Float64bits(ref.Global[i]) {
+			t.Fatalf("global[%d] differs after kill+resume: %x vs %x", i, res.Global[i], ref.Global[i])
+		}
+	}
+	if !reflect.DeepEqual(res.History, ref.History) {
+		t.Fatalf("history differs after kill+resume:\n%+v\nvs\n%+v", res.History, ref.History)
+	}
+	if !reflect.DeepEqual(res.Accuracies, ref.Accuracies) {
+		t.Fatalf("accuracies differ: %v vs %v", res.Accuracies, ref.Accuracies)
+	}
+}
+
+// TestServerCheckpointErrorAborts mirrors the simulator contract on the
+// networked runtime.
+func TestServerCheckpointErrorAborts(t *testing.T) {
+	boom := errors.New("disk full")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cfg := ServerConfig{NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 5,
+		OnCheckpoint: func(*fl.SimState) error { return boom }}
+	_, err, _ := runCkptFederation(t, ctx, cfg, netClients(t, 1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the sink's error", err)
+	}
+}
+
+// TestServerConfigValidatesResumeState: malformed resume states are
+// rejected at construction.
+func TestServerConfigValidatesResumeState(t *testing.T) {
+	cfg := ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 5,
+		Aggregator: fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		ResumeFrom: &fl.SimState{Round: 5, Global: []float64{0}},
+	}
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("resume state beyond the round budget accepted")
+	}
+	cfg.ResumeFrom = &fl.SimState{Round: 1, Global: []float64{0}, History: make([]fl.RoundStats, 1)}
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("resume state missing eligible counts accepted")
+	}
+}

@@ -69,6 +69,17 @@ func RunClient(ctx context.Context, cfg ClientConfig) error {
 	if err != nil {
 		return fmt.Errorf("flnet: dial %s: %w", cfg.Addr, err)
 	}
+	// Preamble exchange before any gob traffic: a server from an
+	// incompatible build yields a clean typed ErrProtocolMismatch here
+	// rather than a gob decode failure later.
+	if err := writePreamble(raw, cfg.IOTimeout); err != nil {
+		_ = raw.Close()
+		return err
+	}
+	if err := readPreamble(raw, cfg.IOTimeout); err != nil {
+		_ = raw.Close()
+		return fmt.Errorf("handshake with %s: %w", cfg.Addr, err)
+	}
 	c := newConn(raw, cfg.IOTimeout)
 	defer c.close()
 

@@ -8,8 +8,18 @@
 //
 // # Wire protocol
 //
-// Every message on the wire is one Envelope, gob-encoded onto the raw TCP
-// stream. gob's self-describing stream provides the framing: type
+// A fresh connection opens with a preamble exchange: each side immediately
+// writes 8 bytes — the magic "CALF", a little-endian uint16
+// ProtocolVersion and two reserved zero bytes — then reads and validates
+// the peer's. Both sides write first, so the exchange cannot deadlock. A
+// peer with the wrong magic or version is rejected with a typed
+// ErrProtocolMismatch (client side) or silently dropped (server side)
+// before any gob traffic, so an incompatible build fails with a clear
+// error instead of a gob decode failure mid-handshake.
+//
+// After the preamble, every message on the wire is one Envelope,
+// gob-encoded onto the raw TCP stream. gob's self-describing stream
+// provides the framing: type
 // descriptors travel once per connection, each subsequent Encode emits one
 // length-delimited value, and a Decode that hits a truncated or corrupt
 // stream fails cleanly instead of desynchronizing. The Envelope.Type field
@@ -82,4 +92,20 @@
 // participant order regardless of arrival order (see fl.UpdateSink). When
 // stragglers do occur, the aggregate depends only on *which* clients
 // responded, never on arrival timing.
+//
+// # Durability
+//
+// With ServerConfig.OnCheckpoint set (cmd/calibre-server wires it to an
+// internal/store.Store via -checkpoint-dir), the server emits a deep
+// copy of its complete round state — round counter, global vector,
+// RoundStats history and the per-round sampling-pool sizes — after every
+// CheckpointEvery-th round, before OnRound fires. A killed server is
+// restarted with ResumeFrom pointing at the latest snapshot: it waits for
+// NumClients to (re)join, replays its sampling draws against the recorded
+// pool sizes to restore the master RNG, and continues from the
+// checkpointed round. Clients need no persistent state — local updates
+// are pure functions of (seed, round, client, global) — so a resumed
+// federation in which every participant responds is bit-identical to one
+// that never stopped. See internal/store for the snapshot format and the
+// resume state machine.
 package flnet

@@ -1,14 +1,75 @@
 package flnet
 
 import (
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
 
 	"calibre/internal/fl"
 )
+
+// Wire preamble: before any gob traffic, each side of a fresh connection
+// writes an 8-byte preamble — 4 magic bytes, a little-endian uint16
+// protocol version and 2 reserved zero bytes — and validates the peer's.
+// Both sides write first, then read, so the exchange cannot deadlock. An
+// incompatible peer (wrong build, or something that is not a calibre
+// process at all) is detected here and rejected with ErrProtocolMismatch
+// instead of surfacing as an inscrutable gob decode failure mid-handshake.
+const (
+	// ProtocolMagic identifies the calibre federation wire protocol.
+	ProtocolMagic = "CALF"
+	// ProtocolVersion is bumped on any incompatible wire change (envelope
+	// layout, handshake sequence, codec switch).
+	ProtocolVersion = 1
+
+	preambleSize = 8
+)
+
+// ErrProtocolMismatch is returned when the peer does not speak this
+// build's wire protocol: wrong magic (not a calibre endpoint) or a
+// different protocol version.
+var ErrProtocolMismatch = errors.New("flnet: incompatible wire protocol")
+
+// writePreamble sends this build's preamble on a fresh connection.
+func writePreamble(raw net.Conn, timeout time.Duration) error {
+	var b [preambleSize]byte
+	copy(b[:4], ProtocolMagic)
+	binary.LittleEndian.PutUint16(b[4:6], ProtocolVersion)
+	if timeout > 0 {
+		if err := raw.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("flnet: set preamble write deadline: %w", err)
+		}
+	}
+	if _, err := raw.Write(b[:]); err != nil {
+		return fmt.Errorf("flnet: send preamble: %w", err)
+	}
+	return nil
+}
+
+// readPreamble reads and validates the peer's preamble.
+func readPreamble(raw net.Conn, timeout time.Duration) error {
+	var b [preambleSize]byte
+	if timeout > 0 {
+		if err := raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return fmt.Errorf("flnet: set preamble read deadline: %w", err)
+		}
+	}
+	if _, err := io.ReadFull(raw, b[:]); err != nil {
+		return fmt.Errorf("flnet: read preamble: %w", err)
+	}
+	if string(b[:4]) != ProtocolMagic {
+		return fmt.Errorf("%w: peer sent magic %q, want %q", ErrProtocolMismatch, b[:4], ProtocolMagic)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != ProtocolVersion {
+		return fmt.Errorf("%w: peer speaks protocol version %d, this build speaks %d", ErrProtocolMismatch, v, ProtocolVersion)
+	}
+	return nil
+}
 
 // MsgType discriminates protocol envelopes.
 type MsgType int

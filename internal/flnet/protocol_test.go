@@ -1,13 +1,170 @@
 package flnet
 
 import (
+	"context"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
+	"io"
+	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"calibre/internal/fl"
 )
+
+// TestPreambleExchange pins the preamble bytes and the happy path over a
+// real pipe.
+func TestPreambleExchange(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- writePreamble(a, time.Second) }()
+	buf := make([]byte, preambleSize)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("writePreamble: %v", err)
+	}
+	if string(buf[:4]) != ProtocolMagic {
+		t.Fatalf("magic = %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:6]); v != ProtocolVersion {
+		t.Fatalf("version = %d", v)
+	}
+	if buf[6] != 0 || buf[7] != 0 {
+		t.Fatalf("reserved bytes = %v", buf[6:8])
+	}
+}
+
+// TestPreambleRejectsIncompatiblePeers: wrong magic and wrong version each
+// yield the typed ErrProtocolMismatch.
+func TestPreambleRejectsIncompatiblePeers(t *testing.T) {
+	send := func(t *testing.T, raw []byte) error {
+		t.Helper()
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			_, _ = a.Write(raw)
+			_ = a.Close()
+		}()
+		return readPreamble(b, time.Second)
+	}
+	gobJoin := []byte{0x2c, 0xff, 0x81, 0x03, 0x01, 0x01, 0x08} // a legacy client's first gob bytes
+	if err := send(t, gobJoin[:preambleSize-1]); err == nil || errors.Is(err, ErrProtocolMismatch) {
+		// Short writes surface as transport errors, not mismatches.
+		t.Fatalf("truncated preamble err = %v", err)
+	}
+	if err := send(t, append(gobJoin, 0)); !errors.Is(err, ErrProtocolMismatch) {
+		t.Fatalf("legacy gob stream err = %v, want ErrProtocolMismatch", err)
+	}
+	futuristic := make([]byte, preambleSize)
+	copy(futuristic, ProtocolMagic)
+	binary.LittleEndian.PutUint16(futuristic[4:6], ProtocolVersion+7)
+	if err := send(t, futuristic); !errors.Is(err, ErrProtocolMismatch) {
+		t.Fatalf("future version err = %v, want ErrProtocolMismatch", err)
+	}
+}
+
+// TestClientRejectsIncompatibleServer: a client dialing a server from an
+// incompatible build gets a clean typed error, not a gob failure.
+func TestClientRejectsIncompatibleServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		bad := make([]byte, preambleSize)
+		copy(bad, ProtocolMagic)
+		binary.LittleEndian.PutUint16(bad[4:6], ProtocolVersion+1)
+		_, _ = conn.Write(bad)
+		buf := make([]byte, preambleSize)
+		_, _ = io.ReadFull(conn, buf)
+	}()
+	err = RunClient(context.Background(), ClientConfig{
+		Addr: ln.Addr().String(), ClientID: 0, Data: netClients(t, 1)[0],
+		Trainer: addOneTrainer{}, Personalizer: idPersonalizer{},
+		IOTimeout: 2 * time.Second,
+	})
+	if !errors.Is(err, ErrProtocolMismatch) {
+		t.Fatalf("err = %v, want ErrProtocolMismatch", err)
+	}
+}
+
+// TestServerRejectsIncompatibleClient: a wrong-version client is dropped at
+// the preamble without disturbing the federation, which completes with the
+// compatible client.
+func TestServerRejectsIncompatibleClient(t *testing.T) {
+	clients := netClients(t, 1)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 1, Seed: 3,
+		Aggregator: fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 2), nil },
+		IOTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var srvErr error
+	var res *Result
+	go func() {
+		defer wg.Done()
+		res, srvErr = srv.Run(ctx)
+	}()
+
+	// The incompatible client: valid magic, wrong version. The server
+	// answers with its own preamble and then hangs up.
+	conn, err := net.DialTimeout("tcp", srv.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	bad := make([]byte, preambleSize)
+	copy(bad, ProtocolMagic)
+	binary.LittleEndian.PutUint16(bad[4:6], ProtocolVersion+1)
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := readPreamble(conn, 5*time.Second); err != nil {
+		t.Fatalf("server preamble: %v", err)
+	}
+	buf := make([]byte, 1)
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept talking to an incompatible client")
+	}
+	_ = conn.Close()
+
+	cerr := RunClient(ctx, ClientConfig{
+		Addr: srv.Addr().String(), ClientID: 0, Data: clients[0],
+		Trainer: addOneTrainer{}, Personalizer: idPersonalizer{},
+		Seed: 3, IOTimeout: 10 * time.Second,
+	})
+	wg.Wait()
+	if srvErr != nil {
+		t.Fatalf("server Run: %v", srvErr)
+	}
+	if cerr != nil {
+		t.Fatalf("compatible client: %v", cerr)
+	}
+	if len(res.Accuracies) != 1 {
+		t.Fatalf("accuracies = %v", res.Accuracies)
+	}
+}
 
 // TestEnvelopeGobRoundTrip pins the wire format: an Envelope carrying a
 // full Update must survive encode/decode over a real connection.

@@ -47,6 +47,24 @@ type ServerConfig struct {
 
 	// OnRound observes completed rounds.
 	OnRound func(fl.RoundStats)
+
+	// OnCheckpoint, if set, receives a deep-copied fl.SimState after every
+	// CheckpointEvery-th completed round and after the final round, before
+	// OnRound fires — so a crash at any point finds the latest due round
+	// persisted. A checkpoint error aborts the federation. The state
+	// records the per-round sampling-pool sizes, which is what lets a
+	// restarted server replay its RNG draws exactly even though join
+	// timing and straggler business shaped the pool.
+	OnCheckpoint func(*fl.SimState) error
+	// CheckpointEvery is the round stride between checkpoints; ≤0 means
+	// every round. Ignored unless OnCheckpoint is set.
+	CheckpointEvery int
+	// ResumeFrom, if non-nil, continues a checkpointed federation: once
+	// NumClients have (re)joined, the round loop starts at
+	// ResumeFrom.Round with the snapshot's global vector and history. A
+	// federation in which every participant responds resumes
+	// bit-identically to one that was never interrupted.
+	ResumeFrom *fl.SimState
 }
 
 func (c *ServerConfig) validate() error {
@@ -70,6 +88,11 @@ func (c *ServerConfig) validate() error {
 	}
 	if _, err := fl.ParseStragglerPolicy(c.Straggler.String()); err != nil {
 		return err
+	}
+	if c.ResumeFrom != nil {
+		if err := c.ResumeFrom.Validate(c.Rounds); err != nil {
+			return fmt.Errorf("flnet: resume: %w", err)
+		}
 	}
 	return nil
 }
@@ -179,7 +202,23 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 
 	eng := &roundEngine{s: s, busy: make(map[int]int)}
 	history := make([]fl.RoundStats, 0, s.cfg.Rounds)
-	for round := 0; round < s.cfg.Rounds; round++ {
+	startRound := 0
+	if st := s.cfg.ResumeFrom; st != nil {
+		if len(st.Global) != len(global) {
+			return nil, fmt.Errorf("flnet: resume: checkpoint has %d params, InitGlobal produces %d", len(st.Global), len(global))
+		}
+		// Replay the completed rounds' sampling draws against the recorded
+		// pool sizes so the master RNG is exactly where the checkpointed
+		// run left it; then continue from the snapshot's state.
+		for r := 0; r < st.Round; r++ {
+			fl.UniformSampler{}.Sample(rng, st.EligibleCounts[r], s.cfg.ClientsPerRound)
+		}
+		global = append([]float64(nil), st.Global...)
+		history = append(history, st.History...)
+		eng.eligibleCounts = append(eng.eligibleCounts, st.EligibleCounts...)
+		startRound = st.Round
+	}
+	for round := startRound; round < s.cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("flnet: round %d: %w", round, err)
 		}
@@ -189,6 +228,12 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		}
 		global = next
 		history = append(history, stats)
+		if s.cfg.OnCheckpoint != nil && fl.CheckpointDue(round+1, s.cfg.CheckpointEvery, s.cfg.Rounds) {
+			st := &fl.SimState{Round: round + 1, Global: global, History: history, EligibleCounts: eng.eligibleCounts}
+			if err := s.cfg.OnCheckpoint(st.Clone()); err != nil {
+				return nil, fmt.Errorf("flnet: checkpoint after round %d: %w", round, err)
+			}
+		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(stats)
 		}
@@ -217,10 +262,21 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleJoin performs the join handshake on one fresh connection. Garbage
-// connections (truncated or non-join first messages) and duplicate client
-// IDs are rejected without disturbing the rest of the federation.
+// handleJoin performs the preamble exchange and join handshake on one
+// fresh connection. Incompatible protocol versions, garbage connections
+// (truncated or non-join first messages) and duplicate client IDs are
+// rejected without disturbing the rest of the federation.
 func (s *Server) handleJoin(raw net.Conn) {
+	if err := writePreamble(raw, s.cfg.IOTimeout); err != nil {
+		_ = raw.Close()
+		return
+	}
+	if err := readPreamble(raw, s.cfg.IOTimeout); err != nil {
+		// An incompatible or non-calibre peer: nothing more can be said on
+		// a wire whose protocol it does not speak.
+		_ = raw.Close()
+		return
+	}
 	c := newConn(raw, s.cfg.IOTimeout)
 	env, err := c.recv()
 	if err != nil || env.Type != MsgJoin {
@@ -356,6 +412,10 @@ type roundEngine struct {
 	// Busy clients are not eligible for sampling; a requeued straggler
 	// stays busy until its stale reply drains.
 	busy map[int]int
+	// eligibleCounts records each round's sampling-pool size (resume-
+	// prefix included) — the replay data a restarted server needs to
+	// reconstruct its RNG stream, carried into every checkpoint.
+	eligibleCounts []int
 }
 
 // eligible returns the sorted roster IDs with no in-flight request.
@@ -383,6 +443,7 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 	if len(eligible) == 0 {
 		return stats, nil, fmt.Errorf("flnet: round %d: no eligible clients", round)
 	}
+	e.eligibleCounts = append(e.eligibleCounts, len(eligible))
 	picks := fl.UniformSampler{}.Sample(rng, len(eligible), s.cfg.ClientsPerRound)
 	participants := make([]int, len(picks))
 	for i, p := range picks {

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"calibre/internal/fl"
+	"calibre/internal/tensor"
+)
+
+// specialFloats are the payloads a lossless codec must not disturb: NaN
+// (including a non-standard payload), infinities, signed zero, denormals
+// and extreme magnitudes.
+var specialFloats = []float64{
+	math.NaN(),
+	math.Float64frombits(0x7ff8dead_beef0001), // NaN with payload bits
+	math.Inf(1), math.Inf(-1),
+	0, math.Copysign(0, -1),
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	1.0 / 3.0, -math.Pi,
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVectorRoundTripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, 0, 512)
+	v = append(v, specialFloats...)
+	for len(v) < cap(v) {
+		v = append(v, rng.NormFloat64()*math.Pow(10, float64(rng.Intn(40)-20)))
+	}
+	blob := EncodeVector(v)
+	got, err := DecodeVector(blob)
+	if err != nil {
+		t.Fatalf("DecodeVector: %v", err)
+	}
+	if !bitsEqual(got, v) {
+		t.Fatal("vector round trip is not 0-ULP identical")
+	}
+	if again := EncodeVector(v); !bytes.Equal(blob, again) {
+		t.Fatal("encoding the same vector twice is not byte-identical")
+	}
+}
+
+// TestVectorRoundTripProperty drives the round trip with machine-generated
+// vectors (testing/quick fills them with adversarial bit patterns).
+func TestVectorRoundTripProperty(t *testing.T) {
+	prop := func(v []float64) bool {
+		got, err := DecodeVector(EncodeVector(v))
+		if err != nil {
+			return false
+		}
+		return bitsEqual(got, v)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts := []*tensor.Tensor{
+		tensor.New(), // 0-dim scalar holder (1 element)
+		tensor.RandN(rng, 1, 7),
+		tensor.RandN(rng, 1, 3, 5),
+		tensor.RandN(rng, 1, 2, 3, 4),
+		tensor.New(0, 4), // zero-element tensor with shape
+	}
+	ts[1].Data()[0] = math.NaN()
+	ts[2].Data()[3] = math.Inf(-1)
+
+	blob := EncodeTensors(ts)
+	got, err := DecodeTensors(blob)
+	if err != nil {
+		t.Fatalf("DecodeTensors: %v", err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("decoded %d tensors, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if !reflect.DeepEqual(got[i].Shape(), ts[i].Shape()) {
+			t.Fatalf("tensor %d shape %v, want %v", i, got[i].Shape(), ts[i].Shape())
+		}
+		if !bitsEqual(got[i].Data(), ts[i].Data()) {
+			t.Fatalf("tensor %d payload not bit-identical", i)
+		}
+	}
+	if again := EncodeTensors(ts); !bytes.Equal(blob, again) {
+		t.Fatal("tensor encoding is not deterministic")
+	}
+}
+
+// testSnapshot builds a snapshot exercising every field the codec must
+// preserve, including nil-vs-empty distinctions in the history.
+func testSnapshot() *Snapshot {
+	return &Snapshot{
+		Meta: Meta{Seed: -42, Fingerprint: "deadbeef01234567", Runtime: "server"},
+		State: fl.SimState{
+			Round:  3,
+			Global: []float64{1.5, -2.25, math.Pi, 0},
+			History: []fl.RoundStats{
+				{Round: 0, Participants: []int{0, 1, 2}, MeanLoss: 0.75},
+				{Round: 1, Participants: []int{1, 3}, MeanLoss: 1.0 / 3.0,
+					Responders: []int{1}, Stragglers: []int{3}, DeadlineExpired: true},
+				{Round: 2, Participants: []int{0, 2}, MeanLoss: 0.5, LateUpdates: 2,
+					Responders: []int{}},
+			},
+			EligibleCounts: []int{4, 4, 3},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := testSnapshot()
+	blob, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("snapshot round trip differs:\n%+v\nvs\n%+v", got, snap)
+	}
+	again, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+}
+
+// TestSnapshotNaNLoss: the binary history section must carry a NaN
+// MeanLoss losslessly (a JSON-based history could not).
+func TestSnapshotNaNLoss(t *testing.T) {
+	snap := testSnapshot()
+	snap.State.History[0].MeanLoss = math.Float64frombits(0x7ff8000000000042)
+	blob, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if math.Float64bits(got.State.History[0].MeanLoss) != 0x7ff8000000000042 {
+		t.Fatalf("NaN payload not preserved: %x", math.Float64bits(got.State.History[0].MeanLoss))
+	}
+}
+
+// reseal recomputes the CRC trailer after a deliberate mutation, so tests
+// reach the section parser instead of stopping at the checksum gate.
+func reseal(blob []byte) []byte {
+	binary.LittleEndian.PutUint32(blob[len(blob)-4:], crc32.Checksum(blob[:len(blob)-4], crcTable))
+	return blob
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	snap := testSnapshot()
+	blob, err := EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+
+	cases := map[string]struct {
+		mutate func([]byte) []byte
+		want   error
+	}{
+		"empty":     {func(b []byte) []byte { return nil }, ErrTruncated},
+		"too short": {func(b []byte) []byte { return b[:8] }, ErrTruncated},
+		"bad magic": {func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		"future version": {func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:6], Version+1)
+			return b
+		}, ErrVersion},
+		"reserved flags": {func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[6:8], 1)
+			return reseal(b)
+		}, ErrMalformed},
+		"flipped payload byte": {func(b []byte) []byte { b[20] ^= 0xff; return b }, ErrChecksum},
+		"truncated tail":       {func(b []byte) []byte { return b[:len(b)-9] }, ErrChecksum},
+		"huge section length": {func(b []byte) []byte {
+			// First section header sits right after the frame header.
+			binary.LittleEndian.PutUint64(b[headerSize+1:], 1<<60)
+			return reseal(b)
+		}, ErrMalformed},
+		"absurd section count": {func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 1<<30)
+			return reseal(b)
+		}, ErrMalformed},
+	}
+	for name, c := range cases {
+		in := c.mutate(append([]byte(nil), blob...))
+		if _, err := DecodeSnapshot(in); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, c.want)
+		}
+	}
+}
+
+// TestDecodeNeverOverAllocates: a tiny blob declaring a gigantic vector
+// must fail on the length check, not attempt the allocation.
+func TestDecodeNeverOverAllocates(t *testing.T) {
+	e := newEncoder(32)
+	s := e.begin(secVector)
+	e.i64(1 << 55) // claims ~2^58 bytes of floats
+	e.end(s)
+	blob := e.finish()
+	if _, err := DecodeVector(blob); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+
+	// Same for a tensor with a huge declared shape.
+	e = newEncoder(64)
+	s = e.begin(secTensor)
+	e.u32(2)
+	e.i64(1 << 31)
+	e.i64(1 << 31)
+	e.end(s)
+	blob = e.finish()
+	if _, err := DecodeTensors(blob); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("tensor err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestDecodeWrongEntryPoint(t *testing.T) {
+	snap, err := EncodeSnapshot(testSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeVector(snap); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("DecodeVector(snapshot) = %v, want ErrMalformed", err)
+	}
+	if _, err := DecodeTensors(snap); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("DecodeTensors(snapshot) = %v, want ErrMalformed", err)
+	}
+	vec := EncodeVector([]float64{1, 2})
+	if _, err := DecodeSnapshot(vec); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("DecodeSnapshot(vector) = %v, want ErrMalformed", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package store is Calibre's durability layer: a compact, deterministic,
+// versioned binary codec for tensor and model state, and an on-disk
+// checkpoint store that makes multi-hour federations survive process
+// crashes. The fl.Simulator and the flnet TCP server checkpoint their
+// round state through it and resume bit-identically after a restart; the
+// calibre-ckpt CLI inspects, diffs and exports what it writes.
+//
+// # Blob format
+//
+// Every blob — snapshot, bare parameter vector or model tensor set —
+// shares one self-checking frame:
+//
+//	┌──────────┬──────────┬──────────┬───────────────┐
+//	│ "CLBS"   │ version  │ flags    │ section count │   12-byte header
+//	│ 4 bytes  │ u16 LE   │ u16 = 0  │ u32 LE        │
+//	├──────────┴──────────┴──────────┴───────────────┤
+//	│ section: kind (u8) │ length (u64 LE) │ payload │   × section count
+//	├────────────────────────────────────────────────┤
+//	│ CRC32-C over every preceding byte (u32 LE)     │   4-byte trailer
+//	└────────────────────────────────────────────────┘
+//
+// Floats are raw little-endian IEEE-754 bits (8 bytes each, NaN payloads
+// and ±Inf included), which makes encoding both byte-deterministic and
+// lossless to 0 ULP — and measurably smaller and faster than
+// encoding/gob, which spends ~9 bytes per random float64 plus reflection
+// time (see `calibre-bench -exp codec` and the committed
+// BENCH_codec.json). A snapshot carries four sections: JSON metadata
+// (seed, config fingerprint, producing runtime), the round + global
+// vector, the binary-encoded RoundStats history, and the per-round
+// sampling-pool sizes the server replays its RNG against.
+//
+// The decoder is hardened for hostile input (it is fuzzed; the corpus is
+// committed): magic, version, flags and CRC are validated before any
+// section is parsed, every declared length is checked against the bytes
+// actually present before allocation, and malformed input yields typed
+// errors (ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated,
+// ErrMalformed) — never a panic.
+//
+// # Checkpoint directory
+//
+// A Store is a flat directory of ckpt-%08d.calibre files with dense
+// versions assigned by Save. Writes are atomic — temp file, fsync, rename
+// — so an existing snapshot can never be damaged by a crash; a torn new
+// file simply fails its CRC and Latest falls back to the previous good
+// version. Resume adds a configuration fingerprint check so an operator
+// cannot accidentally continue a differently-configured federation
+// (ErrFingerprintMismatch).
+//
+// # Resume state machine
+//
+// A resuming runtime moves through:
+//
+//	load      Store.Resume(fingerprint) → latest good Snapshot (skipping
+//	          torn files), or ErrNoCheckpoint → start fresh.
+//	validate  fl.SimState.Validate: round within budget, history and
+//	          pool counts consistent, non-empty global vector; the
+//	          parameter dimension must match what the method initializes.
+//	replay    The master RNG is reconstructed, not stored: InitGlobal
+//	          consumes its draws, then each completed round's sampling
+//	          and dropout draws are replayed (the simulator re-derives
+//	          the pool; the server replays the recorded EligibleCounts).
+//	continue  The round loop starts at State.Round with the snapshot's
+//	          global vector and history — bit-identical, from there on,
+//	          to a run that never stopped.
+package store

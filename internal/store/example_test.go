@@ -1,0 +1,47 @@
+package store_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"calibre/internal/fl"
+	"calibre/internal/store"
+)
+
+// ExampleStore saves a federation checkpoint and reads it back the way a
+// restarted server would: Resume returns the newest good snapshot after
+// verifying it belongs to the same configuration.
+func ExampleStore() {
+	dir, err := os.MkdirTemp("", "calibre-ckpt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp := store.Fingerprint("server", "calibre-simclr", "seed=42")
+	version, err := st.Save(&store.Snapshot{
+		Meta: store.Meta{Seed: 42, Fingerprint: fp, Runtime: "server"},
+		State: fl.SimState{
+			Round:          2,
+			Global:         []float64{0.5, -1.25},
+			History:        []fl.RoundStats{{Round: 0, Participants: []int{0, 1}}, {Round: 1, Participants: []int{1, 2}}},
+			EligibleCounts: []int{3, 3},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snap, latest, err := st.Resume(fp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved v%d, resumed v%d at round %d with global %v\n",
+		version, latest, snap.State.Round, snap.State.Global)
+	// Output: saved v1, resumed v1 at round 2 with global [0.5 -1.25]
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"calibre/internal/fl"
+)
+
+// Meta describes the federation a snapshot belongs to. It travels inside
+// the blob (JSON section — it is tiny and string-heavy) so a checkpoint
+// directory is self-describing.
+type Meta struct {
+	// Seed is the federation's master seed.
+	Seed int64 `json:"seed"`
+	// Fingerprint condenses the run-defining configuration (method,
+	// setting, scale, population, quorum knobs). Store.Resume refuses a
+	// snapshot whose fingerprint does not match the resuming process's.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Runtime names the producer: "simulator" or "server".
+	Runtime string `json:"runtime,omitempty"`
+}
+
+// Snapshot is one durable checkpoint: metadata plus the complete round
+// state the runtimes resume from.
+type Snapshot struct {
+	Meta  Meta
+	State fl.SimState
+}
+
+// RoundStats flag bits (history section).
+const (
+	histDeadlineExpired byte = 1 << iota
+)
+
+// EncodeSnapshot serializes a snapshot into one self-checking blob.
+// Encoding is deterministic: the same snapshot always produces
+// byte-identical output. The parameter vector and history are pure binary
+// (floats as exact IEEE-754 bits — NaN and ±Inf payloads survive).
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	meta, err := json.Marshal(s.Meta)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode meta: %w", err)
+	}
+	st := &s.State
+	capacity := len(meta) + 8 + 8*len(st.Global) + 8 + 8*len(st.EligibleCounts) + 64
+	for _, h := range st.History {
+		capacity += 40 + 8*(len(h.Participants)+len(h.Responders)+len(h.Stragglers))
+	}
+	e := newEncoder(capacity)
+
+	sec := e.begin(secMeta)
+	e.buf = append(e.buf, meta...)
+	e.end(sec)
+
+	sec = e.begin(secState)
+	e.i64(int64(st.Round))
+	appendVectorPayload(e, st.Global)
+	e.end(sec)
+
+	sec = e.begin(secHistory)
+	e.u32(uint32(len(st.History)))
+	for _, h := range st.History {
+		e.i64(int64(h.Round))
+		e.f64(h.MeanLoss)
+		e.i64(int64(h.LateUpdates))
+		var flags byte
+		if h.DeadlineExpired {
+			flags |= histDeadlineExpired
+		}
+		e.u8(flags)
+		e.intVec(h.Participants)
+		e.intVec(h.Responders)
+		e.intVec(h.Stragglers)
+	}
+	e.end(sec)
+
+	sec = e.begin(secCounts)
+	e.i64(int64(len(st.EligibleCounts)))
+	for _, n := range st.EligibleCounts {
+		e.i64(int64(n))
+	}
+	e.end(sec)
+
+	return e.finish(), nil
+}
+
+func readHistoryPayload(p []byte) ([]fl.RoundStats, error) {
+	r := &reader{p: p}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each entry needs ≥ 28 bytes (round, loss, late updates, flags, three
+	// presence bytes); reject counts the payload cannot possibly hold.
+	if uint64(n)*28 > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: history declares %d rounds in %d bytes", ErrMalformed, n, r.remaining())
+	}
+	if n == 0 {
+		if r.remaining() != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes after history", ErrMalformed, r.remaining())
+		}
+		return nil, nil
+	}
+	out := make([]fl.RoundStats, n)
+	for i := range out {
+		h := &out[i]
+		round, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		h.Round = int(round)
+		if h.MeanLoss, err = r.f64(); err != nil {
+			return nil, err
+		}
+		late, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		h.LateUpdates = int(late)
+		flags, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^histDeadlineExpired != 0 {
+			return nil, fmt.Errorf("%w: unknown history flags %#x", ErrMalformed, flags)
+		}
+		h.DeadlineExpired = flags&histDeadlineExpired != 0
+		if h.Participants, err = r.intVec(); err != nil {
+			return nil, err
+		}
+		if h.Responders, err = r.intVec(); err != nil {
+			return nil, err
+		}
+		if h.Stragglers, err = r.intVec(); err != nil {
+			return nil, err
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after history", ErrMalformed, r.remaining())
+	}
+	return out, nil
+}
+
+func readCountsPayload(p []byte) ([]int, error) {
+	r := &reader{p: p}
+	n, err := r.i64()
+	if err != nil {
+		return nil, err
+	}
+	// Compare against remaining/8 (never n*8, which a hostile n overflows).
+	if rem := int64(r.remaining()); n < 0 || rem%8 != 0 || n != rem/8 {
+		return nil, fmt.Errorf("%w: counts declare %d entries in %d bytes", ErrMalformed, n, r.remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// DecodeSnapshot decodes a blob produced by EncodeSnapshot. It never
+// panics and never allocates more than the input size implies; corrupt or
+// hostile input yields a typed error (ErrBadMagic, ErrVersion,
+// ErrChecksum, ErrTruncated, ErrMalformed).
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	f, err := parseFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		s          Snapshot
+		haveMeta   bool
+		haveVector bool
+	)
+	for i := 0; i < f.sections; i++ {
+		kind, p, err := f.next()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case secMeta:
+			if haveMeta {
+				return nil, fmt.Errorf("%w: duplicate meta section", ErrMalformed)
+			}
+			haveMeta = true
+			if err := json.Unmarshal(p, &s.Meta); err != nil {
+				return nil, fmt.Errorf("%w: meta: %v", ErrMalformed, err)
+			}
+		case secState:
+			if haveVector {
+				return nil, fmt.Errorf("%w: duplicate state section", ErrMalformed)
+			}
+			haveVector = true
+			r := &reader{p: p}
+			round, err := r.i64()
+			if err != nil {
+				return nil, err
+			}
+			s.State.Round = int(round)
+			if s.State.Global, err = readVectorPayload(p[r.off:]); err != nil {
+				return nil, err
+			}
+		case secHistory:
+			if s.State.History, err = readHistoryPayload(p); err != nil {
+				return nil, err
+			}
+		case secCounts:
+			if s.State.EligibleCounts, err = readCountsPayload(p); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown section kind %d", ErrMalformed, kind)
+		}
+	}
+	if !haveMeta || !haveVector {
+		return nil, fmt.Errorf("%w: snapshot missing %s section", ErrMalformed,
+			map[bool]string{false: "meta", true: "state"}[haveMeta])
+	}
+	return &s, nil
+}

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"calibre/internal/fl"
+)
+
+// Store-level typed errors.
+var (
+	// ErrNoCheckpoint is returned by Latest and Resume when the directory
+	// holds no decodable snapshot.
+	ErrNoCheckpoint = errors.New("store: no usable checkpoint")
+	// ErrFingerprintMismatch is returned by Resume when the latest
+	// snapshot belongs to a differently-configured federation.
+	ErrFingerprintMismatch = errors.New("store: checkpoint belongs to a different federation configuration")
+	// ErrNotFound is returned by Open for a version with no file.
+	ErrNotFound = errors.New("store: checkpoint version not found")
+)
+
+const (
+	filePrefix = "ckpt-"
+	fileExt    = ".calibre"
+)
+
+// Store is a directory of versioned snapshots. Versions are dense positive
+// integers assigned by Save; each lives in its own ckpt-%08d.calibre file,
+// written atomically (temp file + fsync + rename) so a crash mid-write can
+// never damage an existing snapshot — at worst it leaves a torn temp file
+// or a new file that fails its CRC, both of which Latest skips.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if necessary) a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the directory the store operates on.
+func (s *Store) Dir() string { return s.dir }
+
+func fileFor(version int) string {
+	return fmt.Sprintf("%s%08d%s", filePrefix, version, fileExt)
+}
+
+// parseVersion extracts the version from a snapshot file name.
+func parseVersion(name string) (int, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileExt) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileExt)
+	if len(digits) == 0 {
+		return 0, false
+	}
+	v := 0
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v > 1<<31 {
+			return 0, false
+		}
+	}
+	if v < 1 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Versions lists the snapshot versions present on disk, ascending. It does
+// not validate file contents.
+func (s *Store) Versions() ([]int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", s.dir, err)
+	}
+	var out []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if v, ok := parseVersion(e.Name()); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Save encodes snap and writes it as the next version. The write is
+// atomic: the blob lands in a temp file in the same directory, is synced,
+// and only then renamed into place.
+func (s *Store) Save(snap *Snapshot) (int, error) {
+	data, err := EncodeSnapshot(snap)
+	if err != nil {
+		return 0, err
+	}
+	versions, err := s.Versions()
+	if err != nil {
+		return 0, err
+	}
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+filePrefix+"*")
+	if err != nil {
+		return 0, fmt.Errorf("store: create temp snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("store: close snapshot: %w", err)
+	}
+	final := filepath.Join(s.dir, fileFor(next))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return 0, fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems reject fsync on directories, which is not fatal.
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return next, nil
+}
+
+// Open loads and decodes one specific version.
+func (s *Store) Open(version int) (*Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, fileFor(version)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: version %d in %s", ErrNotFound, version, s.dir)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: read version %d: %w", version, err)
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: version %d: %w", version, err)
+	}
+	return snap, nil
+}
+
+// Latest returns the newest decodable snapshot and its version, skipping
+// torn or corrupt files (that is the crash-recovery contract: a kill mid-
+// write falls back to the previous good snapshot). ErrNoCheckpoint is
+// returned when nothing usable exists.
+func (s *Store) Latest() (*Snapshot, int, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(versions) - 1; i >= 0; i-- {
+		snap, err := s.Open(versions[i])
+		if err != nil {
+			continue // torn or corrupt: fall back to the previous version
+		}
+		return snap, versions[i], nil
+	}
+	return nil, 0, fmt.Errorf("%w in %s", ErrNoCheckpoint, s.dir)
+}
+
+// Resume is Latest plus a configuration guard: when fingerprint is
+// non-empty it must equal the snapshot's, otherwise the caller would be
+// resuming someone else's federation and the result would silently
+// diverge. The mismatch is ErrFingerprintMismatch, a typed error.
+func (s *Store) Resume(fingerprint string) (*Snapshot, int, error) {
+	snap, version, err := s.Latest()
+	if err != nil {
+		return nil, 0, err
+	}
+	if fingerprint != "" && snap.Meta.Fingerprint != fingerprint {
+		return nil, 0, fmt.Errorf("%w: snapshot v%d has fingerprint %s, this configuration is %s",
+			ErrFingerprintMismatch, version, snap.Meta.Fingerprint, fingerprint)
+	}
+	return snap, version, nil
+}
+
+// Entry is one snapshot's directory listing line.
+type Entry struct {
+	Version int
+	Size    int64
+	ModTime time.Time
+	// Corrupt marks files that fail to decode; the remaining fields
+	// besides Version/Size/ModTime are zero for them.
+	Corrupt bool
+	Meta    Meta
+	Round   int
+	Params  int
+	Rounds  int // history length
+}
+
+// List returns one Entry per on-disk version, ascending.
+func (s *Store) List() ([]Entry, error) {
+	versions, err := s.Versions()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(versions))
+	for _, v := range versions {
+		e := Entry{Version: v}
+		if info, err := os.Stat(filepath.Join(s.dir, fileFor(v))); err == nil {
+			e.Size = info.Size()
+			e.ModTime = info.ModTime()
+		}
+		snap, err := s.Open(v)
+		if err != nil {
+			e.Corrupt = true
+		} else {
+			e.Meta = snap.Meta
+			e.Round = snap.State.Round
+			e.Params = len(snap.State.Global)
+			e.Rounds = len(snap.State.History)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// SaveHook adapts the store to the runtimes' OnCheckpoint signature
+// (fl.SimConfig.OnCheckpoint / flnet.ServerConfig.OnCheckpoint): each call
+// persists the delivered state under meta as the next version. onSaved,
+// when non-nil, observes successful saves — CLI layers log from it.
+func (s *Store) SaveHook(meta Meta, onSaved func(version int, state *fl.SimState)) func(*fl.SimState) error {
+	return func(state *fl.SimState) error {
+		v, err := s.Save(&Snapshot{Meta: meta, State: *state})
+		if err == nil && onSaved != nil {
+			onSaved(v, state)
+		}
+		return err
+	}
+}
+
+// Fingerprint condenses run-defining configuration fields into a short
+// stable hex digest for Meta.Fingerprint. Callers pass the fields that
+// must match between the checkpointing process and the resuming one
+// (method, setting, scale, seed, population and quorum knobs — not the
+// round budget, which resume legitimately extends).
+func Fingerprint(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x1f")))
+	return hex.EncodeToString(h[:8])
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestStoreSaveOpenLatest(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, _, err := st.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on empty store = %v, want ErrNoCheckpoint", err)
+	}
+
+	a := testSnapshot()
+	v1, err := st.Save(a)
+	if err != nil || v1 != 1 {
+		t.Fatalf("Save #1 = (%d, %v), want (1, nil)", v1, err)
+	}
+	b := testSnapshot()
+	b.State.Round = 4
+	b.State.Global[0] = 99
+	b.State.History = append(b.State.History, b.State.History[0])
+	b.State.EligibleCounts = append(b.State.EligibleCounts, 3)
+	v2, err := st.Save(b)
+	if err != nil || v2 != 2 {
+		t.Fatalf("Save #2 = (%d, %v), want (2, nil)", v2, err)
+	}
+
+	got, err := st.Open(1)
+	if err != nil {
+		t.Fatalf("Open(1): %v", err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("Open(1) = %+v, want %+v", got, a)
+	}
+	latest, version, err := st.Latest()
+	if err != nil || version != 2 {
+		t.Fatalf("Latest = (v%d, %v), want v2", version, err)
+	}
+	if !reflect.DeepEqual(latest, b) {
+		t.Fatal("Latest returned the wrong snapshot")
+	}
+	if _, err := st.Open(9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Open(9) = %v, want ErrNotFound", err)
+	}
+
+	// No temp litter after successful saves.
+	entries, _ := os.ReadDir(st.Dir())
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestLatestSkipsTornWrite is the crash-recovery contract: a truncated
+// newest file (a kill mid-write) must fall back to the previous good
+// snapshot, and a fully garbage file must be skipped the same way.
+func TestLatestSkipsTornWrite(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := st.Save(testSnapshot()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	newer := testSnapshot()
+	newer.State.Round = 9
+	if _, err := st.Save(newer); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// Tear the newest file in half.
+	path := filepath.Join(st.Dir(), fileFor(2))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+
+	snap, version, err := st.Latest()
+	if err != nil {
+		t.Fatalf("Latest with torn head: %v", err)
+	}
+	if version != 1 || snap.State.Round != 3 {
+		t.Fatalf("Latest = v%d round %d, want the good v1", version, snap.State.Round)
+	}
+
+	list, err := st.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 2 || list[0].Corrupt || !list[1].Corrupt {
+		t.Fatalf("List = %+v, want v1 good and v2 corrupt", list)
+	}
+	if list[0].Round != 3 || list[0].Params != 4 {
+		t.Fatalf("List[0] metadata = %+v", list[0])
+	}
+}
+
+func TestResumeFingerprintGuard(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	snap := testSnapshot()
+	snap.Meta.Fingerprint = Fingerprint("sim", "calibre-simclr", "cifar10-q(2,500)", "42")
+	if _, err := st.Save(snap); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, _, err := st.Resume(snap.Meta.Fingerprint); err != nil {
+		t.Fatalf("matching resume: %v", err)
+	}
+	if _, _, err := st.Resume(Fingerprint("sim", "fedavg", "cifar10-q(2,500)", "42")); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("mismatched resume = %v, want ErrFingerprintMismatch", err)
+	}
+	// Empty expected fingerprint skips the guard (caller opted out).
+	if _, _, err := st.Resume(""); err != nil {
+		t.Fatalf("unguarded resume: %v", err)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint("server", "calibre-simclr", "7")
+	if a != Fingerprint("server", "calibre-simclr", "7") {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	if a == Fingerprint("server", "calibre-simclr", "8") {
+		t.Fatal("fingerprint ignores its inputs")
+	}
+	// Joining must be injective across field boundaries.
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("fingerprint field boundaries collide")
+	}
+	if len(a) != 16 {
+		t.Fatalf("fingerprint length %d, want 16 hex chars", len(a))
+	}
+}
+
+func TestParseVersion(t *testing.T) {
+	cases := map[string]struct {
+		v  int
+		ok bool
+	}{
+		"ckpt-00000001.calibre": {1, true},
+		"ckpt-00012345.calibre": {12345, true},
+		"ckpt-.calibre":         {0, false},
+		"ckpt-0000000x.calibre": {0, false},
+		"ckpt-00000000.calibre": {0, false}, // versions start at 1
+		"other.calibre":         {0, false},
+		".tmp-ckpt-123":         {0, false},
+	}
+	for name, c := range cases {
+		v, ok := parseVersion(name)
+		if v != c.v || ok != c.ok {
+			t.Errorf("parseVersion(%q) = (%d, %v), want (%d, %v)", name, v, ok, c.v, c.ok)
+		}
+	}
+}
