@@ -177,6 +177,10 @@ func OpenCheckpointStore(dir string) (*CheckpointStore, error) { return store.Op
 // resumes from the latest snapshot, bit-identical to a run that never
 // stopped. Snapshots are fingerprint-bound to the (method, setting, seed,
 // population) combination; inspect them with the calibre-ckpt CLI.
+// Methods carrying cross-round client state a snapshot cannot capture
+// (fedema, fedper/fedrep/fedbabu/lg-fedavg, scaffold, apfl, ditto, and
+// the byol/mocov2 SSL flavors) are refused with fl.ErrStatefulResume —
+// use Run for those.
 func RunResumable(ctx context.Context, env *Environment, methodName, dir string, every int) (*MethodOutcome, error) {
 	ckpt, err := store.Open(dir)
 	if err != nil {

@@ -16,7 +16,10 @@
 // (atomic versioned files, see internal/store) and a killed server can be
 // restarted with -resume to continue the federation from the latest
 // snapshot once its clients redial — bit-identically, when every
-// participant responds. Inspect snapshots with calibre-ckpt.
+// participant responds. Methods that keep cross-round client state beyond
+// the global vector (fedema, fedper/fedrep/fedbabu/lg-fedavg, scaffold,
+// apfl, ditto, and the byol/mocov2 SSL flavors) cannot be resumed and
+// -resume refuses them. Inspect snapshots with calibre-ckpt.
 package main
 
 import (
@@ -97,6 +100,15 @@ func run(args []string) error {
 		},
 	}
 	if *ckptDir != "" {
+		// Client-side trainer state is invisible to flnet's own validation,
+		// so the statefulness check happens here, where the full method is
+		// in hand: resuming a stateful method would silently diverge.
+		if !fl.Resumable(m) {
+			if *resume {
+				return fmt.Errorf("method %s: %w", *method, fl.ErrStatefulResume)
+			}
+			fmt.Printf("warning: method %s carries cross-round state; snapshots stay inspectable (calibre-ckpt) but -resume will be refused\n", *method)
+		}
 		ckpt, err := store.Open(*ckptDir)
 		if err != nil {
 			return err

@@ -429,3 +429,40 @@ func TestNovelClientPersonalization(t *testing.T) {
 		})
 	}
 }
+
+// TestRegistryResumeClassification pins every registered method's
+// statefulness declaration: methods that accumulate cross-round state
+// beyond the global vector (merged local models, private parameter
+// halves, control variates, personal vectors) must report as
+// non-resumable so checkpoint resume refuses them instead of silently
+// diverging. Adding a method to the registry forces a classification
+// decision here.
+func TestRegistryResumeClassification(t *testing.T) {
+	stateful := map[string]bool{
+		"fedema":      true, // local model EMA-merged, not overwritten
+		"fedper":      true, // private head persists in memory
+		"fedrep":      true,
+		"fedbabu":     true,
+		"lg-fedavg":   true, // private encoder persists in memory
+		"scaffold":    true, // client + server control variates
+		"scaffold-ft": true,
+		"apfl":        true, // personal vectors read at personalization
+		"ditto":       true,
+		// SSL momentum flavors: EMA target network (byol), momentum key
+		// encoder + queue (mocov2) — method-local, never federated.
+		"pfl-byol":       true,
+		"calibre-byol":   true,
+		"pfl-mocov2":     true,
+		"calibre-mocov2": true,
+	}
+	cfg := testCfg()
+	for name, build := range Registry() {
+		m, err := build(cfg, 8)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		if got, want := !fl.Resumable(m), stateful[name]; got != want {
+			t.Errorf("%s: carries round state = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -38,7 +38,14 @@ type fedEMA struct {
 var (
 	_ fl.Trainer      = (*fedEMA)(nil)
 	_ fl.Personalizer = (*fedEMA)(nil)
+	_ fl.Stateful     = (*fedEMA)(nil)
 )
+
+// CarriesRoundState implements fl.Stateful: Train EMA-merges the incoming
+// global into the client's persisted local model instead of overwriting
+// it, so a cold-started process (empty states map) would adopt the global
+// outright and diverge. Resume paths refuse FedEMA.
+func (f *fedEMA) CarriesRoundState() bool { return true }
 
 // NewFedEMA builds FedEMA on BYOL.
 func NewFedEMA(cfg Config) *fl.Method {

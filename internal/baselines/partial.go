@@ -44,7 +44,15 @@ type partial struct {
 var (
 	_ fl.Trainer      = (*partial)(nil)
 	_ fl.Personalizer = (*partial)(nil)
+	_ fl.Stateful     = (*partial)(nil)
 )
+
+// CarriesRoundState implements fl.Stateful: the non-federated parameter
+// half (personal heads, or personal encoders for LG-FedAvg) lives only in
+// the in-memory client models, so a cold-started process would restart it
+// from the shared initialization and diverge. Resume paths refuse the
+// partial-personalization family.
+func (p *partial) CarriesRoundState() bool { return true }
 
 // NewFedPer builds FedPer.
 func NewFedPer(cfg Config) *fl.Method { return newPartial(cfg, "fedper", shareEncoder, false, false) }

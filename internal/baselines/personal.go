@@ -29,7 +29,15 @@ type apfl struct {
 var (
 	_ fl.Trainer      = (*apfl)(nil)
 	_ fl.Personalizer = (*apfl)(nil)
+	_ fl.Stateful     = (*apfl)(nil)
 )
+
+// CarriesRoundState implements fl.Stateful: per-client personal vectors
+// evolve across rounds and are read back at personalization time, so a
+// cold-started process would personalize from the global initialization
+// and the method's end-to-end outcome would diverge. Resume paths refuse
+// APFL.
+func (a *apfl) CarriesRoundState() bool { return true }
 
 // NewAPFL builds APFL with mixture weight cfg.APFLAlpha.
 func NewAPFL(cfg Config) *fl.Method {
@@ -121,7 +129,13 @@ type ditto struct {
 var (
 	_ fl.Trainer      = (*ditto)(nil)
 	_ fl.Personalizer = (*ditto)(nil)
+	_ fl.Stateful     = (*ditto)(nil)
 )
+
+// CarriesRoundState implements fl.Stateful: like APFL, Ditto's personal
+// models persist across rounds and seed the personalization stage, so
+// resume paths refuse it rather than silently personalizing from scratch.
+func (d *ditto) CarriesRoundState() bool { return true }
 
 // NewDitto builds Ditto with proximal strength cfg.DittoLambda.
 func NewDitto(cfg Config) *fl.Method {

@@ -32,7 +32,14 @@ type scaffold struct {
 var (
 	_ fl.Trainer      = (*scaffold)(nil)
 	_ fl.Personalizer = (*scaffold)(nil)
+	_ fl.Stateful     = (*scaffold)(nil)
 )
+
+// CarriesRoundState implements fl.Stateful: client control variates (and
+// the aggregator's server control, see fl.ScaffoldAggregator) accumulate
+// across rounds outside the global vector, so resume paths refuse
+// SCAFFOLD.
+func (s *scaffold) CarriesRoundState() bool { return true }
 
 // NewScaffold builds SCAFFOLD with direct global evaluation.
 func NewScaffold(cfg Config, numClients int) *fl.Method {

@@ -39,7 +39,27 @@ type SSLTrainer struct {
 	states map[int]*ssl.Trainable
 }
 
-var _ fl.Trainer = (*SSLTrainer)(nil)
+var (
+	_ fl.Trainer  = (*SSLTrainer)(nil)
+	_ fl.Stateful = (*SSLTrainer)(nil)
+)
+
+// CarriesRoundState implements fl.Stateful by asking the SSL method:
+// momentum flavors (BYOL, MoCo) keep an EMA target network or key queue
+// inside the cached per-client Trainable that nn.Unflatten does not
+// overwrite, so a cold-started process cannot resume them
+// bit-identically. The answer comes from a throwaway probe instance —
+// statefulness is a property of the flavor, not of any particular
+// weights. A factory that cannot even construct is reported stateful so
+// resume fails closed (the real error surfaces on the training path).
+func (t *SSLTrainer) CarriesRoundState() bool {
+	rng := rand.New(rand.NewSource(0))
+	method, err := t.Factory(rng, ssl.NewBackbone(rng, t.Arch))
+	if err != nil {
+		return true
+	}
+	return method.CarriesLocalState()
+}
 
 // clientState burns exactly one rng draw in both branches (it seeds the
 // construction RNG on first use), so the caller's downstream stream never

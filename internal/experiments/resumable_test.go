@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
 
+	"calibre/internal/fl"
 	"calibre/internal/store"
 )
 
@@ -125,5 +127,28 @@ func TestResumeMidRunBitIdenticalRealMethods(t *testing.T) {
 				t.Fatal("personalized accuracies differ after mid-run resume")
 			}
 		})
+	}
+}
+
+// TestRunMethodResumableRefusesStatefulMethods: methods whose clients
+// carry cross-round state a snapshot cannot capture must be refused
+// upfront — before any training, and before any never-resumable snapshot
+// lands in the store.
+func TestRunMethodResumableRefusesStatefulMethods(t *testing.T) {
+	env, err := BuildEnvironment(settingCIFAR10Q(), ScaleSmoke, 17)
+	if err != nil {
+		t.Fatalf("BuildEnvironment: %v", err)
+	}
+	ckpt, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	for _, method := range []string{"fedema", "scaffold", "fedrep", "apfl", "calibre-byol", "pfl-mocov2"} {
+		if _, err := RunMethodResumable(context.Background(), env, method, ckpt, 1); !errors.Is(err, fl.ErrStatefulResume) {
+			t.Errorf("%s: err = %v, want fl.ErrStatefulResume", method, err)
+		}
+	}
+	if versions, err := ckpt.Versions(); err != nil || len(versions) != 0 {
+		t.Fatalf("store not left empty: versions=%v err=%v", versions, err)
 	}
 }

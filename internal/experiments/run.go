@@ -81,10 +81,19 @@ func RunBuiltMethod(ctx context.Context, env *Environment, m *fl.Method) (*Metho
 // long simulator runs. The snapshot fingerprint binds the store to this
 // (method, setting, scale, seed, population) combination; resuming under a
 // different configuration fails with store.ErrFingerprintMismatch.
+// Methods carrying cross-round state a snapshot cannot capture (FedEMA,
+// the partial-personalization family, SCAFFOLD, APFL, Ditto, and the
+// BYOL/MoCo SSL flavors with their momentum state) are refused upfront
+// with fl.ErrStatefulResume — their checkpoints could never be resumed,
+// so writing them would only waste the crash-recovery budget. Run such
+// methods with RunMethod instead.
 func RunMethodResumable(ctx context.Context, env *Environment, name string, ckpt *store.Store, every int) (*MethodOutcome, error) {
 	m, err := BuildMethod(env, name)
 	if err != nil {
 		return nil, err
+	}
+	if !fl.Resumable(m) {
+		return nil, fmt.Errorf("experiments: %s: %w (use RunMethod)", name, fl.ErrStatefulResume)
 	}
 	// The fingerprint covers every training-affecting knob — the whole
 	// preset except Rounds (which resume legitimately extends) — so a

@@ -132,7 +132,15 @@ type ScaffoldAggregator struct {
 	control []float64 // server control variate c
 }
 
-var _ Aggregator = (*ScaffoldAggregator)(nil)
+var (
+	_ Aggregator = (*ScaffoldAggregator)(nil)
+	_ Stateful   = (*ScaffoldAggregator)(nil)
+)
+
+// CarriesRoundState implements Stateful: the server control variate
+// accumulates across rounds outside the global vector, so a SimState
+// checkpoint cannot restore it and resume is refused.
+func (s *ScaffoldAggregator) CarriesRoundState() bool { return true }
 
 // Control returns the server control variate (allocated on first use).
 func (s *ScaffoldAggregator) Control(dim int) []float64 {

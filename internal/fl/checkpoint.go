@@ -1,6 +1,9 @@
 package fl
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // SimState is a federation's complete server-side state at a round
 // boundary: everything the round loop needs to continue exactly as if the
@@ -14,10 +17,12 @@ import "fmt"
 // path restores it exactly by replaying those draws: the simulator re-runs
 // its deterministic sampling loop, and the networked server — whose
 // sampling-pool size depends on real-world join timing — replays against
-// the recorded EligibleCounts. Client-side training state never needs
-// snapshotting: local updates are pure functions of (seed, round, client,
-// global), which is what makes a resumed federation bit-identical to an
-// uninterrupted one.
+// the recorded EligibleCounts. Client-side training state is deliberately
+// not snapshotted: resume is only offered for methods whose local updates
+// are pure functions of (seed, round, client, global), which is what makes
+// a resumed federation bit-identical to an uninterrupted one. Methods that
+// accumulate cross-round state beyond the global vector declare it via
+// Stateful, and the resume paths refuse them (ErrStatefulResume).
 type SimState struct {
 	// Round is the number of completed rounds; the resumed loop starts
 	// here.
@@ -76,6 +81,37 @@ func (st *SimState) Validate(rounds int) error {
 		}
 	}
 	return nil
+}
+
+// Stateful is an optional capability interface for Trainers, Aggregators
+// and Personalizers. Implementations whose behavior depends on in-memory
+// state accumulated across rounds beyond the global vector — per-client
+// models merged with the global rather than overwritten (FedEMA), a
+// privately kept parameter half (FedPer/FedRep/FedBABU/LG-FedAvg),
+// control variates (SCAFFOLD), or personal vectors read back at
+// personalization time (APFL, Ditto) — declare it by returning true.
+// SimState does not capture such state, so a cold-started process cannot
+// reconstruct it: a resumed run would silently diverge from the
+// uninterrupted one, with no fingerprint able to detect it. Resume paths
+// therefore refuse these methods with ErrStatefulResume.
+type Stateful interface {
+	CarriesRoundState() bool
+}
+
+// ErrStatefulResume marks an attempt to resume a method that carries
+// cross-round state a SimState checkpoint does not capture.
+var ErrStatefulResume = errors.New("fl: method carries cross-round state not captured by checkpoints; resume would diverge")
+
+// Resumable reports whether a method can be resumed bit-identically from
+// a SimState snapshot: true unless its trainer, aggregator or
+// personalizer declares cross-round state via Stateful.
+func Resumable(m *Method) bool {
+	for _, c := range []any{m.Trainer, m.Aggregator, m.Personalizer} {
+		if s, ok := c.(Stateful); ok && s.CarriesRoundState() {
+			return false
+		}
+	}
+	return true
 }
 
 // CheckpointDue reports whether a checkpoint should be taken after

@@ -208,3 +208,52 @@ func TestCheckpointDue(t *testing.T) {
 		}
 	}
 }
+
+// statefulTrainer is a fakeTrainer that additionally declares (or
+// explicitly disclaims) cross-round state via the Stateful interface.
+type statefulTrainer struct {
+	fakeTrainer
+	carries bool
+}
+
+func (s *statefulTrainer) CarriesRoundState() bool { return s.carries }
+
+// TestResumeRefusesStatefulMethods: a method whose trainer or aggregator
+// declares cross-round state must be refused at ResumeFrom with the typed
+// ErrStatefulResume — a cold process cannot reconstruct that state, so
+// resuming would silently diverge. Checkpointing without resume stays
+// allowed (snapshots remain inspectable and exportable).
+func TestResumeRefusesStatefulMethods(t *testing.T) {
+	resumeState := func() *SimState {
+		return &SimState{
+			Round:          1,
+			Global:         []float64{0, 0, 0, 0},
+			History:        []RoundStats{{Round: 0, Participants: []int{0, 1}}},
+			EligibleCounts: []int{6},
+		}
+	}
+	cfg := SimConfig{Rounds: 3, ClientsPerRound: 2, Seed: 1, ResumeFrom: resumeState()}
+
+	if _, err := NewSimulator(cfg, fakeMethod(&statefulTrainer{carries: true}), testClients(t, 6)); !errors.Is(err, ErrStatefulResume) {
+		t.Fatalf("stateful trainer: err = %v, want ErrStatefulResume", err)
+	}
+	// Implementing Stateful with false is an explicit stateless declaration.
+	if _, err := NewSimulator(cfg, fakeMethod(&statefulTrainer{carries: false}), testClients(t, 6)); err != nil {
+		t.Fatalf("stateless-declaring trainer refused: %v", err)
+	}
+	// Aggregator-side state: SCAFFOLD's server control variate.
+	m := fakeMethod(&fakeTrainer{})
+	m.Aggregator = &ScaffoldAggregator{ServerLR: 1}
+	if _, err := NewSimulator(cfg, m, testClients(t, 6)); !errors.Is(err, ErrStatefulResume) {
+		t.Fatalf("stateful aggregator: err = %v, want ErrStatefulResume", err)
+	}
+	if Resumable(m) {
+		t.Fatal("Resumable reported true for a scaffold-aggregated method")
+	}
+
+	cfg.ResumeFrom = nil
+	cfg.OnCheckpoint = func(*SimState) error { return nil }
+	if _, err := NewSimulator(cfg, fakeMethod(&statefulTrainer{carries: true}), testClients(t, 6)); err != nil {
+		t.Fatalf("checkpointing a stateful method (no resume) refused: %v", err)
+	}
+}

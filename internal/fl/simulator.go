@@ -69,7 +69,9 @@ type SimConfig struct {
 	// after replaying the completed rounds' RNG draws so the continuation
 	// is bit-identical to a run that never stopped. The configuration
 	// must match the checkpointed run's (internal/store fingerprints
-	// guard this at the CLI layer).
+	// guard this at the CLI layer), and the method must not carry
+	// cross-round state beyond the global vector (NewSimulator refuses
+	// methods declaring Stateful with ErrStatefulResume).
 	ResumeFrom *SimState
 }
 
@@ -121,6 +123,9 @@ func NewSimulator(cfg SimConfig, method *Method, clients []*partition.Client) (*
 		return nil, err
 	}
 	if cfg.ResumeFrom != nil {
+		if !Resumable(method) {
+			return nil, fmt.Errorf("fl: resume %s: %w", method.Name, ErrStatefulResume)
+		}
 		if err := cfg.ResumeFrom.Validate(cfg.Rounds); err != nil {
 			return nil, fmt.Errorf("fl: resume: %w", err)
 		}

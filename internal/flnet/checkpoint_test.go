@@ -190,3 +190,32 @@ func TestServerConfigValidatesResumeState(t *testing.T) {
 		t.Fatal("resume state missing eligible counts accepted")
 	}
 }
+
+// TestServerRefusesStatefulAggregatorResume: an aggregator carrying
+// cross-round server state (SCAFFOLD's control variate) cannot be
+// restored from a snapshot, so configuring it with ResumeFrom must fail
+// with the typed fl.ErrStatefulResume.
+func TestServerRefusesStatefulAggregatorResume(t *testing.T) {
+	cfg := ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 5,
+		Aggregator: &fl.ScaffoldAggregator{ServerLR: 1},
+		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		ResumeFrom: &fl.SimState{
+			Round:          1,
+			Global:         []float64{0},
+			History:        []fl.RoundStats{{Round: 0, Participants: []int{0}}},
+			EligibleCounts: []int{1},
+		},
+	}
+	if _, err := NewServer(cfg); !errors.Is(err, fl.ErrStatefulResume) {
+		t.Fatalf("err = %v, want fl.ErrStatefulResume", err)
+	}
+	// Without resume, the same aggregator may checkpoint freely.
+	cfg.ResumeFrom = nil
+	cfg.OnCheckpoint = func(*fl.SimState) error { return nil }
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("checkpointing without resume refused: %v", err)
+	}
+	srv.listener.Close()
+}

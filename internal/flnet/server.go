@@ -63,7 +63,12 @@ type ServerConfig struct {
 	// NumClients have (re)joined, the round loop starts at
 	// ResumeFrom.Round with the snapshot's global vector and history. A
 	// federation in which every participant responds resumes
-	// bit-identically to one that was never interrupted.
+	// bit-identically to one that was never interrupted — provided the
+	// method is stateless across rounds. An Aggregator declaring
+	// fl.Stateful is refused at validation (fl.ErrStatefulResume);
+	// trainer-side state lives in the client processes where this server
+	// cannot see it, so the CLI layer (calibre-server), which builds the
+	// full method, refuses stateful methods before configuring resume.
 	ResumeFrom *fl.SimState
 }
 
@@ -90,6 +95,9 @@ func (c *ServerConfig) validate() error {
 		return err
 	}
 	if c.ResumeFrom != nil {
+		if s, ok := c.Aggregator.(fl.Stateful); ok && s.CarriesRoundState() {
+			return fmt.Errorf("flnet: resume: aggregator %T: %w", c.Aggregator, fl.ErrStatefulResume)
+		}
 		if err := c.ResumeFrom.Validate(c.Rounds); err != nil {
 			return fmt.Errorf("flnet: resume: %w", err)
 		}

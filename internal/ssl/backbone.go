@@ -123,6 +123,14 @@ type Method interface {
 	// trained and federated together with the backbone (e.g. SwAV
 	// prototypes). May be nil.
 	ExtraParams() []*nn.Param
+	// CarriesLocalState reports whether the method owns cross-round state
+	// outside ExtraParams — EMA target networks (BYOL), momentum key
+	// encoders and key queues (MoCo). Such state is neither federated nor
+	// captured by checkpoints, so a cold-started process cannot
+	// reconstruct it: methods returning true cannot be bit-identically
+	// resumed from a snapshot (core.SSLTrainer surfaces this through
+	// fl.Stateful, and resume paths refuse them).
+	CarriesLocalState() bool
 }
 
 // Factory constructs a method bound to a backbone. Each federated client

@@ -67,6 +67,11 @@ func (b *BYOL) AfterStep(online *Backbone) {
 // ExtraParams exposes the predictor for training and federation.
 func (b *BYOL) ExtraParams() []*nn.Param { return b.predictor.Params() }
 
+// CarriesLocalState implements Method: the EMA target network evolves
+// across rounds and is never federated or checkpointed, so BYOL-based
+// methods cannot be bit-identically resumed.
+func (b *BYOL) CarriesLocalState() bool { return true }
+
 // SimSiam implements "Exploring Simple Siamese Representation Learning"
 // (Chen & He, CVPR 2021): BYOL without the momentum target — the stop-
 // gradient branch is the online projection itself.
@@ -101,3 +106,7 @@ func (s *SimSiam) AfterStep(*Backbone) {}
 
 // ExtraParams exposes the predictor.
 func (s *SimSiam) ExtraParams() []*nn.Param { return s.predictor.Params() }
+
+// CarriesLocalState implements Method: SimSiam has no momentum target;
+// its predictor is federated via ExtraParams.
+func (s *SimSiam) CarriesLocalState() bool { return false }

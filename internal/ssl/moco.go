@@ -100,5 +100,10 @@ func (m *MoCoV2) AfterStep(online *Backbone) {
 // gradient).
 func (m *MoCoV2) ExtraParams() []*nn.Param { return nil }
 
+// CarriesLocalState implements Method: the momentum key encoder and the
+// FIFO key queue evolve across rounds and are never federated or
+// checkpointed, so MoCo-based methods cannot be bit-identically resumed.
+func (m *MoCoV2) CarriesLocalState() bool { return true }
+
 // QueueLen reports the current number of queued negative keys (for tests).
 func (m *MoCoV2) QueueLen() int { return len(m.queue) }

@@ -35,3 +35,6 @@ func (s *SimCLR) AfterStep(*Backbone) {}
 
 // ExtraParams implements Method (none).
 func (s *SimCLR) ExtraParams() []*nn.Param { return nil }
+
+// CarriesLocalState implements Method: SimCLR keeps no cross-round state.
+func (s *SimCLR) CarriesLocalState() bool { return false }

@@ -110,6 +110,11 @@ func (s *SMoG) AfterStep(*Backbone) {}
 // clients even though they receive no gradient locally).
 func (s *SMoG) ExtraParams() []*nn.Param { return []*nn.Param{s.centers} }
 
+// CarriesLocalState implements Method: the momentum-updated centers are
+// federated via ExtraParams (overwritten by each incoming global), so no
+// method-local state survives across rounds.
+func (s *SMoG) CarriesLocalState() bool { return false }
+
 // Centers returns the current group-center matrix (for tests).
 func (s *SMoG) Centers() *tensor.Tensor { return s.centers.Value }
 

@@ -61,6 +61,10 @@ func (s *SwAV) AfterStep(*Backbone) {
 // ExtraParams exposes the prototype matrix for training and federation.
 func (s *SwAV) ExtraParams() []*nn.Param { return []*nn.Param{s.prototypes} }
 
+// CarriesLocalState implements Method: the prototypes are federated via
+// ExtraParams, leaving no method-local cross-round state.
+func (s *SwAV) CarriesLocalState() bool { return false }
+
 // Prototypes returns the prototype matrix (for tests and diagnostics).
 func (s *SwAV) Prototypes() *tensor.Tensor { return s.prototypes.Value }
 

@@ -187,6 +187,18 @@ func (f *frame) next() (kind byte, payload []byte, err error) {
 	return kind, payload, nil
 }
 
+// finish verifies the declared sections consumed the entire body. A
+// CRC-valid frame with spare bytes between the last section and the
+// trailer is malformed — accepting it would let two different byte
+// strings decode to the same state, breaking the determinism contract
+// (encode is injective, so decode must be too).
+func (f *frame) finish() error {
+	if f.off != f.end {
+		return fmt.Errorf("%w: %d trailing bytes after the last section", ErrMalformed, f.end-f.off)
+	}
+	return nil
+}
+
 // reader is a bounds-checked cursor over one section payload.
 type reader struct {
 	p   []byte
@@ -333,6 +345,9 @@ func DecodeVector(data []byte) ([]float64, error) {
 	if kind != secVector {
 		return nil, fmt.Errorf("%w: section kind %d, want vector", ErrMalformed, kind)
 	}
+	if err := f.finish(); err != nil {
+		return nil, err
+	}
 	return readVectorPayload(p)
 }
 
@@ -419,6 +434,9 @@ func DecodeTensors(data []byte) ([]*tensor.Tensor, error) {
 			return nil, err
 		}
 		out = append(out, t)
+	}
+	if err := f.finish(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -258,3 +258,71 @@ func TestDecodeWrongEntryPoint(t *testing.T) {
 		t.Fatalf("DecodeSnapshot(vector) = %v, want ErrMalformed", err)
 	}
 }
+
+// spliceBeforeTrailer inserts junk between the last section and the CRC
+// trailer, resealing the checksum — a frame only the strict whole-body
+// check can reject, since every section still parses and the CRC holds.
+func spliceBeforeTrailer(blob, junk []byte) []byte {
+	out := append([]byte(nil), blob[:len(blob)-trailerSize]...)
+	out = append(out, junk...)
+	out = append(out, make([]byte, trailerSize)...)
+	return reseal(out)
+}
+
+// TestDecodeRejectsTrailingBytes: the declared sections must consume the
+// whole body. Spare CRC-valid bytes would mean two different byte strings
+// decode to the same state, breaking decode injectivity.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	junk := []byte{0xde, 0xad, 0xbe}
+	snap, err := EncodeSnapshot(testSnapshot())
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	if _, err := DecodeSnapshot(spliceBeforeTrailer(snap, junk)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("snapshot: err = %v, want ErrMalformed", err)
+	}
+	vec := EncodeVector([]float64{1, 2})
+	if _, err := DecodeVector(spliceBeforeTrailer(vec, junk)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("vector: err = %v, want ErrMalformed", err)
+	}
+	tn, err := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatalf("FromSlice: %v", err)
+	}
+	blob := EncodeTensors([]*tensor.Tensor{tn})
+	if _, err := DecodeTensors(spliceBeforeTrailer(blob, junk)); !errors.Is(err, ErrMalformed) {
+		t.Errorf("tensors: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestDecodeSnapshotRejectsDuplicateSections: every snapshot section kind
+// is single-occurrence; a duplicate (where last-one-wins would silently
+// drop data) must be malformed, matching the meta/state guards.
+func TestDecodeSnapshotRejectsDuplicateSections(t *testing.T) {
+	build := func(dup byte) []byte {
+		e := newEncoder(64)
+		sec := e.begin(secMeta)
+		e.buf = append(e.buf, []byte(`{"seed":1}`)...)
+		e.end(sec)
+		sec = e.begin(secState)
+		e.i64(0)
+		appendVectorPayload(e, []float64{1})
+		e.end(sec)
+		for i := 0; i < 2; i++ {
+			sec = e.begin(dup)
+			switch dup {
+			case secHistory:
+				e.u32(0)
+			case secCounts:
+				e.i64(0)
+			}
+			e.end(sec)
+		}
+		return e.finish()
+	}
+	for name, kind := range map[string]byte{"history": secHistory, "counts": secCounts} {
+		if _, err := DecodeSnapshot(build(kind)); !errors.Is(err, ErrMalformed) {
+			t.Errorf("duplicate %s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+}

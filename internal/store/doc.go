@@ -39,12 +39,15 @@
 // # Checkpoint directory
 //
 // A Store is a flat directory of ckpt-%08d.calibre files with dense
-// versions assigned by Save. Writes are atomic — temp file, fsync, rename
-// — so an existing snapshot can never be damaged by a crash; a torn new
-// file simply fails its CRC and Latest falls back to the previous good
+// versions assigned by Save. Writes are atomic — temp file, fsync, then
+// a no-replace link into place — so an existing snapshot can never be
+// damaged by a crash or clobbered by a concurrent saver; a torn new file
+// simply fails its CRC and Latest falls back to the previous good
 // version. Resume adds a configuration fingerprint check so an operator
 // cannot accidentally continue a differently-configured federation
-// (ErrFingerprintMismatch).
+// (ErrFingerprintMismatch), and the runtimes additionally refuse to
+// resume methods carrying cross-round state a snapshot does not capture
+// (fl.ErrStatefulResume).
 //
 // # Resume state machine
 //

@@ -176,9 +176,11 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, err
 	}
 	var (
-		s          Snapshot
-		haveMeta   bool
-		haveVector bool
+		s           Snapshot
+		haveMeta    bool
+		haveVector  bool
+		haveHistory bool
+		haveCounts  bool
 	)
 	for i := 0; i < f.sections; i++ {
 		kind, p, err := f.next()
@@ -209,16 +211,27 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 				return nil, err
 			}
 		case secHistory:
+			if haveHistory {
+				return nil, fmt.Errorf("%w: duplicate history section", ErrMalformed)
+			}
+			haveHistory = true
 			if s.State.History, err = readHistoryPayload(p); err != nil {
 				return nil, err
 			}
 		case secCounts:
+			if haveCounts {
+				return nil, fmt.Errorf("%w: duplicate counts section", ErrMalformed)
+			}
+			haveCounts = true
 			if s.State.EligibleCounts, err = readCountsPayload(p); err != nil {
 				return nil, err
 			}
 		default:
 			return nil, fmt.Errorf("%w: unknown section kind %d", ErrMalformed, kind)
 		}
+	}
+	if err := f.finish(); err != nil {
+		return nil, err
 	}
 	if !haveMeta || !haveVector {
 		return nil, fmt.Errorf("%w: snapshot missing %s section", ErrMalformed,

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -33,9 +34,12 @@ const (
 
 // Store is a directory of versioned snapshots. Versions are dense positive
 // integers assigned by Save; each lives in its own ckpt-%08d.calibre file,
-// written atomically (temp file + fsync + rename) so a crash mid-write can
-// never damage an existing snapshot — at worst it leaves a torn temp file
-// or a new file that fails its CRC, both of which Latest skips.
+// written atomically (temp file + fsync + no-replace link) so a crash
+// mid-write can never damage an existing snapshot — at worst it leaves a
+// torn temp file or a new file that fails its CRC, both of which Latest
+// skips. Publishing never replaces an existing file, so concurrent Saves
+// into one directory (two processes, or two Store handles) each land in
+// their own version instead of clobbering each other.
 type Store struct {
 	dir string
 }
@@ -104,8 +108,9 @@ func (s *Store) Versions() ([]int, error) {
 }
 
 // Save encodes snap and writes it as the next version. The write is
-// atomic: the blob lands in a temp file in the same directory, is synced,
-// and only then renamed into place.
+// atomic and never replaces an existing file: the blob lands in a temp
+// file in the same directory, is synced, and is then published under the
+// next free version with a no-replace primitive (see publish).
 func (s *Store) Save(snap *Snapshot) (int, error) {
 	data, err := EncodeSnapshot(snap)
 	if err != nil {
@@ -123,7 +128,7 @@ func (s *Store) Save(snap *Snapshot) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: create temp snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer os.Remove(tmp.Name()) // drops the temp name; the published link survives
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return 0, fmt.Errorf("store: write snapshot: %w", err)
@@ -135,17 +140,41 @@ func (s *Store) Save(snap *Snapshot) (int, error) {
 	if err := tmp.Close(); err != nil {
 		return 0, fmt.Errorf("store: close snapshot: %w", err)
 	}
-	final := filepath.Join(s.dir, fileFor(next))
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		return 0, fmt.Errorf("store: publish snapshot: %w", err)
+	version, err := s.publish(tmp.Name(), next)
+	if err != nil {
+		return 0, err
 	}
-	// Best-effort directory sync so the rename itself is durable; some
+	// Best-effort directory sync so the publish itself is durable; some
 	// filesystems reject fsync on directories, which is not fatal.
 	if d, err := os.Open(s.dir); err == nil {
 		_ = d.Sync()
 		_ = d.Close()
 	}
-	return next, nil
+	return version, nil
+}
+
+// publishRetries bounds how many occupied versions publish will step over
+// before giving up — far beyond any plausible save race, but finite so a
+// pathological directory cannot loop forever.
+const publishRetries = 4096
+
+// publish links tmp into place as the first free version ≥ next. Unlike
+// rename, os.Link refuses to replace an existing name, so a concurrent
+// saver that won the race for a version cannot be clobbered — this saver
+// simply steps to the next version and tries again. The temp file is left
+// for the caller to remove (both names alias the same inode).
+func (s *Store) publish(tmp string, next int) (int, error) {
+	for try := 0; try < publishRetries; try++ {
+		err := os.Link(tmp, filepath.Join(s.dir, fileFor(next)))
+		if err == nil {
+			return next, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return 0, fmt.Errorf("store: publish snapshot: %w", err)
+		}
+		next++
+	}
+	return 0, fmt.Errorf("store: publish snapshot: versions %d..%d all occupied", next-publishRetries, next-1)
 }
 
 // Open loads and decodes one specific version.

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -163,5 +164,86 @@ func TestParseVersion(t *testing.T) {
 		if v != c.v || ok != c.ok {
 			t.Errorf("parseVersion(%q) = (%d, %v), want (%d, %v)", name, v, ok, c.v, c.ok)
 		}
+	}
+}
+
+// TestPublishNeverReplaces simulates the save race: another process
+// published the version this saver computed, between the directory
+// listing and the publish. The no-replace primitive must leave the
+// racer's file intact and land this save in the next free version.
+func TestPublishNeverReplaces(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	racer := []byte("racer's snapshot")
+	if err := os.WriteFile(filepath.Join(dir, fileFor(1)), racer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ".tmp-mine")
+	if err := os.WriteFile(tmp, []byte("mine"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.publish(tmp, 1)
+	if err != nil || v != 2 {
+		t.Fatalf("publish = (%d, %v), want (2, nil)", v, err)
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, fileFor(1))); err != nil || string(got) != string(racer) {
+		t.Fatalf("racer's snapshot clobbered: %q, %v", got, err)
+	}
+	if got, err := os.ReadFile(filepath.Join(dir, fileFor(2))); err != nil || string(got) != "mine" {
+		t.Fatalf("published snapshot = %q, %v, want %q", got, err, "mine")
+	}
+}
+
+// TestConcurrentSavesNeverClobber: multiple Store handles saving into one
+// directory (multiple processes in production) must yield one version per
+// save with every snapshot decodable — no clobbered or lost checkpoints.
+func TestConcurrentSavesNeverClobber(t *testing.T) {
+	dir := t.TempDir()
+	const savers, each = 4, 5
+	var wg sync.WaitGroup
+	for i := 0; i < savers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := Open(dir)
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			for j := 0; j < each; j++ {
+				snap := testSnapshot()
+				snap.Meta.Seed = int64(i*each + j)
+				if _, err := st.Save(snap); err != nil {
+					t.Errorf("Save: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	entries, err := st.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(entries) != savers*each {
+		t.Fatalf("%d snapshots on disk, want %d", len(entries), savers*each)
+	}
+	seeds := make(map[int64]bool)
+	for _, e := range entries {
+		if e.Corrupt {
+			t.Errorf("version %d corrupt", e.Version)
+			continue
+		}
+		seeds[e.Meta.Seed] = true
+	}
+	if len(seeds) != savers*each {
+		t.Fatalf("%d distinct snapshots survive, want %d (a save was clobbered)", len(seeds), savers*each)
 	}
 }
