@@ -34,6 +34,7 @@ import (
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
 	"calibre/internal/flnet"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
 	"calibre/internal/store"
@@ -59,8 +60,15 @@ type (
 	Method = fl.Method
 	// RoundStats reports one federated round.
 	RoundStats = fl.RoundStats
-	// Update is a client's per-round result.
+	// Update is a client's per-round result; its payload travels either
+	// dense (Params) or as a lossless XOR-delta (Delta).
 	Update = fl.Update
+	// Vector is the typed model parameter vector the update plane
+	// exchanges (internal/param).
+	Vector = param.Vector
+	// Delta is the lossless XOR-delta encoding of a Vector against a
+	// reference — the compressed wire and incremental-checkpoint form.
+	Delta = param.Delta
 
 	// Client is one participant's local data partition.
 	Client = partition.Client

@@ -3,12 +3,13 @@
 #
 #   ./ci.sh          format check, vet, build, race tests, short kernel bench
 #
-# The quick kernel/codec benches write their BENCH_*.json to temp dirs —
-# they exist to prove the harnesses run, not to refresh the committed
-# numbers. When kernels or the checkpoint codec change, regenerate the
-# tracked files with a full measurement:
+# The quick kernel/codec/delta benches write their BENCH_*.json to temp
+# dirs — they exist to prove the harnesses run, not to refresh the
+# committed numbers. When kernels, the checkpoint codec or the update
+# plane change, regenerate the tracked files with a full measurement:
 #   go run ./cmd/calibre-bench -exp kernels -out .
 #   go run ./cmd/calibre-bench -exp codec -out .
+#   go run ./cmd/calibre-bench -exp delta -out .
 # (see README.md "Benchmark harness").
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -42,5 +43,8 @@ go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 
 echo "== codec bench (quick) =="
 go run ./cmd/calibre-bench -exp codec -quick -out "$(mktemp -d)"
+
+echo "== delta bench (quick) =="
+go run ./cmd/calibre-bench -exp delta -quick -out "$(mktemp -d)"
 
 echo "CI gate passed."

@@ -12,8 +12,10 @@ import (
 
 func TestListPrintsExperimentsAndKernels(t *testing.T) {
 	out := climain.CaptureStdout(t, func() error { return run([]string{"-list"}) })
-	if !strings.Contains(out, "experiments:") || !strings.Contains(out, "kernels") || !strings.Contains(out, "codec") {
-		t.Fatalf("-list output missing experiments/kernels/codec:\n%s", out)
+	for _, needle := range []string{"experiments:", "kernels", "codec", "delta"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("-list output missing %q:\n%s", needle, out)
+		}
 	}
 }
 
@@ -94,6 +96,87 @@ func TestKernelHarnessEmitsGoldenSchema(t *testing.T) {
 	for k := range have {
 		if !want[k] {
 			t.Errorf("measurement %s emitted but missing from golden file (regenerate it: go run ./cmd/calibre-bench -exp kernels)", k)
+		}
+	}
+}
+
+// TestDeltaHarnessEmitsGoldenSchema runs the update-plane harness at
+// quick scale and validates BENCH_delta.json structurally, against the
+// committed golden file, and against the acceptance criteria the update
+// plane ships under: compressible patterns (and the real training
+// trajectory) must beat the dense gob wire on bytes per round, and the
+// worst-case pattern must fall back to dense rather than expand. Sizes
+// are deterministic; timings are host-dependent and only sanity-checked.
+func TestDeltaHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "delta", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "delta bench:") || !strings.Contains(out, "sgd-step") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	check := func(file DeltaBenchFile, where string) {
+		t.Helper()
+		if file.Schema != DeltaBenchSchema {
+			t.Fatalf("%s schema = %q, want %q", where, file.Schema, DeltaBenchSchema)
+		}
+		if len(file.Wire) == 0 || len(file.Rounds) == 0 || len(file.Aggregate) == 0 {
+			t.Fatalf("%s missing sections: %d wire, %d rounds, %d aggregation", where, len(file.Wire), len(file.Rounds), len(file.Aggregate))
+		}
+		for _, r := range file.Wire {
+			if r.WireBytes > r.DenseBytes {
+				t.Errorf("%s pattern %s ships %d bytes, above the dense %d (fallback broken)", where, r.Pattern, r.WireBytes, r.DenseBytes)
+			}
+			switch r.Pattern {
+			case "random-worst-case":
+				if r.ShipsDelta {
+					t.Errorf("%s worst-case pattern did not fall back to dense: %+v", where, r)
+				}
+			default:
+				if !r.ShipsDelta || r.Ratio <= 1 {
+					t.Errorf("%s pattern %s did not compress: %+v", where, r.Pattern, r)
+				}
+			}
+		}
+		for _, r := range file.Rounds {
+			if r.WireBytes >= r.DenseBytes || r.Ratio <= 1 {
+				t.Errorf("%s real round %d did not compress: %+v", where, r.Round, r)
+			}
+		}
+		for _, r := range file.Aggregate {
+			if r.SerialNsOp <= 0 || r.ShardNsOp <= 0 {
+				t.Errorf("%s aggregation record has non-positive timings: %+v", where, r)
+			}
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_delta.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got DeltaBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	check(got, "emitted")
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_delta.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_delta.json: %v", err)
+	}
+	var golden DeltaBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	check(golden, "golden")
+	patterns := make(map[string]bool)
+	for _, r := range got.Wire {
+		patterns[r.Pattern] = true
+	}
+	for _, r := range golden.Wire {
+		if !patterns[r.Pattern] {
+			t.Errorf("golden pattern %s not emitted (regenerate: go run ./cmd/calibre-bench -exp delta -out .)", r.Pattern)
 		}
 	}
 }

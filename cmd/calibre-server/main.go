@@ -60,7 +60,9 @@ func run(args []string) error {
 		straggler = fs.String("straggler", "requeue", "straggler policy at the deadline: requeue | drop")
 		ckptDir   = fs.String("checkpoint-dir", "", "durable checkpoint directory; snapshots round state for crash recovery")
 		ckptEvery = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
+		ckptDelta = fs.Bool("checkpoint-incremental", false, "encode checkpoints as lossless deltas against the previous version (full-snapshot fallback; see calibre-ckpt list)")
 		resume    = fs.Bool("resume", false, "resume from the latest matching checkpoint in -checkpoint-dir (fresh start when none exists)")
+		wire      = fs.String("update-wire", "delta", "client update encoding advertised at join: delta (compressed, lossless) | dense")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +71,10 @@ func run(args []string) error {
 		return errors.New("-resume requires -checkpoint-dir")
 	}
 	policy, err := fl.ParseStragglerPolicy(*straggler)
+	if err != nil {
+		return err
+	}
+	updateWire, err := flnet.ParseUpdateWire(*wire)
 	if err != nil {
 		return err
 	}
@@ -95,6 +101,7 @@ func run(args []string) error {
 		Quorum:          *quorum,
 		RoundDeadline:   *deadline,
 		Straggler:       policy,
+		UpdateWire:      updateWire,
 		OnRound: func(stats fl.RoundStats) {
 			fmt.Println(stats)
 		},
@@ -113,6 +120,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		// Incremental encoding changes only how snapshots are stored, never
+		// what they resolve to, so it is safe to flip between restarts.
+		ckpt.SetIncremental(*ckptDelta)
 		// The fingerprint binds snapshots to the run-defining knobs (round
 		// budget excluded: -resume legitimately extends it), so -resume can
 		// never silently continue a differently-configured federation.

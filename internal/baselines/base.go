@@ -13,6 +13,7 @@ import (
 
 	"calibre/internal/data"
 	"calibre/internal/model"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
 )
@@ -108,7 +109,7 @@ func (b *supBase) newModel(rng *rand.Rand) *model.SupModel {
 }
 
 // initGlobal builds the initial flattened global vector.
-func (b *supBase) initGlobal(rng *rand.Rand) ([]float64, error) {
+func (b *supBase) initGlobal(rng *rand.Rand) (param.Vector, error) {
 	return flatten(b.newModel(rng)), nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"calibre/internal/fl"
 	"calibre/internal/model"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/tensor"
 )
@@ -51,7 +52,7 @@ func NewFedAvgFT(cfg Config) *fl.Method {
 	}
 }
 
-func (f *fedAvg) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (f *fedAvg) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -71,7 +72,7 @@ func (f *fedAvg) Train(ctx context.Context, rng *rand.Rand, client *partition.Cl
 	}, nil
 }
 
-func (f *fedAvg) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (f *fedAvg) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}
@@ -113,7 +114,7 @@ func NewPerFedAvg(cfg Config) *fl.Method {
 	}
 }
 
-func (f *perFedAvg) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (f *perFedAvg) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func (f *perFedAvg) Train(ctx context.Context, rng *rand.Rand, client *partition
 	return &fl.Update{ClientID: client.ID, Params: flatten(m), NumSamples: client.Train.Len(), TrainLoss: loss}, nil
 }
 
-func (f *perFedAvg) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (f *perFedAvg) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}
@@ -193,14 +194,14 @@ func NewScriptConvergent(cfg Config) *fl.Method {
 
 // Train is a no-op: Script never federates. It returns the global vector
 // unchanged so the simulator's aggregation is the identity.
-func (s *script) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (s *script) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
 	return &fl.Update{ClientID: client.ID, Params: append([]float64(nil), global...), NumSamples: client.Train.Len()}, nil
 }
 
-func (s *script) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (s *script) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}

@@ -10,6 +10,7 @@ import (
 	"calibre/internal/core"
 	"calibre/internal/fl"
 	"calibre/internal/nn"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
 )
@@ -74,7 +75,7 @@ func NewFedEMA(cfg Config) *fl.Method {
 	}
 }
 
-func (f *fedEMA) initGlobal(rng *rand.Rand) ([]float64, error) {
+func (f *fedEMA) initGlobal(rng *rand.Rand) (param.Vector, error) {
 	backbone := ssl.NewBackbone(rng, f.arch)
 	method, err := f.factory(rng, backbone)
 	if err != nil {
@@ -104,7 +105,7 @@ func (f *fedEMA) state(rng *rand.Rand, id int) (*ssl.Trainable, bool, error) {
 	return st, false, nil
 }
 
-func (f *fedEMA) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (f *fedEMA) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -138,7 +139,7 @@ func (f *fedEMA) Train(ctx context.Context, rng *rand.Rand, client *partition.Cl
 	return &fl.Update{ClientID: client.ID, Params: nn.Flatten(st), NumSamples: len(rows), TrainLoss: loss}, nil
 }
 
-func (f *fedEMA) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (f *fedEMA) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	probe := &core.LinearProbe{Arch: f.arch, Factory: f.factory, NumClasses: f.cfg.NumClasses, Head: f.cfg.Head}
 	return probe.Personalize(ctx, rng, client, global)
 }

@@ -7,6 +7,7 @@ import (
 
 	"calibre/internal/fl"
 	"calibre/internal/model"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -42,7 +43,7 @@ func NewFedProx(cfg Config, mu float64) *fl.Method {
 	}
 }
 
-func (f *fedProx) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (f *fedProx) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -65,7 +66,7 @@ func (f *fedProx) Train(ctx context.Context, rng *rand.Rand, client *partition.C
 	}, nil
 }
 
-func (f *fedProx) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (f *fedProx) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"calibre/internal/fl"
 	"calibre/internal/model"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -91,7 +92,7 @@ func (p *partial) sharedMask(m *model.SupModel) []bool {
 	return m.HeadMask()
 }
 
-func (p *partial) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (p *partial) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func (p *partial) Train(ctx context.Context, rng *rand.Rand, client *partition.C
 	return &fl.Update{ClientID: client.ID, Params: flatten(m), NumSamples: client.Train.Len(), TrainLoss: loss}, nil
 }
 
-func (p *partial) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (p *partial) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}

@@ -9,6 +9,7 @@ import (
 	"calibre/internal/fl"
 	"calibre/internal/model"
 	"calibre/internal/nn"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -66,7 +67,7 @@ func (a *apfl) personalVec(id int, init []float64) []float64 {
 	return v
 }
 
-func (a *apfl) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (a *apfl) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -99,7 +100,7 @@ func (a *apfl) Train(ctx context.Context, rng *rand.Rand, client *partition.Clie
 	return &fl.Update{ClientID: client.ID, Params: w, NumSamples: client.Train.Len(), TrainLoss: loss}, nil
 }
 
-func (a *apfl) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (a *apfl) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}
@@ -164,7 +165,7 @@ func (d *ditto) personalVec(id int, init []float64) []float64 {
 	return v
 }
 
-func (d *ditto) trainPersonal(rng *rand.Rand, client *partition.Client, global []float64, epochs int) (*model.SupModel, error) {
+func (d *ditto) trainPersonal(rng *rand.Rand, client *partition.Client, global param.Vector, epochs int) (*model.SupModel, error) {
 	v := d.personalVec(client.ID, global)
 	pm := d.newModel(rng)
 	if err := load(pm, v); err != nil {
@@ -183,7 +184,7 @@ func (d *ditto) trainPersonal(rng *rand.Rand, client *partition.Client, global [
 	return pm, nil
 }
 
-func (d *ditto) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (d *ditto) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -201,7 +202,7 @@ func (d *ditto) Train(ctx context.Context, rng *rand.Rand, client *partition.Cli
 	return &fl.Update{ClientID: client.ID, Params: flatten(m), NumSamples: client.Train.Len(), TrainLoss: loss}, nil
 }
 
-func (d *ditto) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (d *ditto) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}

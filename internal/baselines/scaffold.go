@@ -9,6 +9,7 @@ import (
 	"calibre/internal/fl"
 	"calibre/internal/model"
 	"calibre/internal/nn"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -83,7 +84,7 @@ func (s *scaffold) control(id, dim int) []float64 {
 	return c
 }
 
-func (s *scaffold) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (s *scaffold) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return nil, err
 	}
@@ -127,7 +128,7 @@ func (s *scaffold) Train(ctx context.Context, rng *rand.Rand, client *partition.
 	}, nil
 }
 
-func (s *scaffold) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (s *scaffold) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ensureCtx(ctx); err != nil {
 		return 0, err
 	}

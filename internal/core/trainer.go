@@ -9,6 +9,7 @@ import (
 	"calibre/internal/fl"
 	"calibre/internal/model"
 	"calibre/internal/nn"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
 	"calibre/internal/tensor"
@@ -87,7 +88,7 @@ func (t *SSLTrainer) clientState(rng *rand.Rand, id int) (*ssl.Trainable, error)
 }
 
 // Train implements fl.Trainer.
-func (t *SSLTrainer) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (t *SSLTrainer) Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -144,7 +145,7 @@ func batchOf(rows [][]float64) *tensor.Tensor {
 
 // InitGlobal builds the initial flattened global vector for this trainer's
 // architecture + method (every client shares the layout).
-func (t *SSLTrainer) InitGlobal(rng *rand.Rand) ([]float64, error) {
+func (t *SSLTrainer) InitGlobal(rng *rand.Rand) (param.Vector, error) {
 	backbone := ssl.NewBackbone(rng, t.Arch)
 	method, err := t.Factory(rng, backbone)
 	if err != nil {
@@ -167,7 +168,7 @@ type LinearProbe struct {
 var _ fl.Personalizer = (*LinearProbe)(nil)
 
 // Personalize implements fl.Personalizer.
-func (p *LinearProbe) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error) {
+func (p *LinearProbe) Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}

@@ -13,6 +13,7 @@ import (
 	"calibre/internal/fl"
 	"calibre/internal/model"
 	"calibre/internal/nn"
+	"calibre/internal/param"
 	"calibre/internal/ssl"
 	"calibre/internal/store"
 	"calibre/internal/tensor"
@@ -171,7 +172,7 @@ func runBuilt(ctx context.Context, env *Environment, m *fl.Method, mutate func(*
 // global vector, abstracting over the supervised vs SSL parameter layouts.
 // The returned FeatureFn maps raw observation batches to representation
 // space; it powers the t-SNE figures and cluster-quality metrics.
-func EncoderFor(env *Environment, methodName string, global []float64) (model.FeatureFn, error) {
+func EncoderFor(env *Environment, methodName string, global param.Vector) (model.FeatureFn, error) {
 	rng := rand.New(rand.NewSource(env.Seed + 99))
 	switch {
 	case strings.HasPrefix(methodName, "pfl-"), strings.HasPrefix(methodName, "calibre-"):
@@ -192,7 +193,7 @@ func EncoderFor(env *Environment, methodName string, global []float64) (model.Fe
 	}
 }
 
-func sslEncoder(rng *rand.Rand, env *Environment, factory ssl.Factory, global []float64) (model.FeatureFn, error) {
+func sslEncoder(rng *rand.Rand, env *Environment, factory ssl.Factory, global param.Vector) (model.FeatureFn, error) {
 	backbone := ssl.NewBackbone(rng, env.Arch)
 	method, err := factory(rng, backbone)
 	if err != nil {

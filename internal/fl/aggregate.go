@@ -3,7 +3,30 @@ package fl
 import (
 	"fmt"
 	"math"
+
+	"calibre/internal/param"
 )
+
+// The aggregators below all reduce over shard ranges dispatched on the
+// shared tensor kernel pool (param.Shard). Sharding is by element range,
+// never by update: within each range the updates are folded in canonical
+// order, so every output element sees the identical float operations in
+// the identical order as a serial sweep — sharded aggregation is
+// bit-identical to the historical serial implementations for any pool
+// size. None of them mutate global or the update payloads they are
+// handed; the returned vector is always freshly allocated.
+
+// checkUpdateSizes validates every payload length up front (wrapping
+// ErrUpdateSize) so the sharded loops below can index without bounds
+// surprises even when a caller skips the runtimes' ingress Resolve.
+func checkUpdateSizes(global param.Vector, updates []*Update) error {
+	for _, u := range updates {
+		if len(u.Params) != len(global) {
+			return fmt.Errorf("%w: update from client %d has %d params, want %d", ErrUpdateSize, u.ClientID, len(u.Params), len(global))
+		}
+	}
+	return nil
+}
 
 // WeightedAverage is FedAvg aggregation: the new global vector is the
 // sample-count-weighted mean of client vectors.
@@ -12,29 +35,36 @@ type WeightedAverage struct{}
 var _ Aggregator = WeightedAverage{}
 
 // Aggregate implements Aggregator.
-func (WeightedAverage) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+func (WeightedAverage) Aggregate(global param.Vector, updates []*Update) (param.Vector, error) {
 	if len(updates) == 0 {
 		return nil, ErrNoUpdates
 	}
-	out := make([]float64, len(global))
+	if err := checkUpdateSizes(global, updates); err != nil {
+		return nil, err
+	}
+	weights := make([]float64, len(updates))
 	var total float64
-	for _, u := range updates {
-		if len(u.Params) != len(global) {
-			return nil, fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(global))
-		}
+	for i, u := range updates {
 		w := float64(u.NumSamples)
 		if w <= 0 {
 			w = 1
 		}
+		weights[i] = w
 		total += w
-		for i, v := range u.Params {
-			out[i] += w * v
-		}
 	}
 	inv := 1 / total
-	for i := range out {
-		out[i] *= inv
-	}
+	out := make(param.Vector, len(global))
+	param.Shard(len(global), func(lo, hi int) {
+		for k, u := range updates {
+			w, p := weights[k], u.Params
+			for i := lo; i < hi; i++ {
+				out[i] += w * p[i]
+			}
+		}
+		for i := lo; i < hi; i++ {
+			out[i] *= inv
+		}
+	})
 	return out, nil
 }
 
@@ -51,9 +81,12 @@ type DivergenceWeighted struct {
 var _ Aggregator = (*DivergenceWeighted)(nil)
 
 // Aggregate implements Aggregator.
-func (d *DivergenceWeighted) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+func (d *DivergenceWeighted) Aggregate(global param.Vector, updates []*Update) (param.Vector, error) {
 	if len(updates) == 0 {
 		return nil, ErrNoUpdates
+	}
+	if err := checkUpdateSizes(global, updates); err != nil {
+		return nil, err
 	}
 	temp := d.Temperature
 	if temp <= 0 {
@@ -80,16 +113,18 @@ func (d *DivergenceWeighted) Aggregate(global []float64, updates []*Update) ([]f
 		weights[i] = w * n
 		wsum += weights[i]
 	}
-	out := make([]float64, len(global))
-	for i, u := range updates {
-		if len(u.Params) != len(global) {
-			return nil, fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(global))
-		}
-		w := weights[i] / wsum
-		for j, v := range u.Params {
-			out[j] += w * v
-		}
+	for i := range weights {
+		weights[i] /= wsum
 	}
+	out := make(param.Vector, len(global))
+	param.Shard(len(global), func(lo, hi int) {
+		for k, u := range updates {
+			w, p := weights[k], u.Params
+			for j := lo; j < hi; j++ {
+				out[j] += w * p[j]
+			}
+		}
+	})
 	return out, nil
 }
 
@@ -104,7 +139,7 @@ type MaskedAverage struct {
 var _ Aggregator = (*MaskedAverage)(nil)
 
 // Aggregate implements Aggregator.
-func (m *MaskedAverage) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+func (m *MaskedAverage) Aggregate(global param.Vector, updates []*Update) (param.Vector, error) {
 	if len(m.Mask) != len(global) {
 		return nil, fmt.Errorf("fl: mask length %d, global %d", len(m.Mask), len(global))
 	}
@@ -112,12 +147,16 @@ func (m *MaskedAverage) Aggregate(global []float64, updates []*Update) ([]float6
 	if err != nil {
 		return nil, err
 	}
-	out := append([]float64(nil), global...)
-	for i, use := range m.Mask {
-		if use {
-			out[i] = avg[i]
+	out := make(param.Vector, len(global))
+	param.Shard(len(global), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if m.Mask[i] {
+				out[i] = avg[i]
+			} else {
+				out[i] = global[i]
+			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -129,7 +168,7 @@ type ScaffoldAggregator struct {
 	ServerLR   float64
 	NumClients int // total client population C (control update is scaled by m/C)
 
-	control []float64 // server control variate c
+	control param.Vector // server control variate c
 }
 
 var (
@@ -143,47 +182,54 @@ var (
 func (s *ScaffoldAggregator) CarriesRoundState() bool { return true }
 
 // Control returns the server control variate (allocated on first use).
-func (s *ScaffoldAggregator) Control(dim int) []float64 {
+func (s *ScaffoldAggregator) Control(dim int) param.Vector {
 	if s.control == nil {
-		s.control = make([]float64, dim)
+		s.control = make(param.Vector, dim)
 	}
 	return s.control
 }
 
 // Aggregate implements Aggregator.
-func (s *ScaffoldAggregator) Aggregate(global []float64, updates []*Update) ([]float64, error) {
+func (s *ScaffoldAggregator) Aggregate(global param.Vector, updates []*Update) (param.Vector, error) {
 	if len(updates) == 0 {
 		return nil, ErrNoUpdates
+	}
+	if err := checkUpdateSizes(global, updates); err != nil {
+		return nil, err
+	}
+	for _, u := range updates {
+		if u.ControlDelta != nil && len(u.ControlDelta) != len(global) {
+			return nil, fmt.Errorf("%w: control delta from client %d has %d entries, want %d", ErrUpdateSize, u.ClientID, len(u.ControlDelta), len(global))
+		}
 	}
 	lr := s.ServerLR
 	if lr <= 0 {
 		lr = 1
 	}
-	out := append([]float64(nil), global...)
 	inv := 1 / float64(len(updates))
-	for _, u := range updates {
-		if len(u.Params) != len(global) {
-			return nil, fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(global))
-		}
-		for i := range out {
-			out[i] += lr * inv * (u.Params[i] - global[i])
-		}
-	}
 	ctl := s.Control(len(global))
 	frac := inv
 	if s.NumClients > 0 {
 		frac = 1 / float64(s.NumClients)
 	}
-	for _, u := range updates {
-		if u.ControlDelta == nil {
-			continue
+	out := make(param.Vector, len(global))
+	param.Shard(len(global), func(lo, hi int) {
+		copy(out[lo:hi], global[lo:hi])
+		for _, u := range updates {
+			p := u.Params
+			for i := lo; i < hi; i++ {
+				out[i] += lr * inv * (p[i] - global[i])
+			}
 		}
-		if len(u.ControlDelta) != len(global) {
-			return nil, fmt.Errorf("fl: control delta from client %d has %d entries, want %d", u.ClientID, len(u.ControlDelta), len(global))
+		for _, u := range updates {
+			if u.ControlDelta == nil {
+				continue
+			}
+			cd := u.ControlDelta
+			for i := lo; i < hi; i++ {
+				ctl[i] += frac * cd[i]
+			}
 		}
-		for i := range ctl {
-			ctl[i] += frac * u.ControlDelta[i]
-		}
-	}
+	})
 	return out, nil
 }

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"calibre/internal/data"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
 type noopTrainer struct{ dim int }
 
-func (n noopTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*Update, error) {
+func (n noopTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*Update, error) {
 	return &Update{ClientID: c.ID, Params: append([]float64(nil), global...), NumSamples: c.Train.Len()}, nil
 }
 
@@ -40,7 +41,7 @@ func BenchmarkSimulatorOverhead(b *testing.B) {
 		Trainer:      noopTrainer{dim: 10000},
 		Aggregator:   WeightedAverage{},
 		Personalizer: fakeBenchPersonalizer{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) {
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) {
 			return make([]float64, 10000), nil
 		},
 	}
@@ -59,7 +60,7 @@ func BenchmarkSimulatorOverhead(b *testing.B) {
 
 type fakeBenchPersonalizer struct{}
 
-func (fakeBenchPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
+func (fakeBenchPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector) (float64, error) {
 	return 0.5, nil
 }
 

@@ -3,6 +3,8 @@ package fl
 import (
 	"errors"
 	"fmt"
+
+	"calibre/internal/param"
 )
 
 // SimState is a federation's complete server-side state at a round
@@ -28,7 +30,7 @@ type SimState struct {
 	// here.
 	Round int
 	// Global is the aggregated global parameter vector after Round rounds.
-	Global []float64
+	Global param.Vector
 	// History holds the RoundStats of every completed round, in order.
 	History []RoundStats
 	// EligibleCounts[r] is the size of the sampling pool when round r was
@@ -45,7 +47,7 @@ func (st *SimState) Clone() *SimState {
 		return nil
 	}
 	c := &SimState{Round: st.Round}
-	c.Global = append([]float64(nil), st.Global...)
+	c.Global = st.Global.Clone()
 	c.History = append([]RoundStats(nil), st.History...)
 	for i, h := range c.History {
 		c.History[i].Participants = append([]int(nil), h.Participants...)

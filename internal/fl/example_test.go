@@ -7,6 +7,7 @@ import (
 
 	"calibre/internal/data"
 	"calibre/internal/fl"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -15,7 +16,7 @@ import (
 // handy for demonstrating the deterministic round loop.
 type addOneTrainer struct{}
 
-func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	params := make([]float64, len(global))
 	for i, v := range global {
 		params[i] = v + 1
@@ -25,7 +26,7 @@ func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Cli
 
 type constPersonalizer struct{}
 
-func (constPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
+func (constPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector) (float64, error) {
 	return 0.5, nil
 }
 
@@ -53,7 +54,7 @@ func ExampleNewSimulator() {
 		Trainer:      addOneTrainer{},
 		Aggregator:   fl.WeightedAverage{},
 		Personalizer: constPersonalizer{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) {
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) {
 			return make([]float64, 2), nil
 		},
 	}

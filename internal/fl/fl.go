@@ -15,12 +15,21 @@ import (
 	"strings"
 	"sync"
 
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
 // ErrNoUpdates is returned by aggregators when a round produced no client
 // updates.
 var ErrNoUpdates = errors.New("fl: no client updates to aggregate")
+
+// ErrUpdateSize marks an update whose payload (dense Params, Delta or
+// ControlDelta) does not match the round's global vector. The runtimes
+// check it at ingress — the simulator fails the round (a wrong-sized
+// update from an in-process trainer is a bug), the networked server
+// rejects the offending client — so a bad payload can never index out of
+// bounds inside an aggregator.
+var ErrUpdateSize = errors.New("fl: update payload does not match the global vector size")
 
 // ErrQuorumNotMet is returned (wrapped) when a round's deadline expires
 // before the configured quorum of client updates has arrived.
@@ -64,12 +73,22 @@ func ParseStragglerPolicy(s string) (StragglerPolicy, error) {
 	}
 }
 
-// Update is a client's result for one round of local training.
+// Update is a client's result for one round of local training. Its
+// payload is delta-capable: exactly one of Params (dense) or Delta
+// (compressed against the round's global vector) is set in transit, and
+// Resolve materializes Params before aggregation.
 type Update struct {
 	ClientID   int
-	Params     []float64 // full updated parameter vector
-	NumSamples int       // local training set size (aggregation weight)
-	TrainLoss  float64   // mean local objective value
+	Params     param.Vector // full updated parameter vector (dense form)
+	NumSamples int          // local training set size (aggregation weight)
+	TrainLoss  float64      // mean local objective value
+
+	// Delta, when non-nil, carries the update as a lossless XOR-delta
+	// against the round's global vector instead of a dense Params — the
+	// compressed wire form flnet ships. Aggregators never see it: the
+	// runtimes call Resolve at ingress, which reconstructs Params
+	// bit-identically and clears Delta.
+	Delta *param.Delta
 
 	// Divergence is Calibre's prototype divergence rate: the mean distance
 	// between local encodings and their assigned prototypes. Zero when the
@@ -78,7 +97,35 @@ type Update struct {
 
 	// ControlDelta carries SCAFFOLD's client control-variate change; nil
 	// for other methods.
-	ControlDelta []float64
+	ControlDelta param.Vector
+}
+
+// Resolve materializes and validates the update's payload against the
+// round's global vector: a delta-carrying update gets its dense Params
+// reconstructed bit-exactly (and Delta cleared), and a dense update is
+// length-checked. Every mismatch — missing payload, ambiguous payload
+// (both forms set), wrong length, corrupt delta — wraps ErrUpdateSize, so
+// ingress layers can reject the sender with one typed check.
+func (u *Update) Resolve(global param.Vector) error {
+	switch {
+	case u.Delta != nil && u.Params != nil:
+		return fmt.Errorf("%w: client %d sent both dense params and a delta", ErrUpdateSize, u.ClientID)
+	case u.Delta != nil:
+		v, err := u.Delta.Apply(global)
+		if err != nil {
+			return fmt.Errorf("%w: client %d delta: %v", ErrUpdateSize, u.ClientID, err)
+		}
+		u.Params = v
+		u.Delta = nil
+	case u.Params == nil:
+		return fmt.Errorf("%w: client %d sent no payload", ErrUpdateSize, u.ClientID)
+	case len(u.Params) != len(global):
+		return fmt.Errorf("%w: client %d sent %d params, want %d", ErrUpdateSize, u.ClientID, len(u.Params), len(global))
+	}
+	if u.ControlDelta != nil && len(u.ControlDelta) != len(global) {
+		return fmt.Errorf("%w: client %d control delta has %d entries, want %d", ErrUpdateSize, u.ClientID, len(u.ControlDelta), len(global))
+	}
+	return nil
 }
 
 // Trainer performs one client's local update for a round.
@@ -87,18 +134,21 @@ type Update struct {
 // encoders, personalized models, control variates); they must be safe for
 // concurrent calls on distinct clients.
 type Trainer interface {
-	Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64, round int) (*Update, error)
+	Train(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector, round int) (*Update, error)
 }
 
 // Aggregator merges one round's updates into the next global vector.
+// Implementations must treat global and every update payload as
+// read-only: updates are shared with RoundStats and checkpoint paths, so
+// mutating them would silently corrupt resume bit-identity.
 type Aggregator interface {
-	Aggregate(global []float64, updates []*Update) ([]float64, error)
+	Aggregate(global param.Vector, updates []*Update) (param.Vector, error)
 }
 
 // Personalizer runs the personalization stage for one client given the
 // final global vector, returning the client's local test accuracy.
 type Personalizer interface {
-	Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global []float64) (float64, error)
+	Personalize(ctx context.Context, rng *rand.Rand, client *partition.Client, global param.Vector) (float64, error)
 }
 
 // Method bundles everything a personalized-FL algorithm contributes.
@@ -108,7 +158,7 @@ type Method struct {
 	Aggregator   Aggregator
 	Personalizer Personalizer
 	// InitGlobal produces the initial global parameter vector.
-	InitGlobal func(rng *rand.Rand) ([]float64, error)
+	InitGlobal func(rng *rand.Rand) (param.Vector, error)
 }
 
 // Validate checks that all required pieces are present.

@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 
 	"calibre/internal/data"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -20,7 +21,7 @@ type fakeTrainer struct {
 	fail  bool
 }
 
-func (f *fakeTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*Update, error) {
+func (f *fakeTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*Update, error) {
 	f.calls.Add(1)
 	if f.fail {
 		return nil, errors.New("boom")
@@ -42,7 +43,7 @@ func (f *fakeTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Cl
 
 type fakePersonalizer struct{}
 
-func (fakePersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
+func (fakePersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector) (float64, error) {
 	return float64(c.ID) / 100, nil
 }
 
@@ -67,7 +68,7 @@ func fakeMethod(tr Trainer) *Method {
 		Trainer:      tr,
 		Aggregator:   WeightedAverage{},
 		Personalizer: fakePersonalizer{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) {
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) {
 			return make([]float64, 4), nil
 		},
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/tensor"
 )
@@ -26,8 +27,18 @@ type SimConfig struct {
 	// calling client goroutines themselves (each caller also works through
 	// one chunk of its own product), so total kernel concurrency is about
 	// Parallelism + KernelWorkers rather than their product. 0 leaves the
-	// current pool size untouched.
+	// current pool size untouched. The same pool shard-parallelizes the
+	// server-side aggregation sweeps (param.Shard), so this knob governs
+	// both local training and aggregation parallelism.
 	KernelWorkers int
+	// DeltaUpdates routes every client update through the lossless
+	// XOR-delta codec (encode against the round's global, reconstruct,
+	// aggregate the reconstruction) — exactly the representation a
+	// networked flnet federation ships. Reconstruction is bit-identical,
+	// so results do not change; the knob exists so in-process simulations
+	// exercise and continuously verify the wire path, and it is what
+	// calibre-bench -exp delta measures.
+	DeltaUpdates bool
 	// Sampler defaults to UniformSampler.
 	Sampler Sampler
 	// DropoutRate simulates client failures/stragglers: each sampled
@@ -185,7 +196,7 @@ func (s *Simulator) drawRound(rng *rand.Rand, alive []int) (sampled, ids, nextAl
 
 // Run executes the training stage and returns the final global vector and
 // per-round statistics.
-func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
+func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error) {
 	if s.Config.KernelWorkers > 0 {
 		tensor.SetWorkers(s.Config.KernelWorkers)
 	}
@@ -217,7 +228,7 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 			}
 			_, _, alive = s.drawRound(masterRNG, alive)
 		}
-		global = append([]float64(nil), st.Global...)
+		global = st.Global.Clone()
 		history = append(history, st.History...)
 		eligibleCounts = append(eligibleCounts, st.EligibleCounts...)
 		startRound = st.Round
@@ -247,6 +258,25 @@ func (s *Simulator) Run(ctx context.Context) ([]float64, []RoundStats, error) {
 			u, err := s.Method.Trainer.Train(ctx, rng, s.Clients[id], global, round)
 			if err != nil {
 				return nil, fmt.Errorf("fl: client %d round %d: %w", id, round, err)
+			}
+			// Route the payload through the wire representation: encode
+			// against the round's global, then let the ingress Resolve
+			// below reconstruct it (bit-identically) like a server would.
+			// A wrong-length payload skips the encode so it still surfaces
+			// as the typed ErrUpdateSize from Resolve, exactly like the
+			// dense path.
+			if s.Config.DeltaUpdates && u.Delta == nil && len(u.Params) == len(global) {
+				d, derr := param.Diff(global, u.Params)
+				if derr != nil {
+					return nil, fmt.Errorf("fl: client %d round %d: %w", id, round, derr)
+				}
+				u.Delta, u.Params = d, nil
+			}
+			// Ingress validation: a wrong-sized payload from an in-process
+			// trainer is a bug, surfaced as a typed ErrUpdateSize instead of
+			// an index panic inside the aggregator.
+			if err := u.Resolve(global); err != nil {
+				return nil, fmt.Errorf("fl: round %d: %w", round, err)
 			}
 			return u, nil
 		})
@@ -309,7 +339,7 @@ func diffSorted(a, b []int) []int {
 // PersonalizeAll runs the personalization stage for every given client
 // (participants and novel clients alike) and returns their local test
 // accuracies, index-aligned with clients.
-func PersonalizeAll(ctx context.Context, seed int64, method *Method, clients []*partition.Client, global []float64, parallelism int) ([]float64, error) {
+func PersonalizeAll(ctx context.Context, seed int64, method *Method, clients []*partition.Client, global param.Vector, parallelism int) ([]float64, error) {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}

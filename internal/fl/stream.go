@@ -1,6 +1,10 @@
 package fl
 
-import "fmt"
+import (
+	"fmt"
+
+	"calibre/internal/param"
+)
 
 // UpdateSink accumulates one round's client updates incrementally. It is
 // how the runtimes (the in-process Simulator and the flnet TCP server)
@@ -13,13 +17,13 @@ import "fmt"
 // batch Aggregate receives its updates slice in). Under that discipline a
 // sink produces bit-identical results to the batch path for any arrival
 // timing, because the identical float operations run in the identical
-// order.
+// order. Like the batch path, sinks never mutate the updates they ingest.
 type UpdateSink interface {
 	// Ingest folds one update into the running aggregate.
 	Ingest(u *Update) error
 	// Finish closes the round and returns the new global vector. A sink
 	// that ingested nothing returns ErrNoUpdates, like the batch path.
-	Finish() ([]float64, error)
+	Finish() (param.Vector, error)
 }
 
 // StreamingAggregator is implemented by aggregators that can fold updates
@@ -30,7 +34,7 @@ type UpdateSink interface {
 type StreamingAggregator interface {
 	Aggregator
 	// NewSink starts one round's streaming aggregation over global.
-	NewSink(global []float64) UpdateSink
+	NewSink(global param.Vector) UpdateSink
 }
 
 // NewRoundSink starts one round of aggregation: a true streaming sink when
@@ -38,7 +42,7 @@ type StreamingAggregator interface {
 // collects the updates and defers to agg.Aggregate on Finish. Either way
 // the result is bit-identical to calling agg.Aggregate with the updates in
 // ingestion order.
-func NewRoundSink(agg Aggregator, global []float64) UpdateSink {
+func NewRoundSink(agg Aggregator, global param.Vector) UpdateSink {
 	if s, ok := agg.(StreamingAggregator); ok {
 		return s.NewSink(global)
 	}
@@ -48,7 +52,7 @@ func NewRoundSink(agg Aggregator, global []float64) UpdateSink {
 // bufferSink adapts a batch-only Aggregator to the UpdateSink interface.
 type bufferSink struct {
 	agg     Aggregator
-	global  []float64
+	global  param.Vector
 	updates []*Update
 }
 
@@ -57,15 +61,16 @@ func (b *bufferSink) Ingest(u *Update) error {
 	return nil
 }
 
-func (b *bufferSink) Finish() ([]float64, error) {
+func (b *bufferSink) Finish() (param.Vector, error) {
 	return b.agg.Aggregate(b.global, b.updates)
 }
 
 // weightedAverageSink streams FedAvg aggregation: it keeps only the running
-// weighted sum and total weight, performing the same float operations in
-// the same order as WeightedAverage.Aggregate.
+// weighted sum and total weight. Each Ingest folds its update over shard
+// ranges (param.Shard) with the same per-element float operations, in the
+// same order, as WeightedAverage.Aggregate's batch sweep.
 type weightedAverageSink struct {
-	sum   []float64
+	sum   param.Vector
 	total float64
 	n     int
 }
@@ -73,33 +78,39 @@ type weightedAverageSink struct {
 var _ StreamingAggregator = WeightedAverage{}
 
 // NewSink implements StreamingAggregator.
-func (WeightedAverage) NewSink(global []float64) UpdateSink {
-	return &weightedAverageSink{sum: make([]float64, len(global))}
+func (WeightedAverage) NewSink(global param.Vector) UpdateSink {
+	return &weightedAverageSink{sum: make(param.Vector, len(global))}
 }
 
 func (s *weightedAverageSink) Ingest(u *Update) error {
 	if len(u.Params) != len(s.sum) {
-		return fmt.Errorf("fl: update from client %d has %d params, want %d", u.ClientID, len(u.Params), len(s.sum))
+		return fmt.Errorf("%w: update from client %d has %d params, want %d", ErrUpdateSize, u.ClientID, len(u.Params), len(s.sum))
 	}
 	w := float64(u.NumSamples)
 	if w <= 0 {
 		w = 1
 	}
 	s.total += w
-	for i, v := range u.Params {
-		s.sum[i] += w * v
-	}
+	sum, p := s.sum, u.Params
+	param.Shard(len(sum), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum[i] += w * p[i]
+		}
+	})
 	s.n++
 	return nil
 }
 
-func (s *weightedAverageSink) Finish() ([]float64, error) {
+func (s *weightedAverageSink) Finish() (param.Vector, error) {
 	if s.n == 0 {
 		return nil, ErrNoUpdates
 	}
 	inv := 1 / s.total
-	for i := range s.sum {
-		s.sum[i] *= inv
-	}
-	return s.sum, nil
+	sum := s.sum
+	param.Shard(len(sum), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum[i] *= inv
+		}
+	})
+	return sum, nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 )
 
 // startServer launches srv.Run on a goroutine and returns a channel with
@@ -77,7 +78,7 @@ func asyncFederation(t *testing.T, cfg ServerConfig, n int, latency map[int]time
 	cfg.NumClients = n
 	cfg.Seed = 7
 	cfg.Aggregator = fl.WeightedAverage{}
-	cfg.InitGlobal = func(rng *rand.Rand) ([]float64, error) { return make([]float64, 4), nil }
+	cfg.InitGlobal = func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 4), nil }
 	if cfg.IOTimeout == 0 {
 		cfg.IOTimeout = 20 * time.Second
 	}
@@ -272,7 +273,7 @@ func TestLateJoinerEntersFederation(t *testing.T) {
 	srvCfg := ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 2, Rounds: 4, ClientsPerRound: 3, Seed: 7,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 4), nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 4), nil },
 		IOTimeout:  20 * time.Second,
 		OnRound: func(stats fl.RoundStats) {
 			// After round 0, admit a third client and block the round
@@ -365,7 +366,7 @@ func TestTruncatedJoinStreamTolerated(t *testing.T) {
 	srv, err := NewServer(ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 1, Seed: 3,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 2), nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 2), nil },
 		IOTimeout:  10 * time.Second,
 	})
 	if err != nil {
@@ -415,7 +416,7 @@ func TestDisconnectMidRoundSync(t *testing.T) {
 	srv, err := NewServer(ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 1, Seed: 3,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 2), nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 2), nil },
 		IOTimeout:  10 * time.Second,
 	})
 	if err != nil {
@@ -453,7 +454,7 @@ func TestDisconnectMidRoundQuorumTolerated(t *testing.T) {
 		Addr: "127.0.0.1:0", NumClients: 3, Rounds: 2, ClientsPerRound: 3, Seed: 3,
 		Quorum: 2, RoundDeadline: 10 * time.Second, Straggler: fl.StragglerRequeue,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 2), nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 2), nil },
 		IOTimeout:  10 * time.Second,
 	})
 	if err != nil {
@@ -516,7 +517,7 @@ func TestServerConfigValidatesAsyncKnobs(t *testing.T) {
 	good := ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 2,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return []float64{0}, nil },
 	}
 	for name, mutate := range map[string]func(*ServerConfig){
 		"negative quorum":          func(c *ServerConfig) { c.Quorum = -1 },

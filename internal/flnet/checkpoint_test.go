@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/store"
 )
@@ -20,7 +21,7 @@ import (
 // counter shows up in the final bits.
 type seededTrainer struct{}
 
-func (seededTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (seededTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	params := make([]float64, len(global))
 	for i, v := range global {
 		params[i] = v + rng.NormFloat64()*0.1 + float64(round+1)*0.001
@@ -35,7 +36,7 @@ func runCkptFederation(t *testing.T, ctx context.Context, cfg ServerConfig, clie
 	t.Helper()
 	cfg.Addr = "127.0.0.1:0"
 	cfg.Aggregator = fl.WeightedAverage{}
-	cfg.InitGlobal = func(rng *rand.Rand) ([]float64, error) {
+	cfg.InitGlobal = func(rng *rand.Rand) (param.Vector, error) {
 		out := make([]float64, 5)
 		for i := range out {
 			out[i] = rng.NormFloat64()
@@ -179,7 +180,7 @@ func TestServerConfigValidatesResumeState(t *testing.T) {
 	cfg := ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 5,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return []float64{0}, nil },
 		ResumeFrom: &fl.SimState{Round: 5, Global: []float64{0}},
 	}
 	if _, err := NewServer(cfg); err == nil {
@@ -199,7 +200,7 @@ func TestServerRefusesStatefulAggregatorResume(t *testing.T) {
 	cfg := ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 5,
 		Aggregator: &fl.ScaffoldAggregator{ServerLR: 1},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return []float64{0}, nil },
 		ResumeFrom: &fl.SimState{
 			Round:          1,
 			Global:         []float64{0},

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 )
 
@@ -35,6 +36,10 @@ type ClientConfig struct {
 	// quorum/deadline/straggler handling in tests, demos and chaos runs.
 	// Non-positive durations mean no delay for that round.
 	SimLatency func(round int) time.Duration
+	// DenseUpdates forces full dense parameter vectors on the uplink even
+	// when the server advertises delta encoding — an escape hatch for
+	// debugging and for measuring the compression against raw traffic.
+	DenseUpdates bool
 }
 
 func (c *ClientConfig) validate() error {
@@ -49,6 +54,28 @@ func (c *ClientConfig) validate() error {
 		return errors.New("flnet: client missing personalizer")
 	}
 	return nil
+}
+
+// wireUpdate chooses the uplink form of one train result. Under delta
+// encoding it diffs the dense params against the round's global (the
+// reference both sides hold) and ships the compressed form — unless the
+// delta would not actually be smaller (fully random updates XOR to
+// high-entropy words that varint-encode above 8 bytes), in which case the
+// dense form goes out: compression is an optimization, and the v2
+// protocol accepts either on every train-result. The trainer's update is
+// never mutated; a delta send uses a shallow copy.
+func wireUpdate(u *fl.Update, global param.Vector, useDelta bool) *fl.Update {
+	if !useDelta || u.Params == nil || u.Delta != nil {
+		return u
+	}
+	d, err := param.Diff(global, u.Params)
+	if err != nil || d.Size() >= d.DenseSize() {
+		return u
+	}
+	wu := *u
+	wu.Params = nil
+	wu.Delta = d
+	return &wu
 }
 
 // RunClient joins the federation and serves train/personalize requests
@@ -96,6 +123,10 @@ func RunClient(ctx context.Context, cfg ClientConfig) error {
 	if ack.Type != MsgJoinAck {
 		return fmt.Errorf("flnet: expected join-ack, got %s", ack.Type)
 	}
+	// The server advertises its preferred update encoding at join-ack;
+	// delta compression additionally needs the trainer to produce dense
+	// params to diff (all in-tree trainers do).
+	useDelta := ack.Updates == WireDelta && !cfg.DenseUpdates
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -122,7 +153,7 @@ func RunClient(ctx context.Context, cfg ClientConfig) error {
 				_ = c.send(&Envelope{Type: MsgError, ClientID: cfg.ClientID, Err: terr.Error()})
 				return fmt.Errorf("flnet: client %d train: %w", cfg.ClientID, terr)
 			}
-			if err := c.send(&Envelope{Type: MsgTrainResult, ClientID: cfg.ClientID, Round: env.Round, Update: update}); err != nil {
+			if err := c.send(&Envelope{Type: MsgTrainResult, ClientID: cfg.ClientID, Round: env.Round, Update: wireUpdate(update, env.Global, useDelta)}); err != nil {
 				return err
 			}
 		case MsgPersonalize:

@@ -1,0 +1,198 @@
+package flnet
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"calibre/internal/fl"
+	"calibre/internal/param"
+	"calibre/internal/partition"
+)
+
+// driftTrainer nudges every element by a client- and round-dependent
+// amount, so consecutive globals differ everywhere — the compressed
+// uplink's realistic (SGD-like) case.
+type driftTrainer struct{}
+
+func (driftTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
+	params := global.Clone()
+	for i := range params {
+		params[i] += 1e-4 * float64(c.ID+1) * float64(round+i%3+1)
+	}
+	return &fl.Update{ClientID: c.ID, Params: params, NumSamples: c.Train.Len()}, nil
+}
+
+// runWireFederation runs a full federation with the given wire settings
+// and returns the final result.
+func runWireFederation(t *testing.T, n, rounds int, wire UpdateWire, denseClients bool, trainer fl.Trainer) *Result {
+	t.Helper()
+	clients := netClients(t, n)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: n, Rounds: rounds, ClientsPerRound: n, Seed: 7,
+		Aggregator: fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) {
+			v := make(param.Vector, 64)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			return v, nil
+		},
+		IOTimeout:  20 * time.Second,
+		UpdateWire: wire,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			err := RunClient(ctx, ClientConfig{
+				Addr: srv.Addr().String(), ClientID: id, Data: clients[id],
+				Trainer: trainer, Personalizer: idPersonalizer{}, Seed: 7,
+				DenseUpdates: denseClients,
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", id, err)
+			}
+		}(i)
+	}
+	res, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	return res
+}
+
+// TestDeltaWireBitIdenticalToDense pins the v2 compression contract: a
+// federation shipping XOR-delta updates produces a bit-identical global
+// (and histories) to one shipping dense vectors, for both the advertised
+// modes and the client-side dense override.
+func TestDeltaWireBitIdenticalToDense(t *testing.T) {
+	base := runWireFederation(t, 3, 3, WireDense, false, driftTrainer{})
+	for name, res := range map[string]*Result{
+		"delta-advertised":      runWireFederation(t, 3, 3, WireDelta, false, driftTrainer{}),
+		"client-forced-dense":   runWireFederation(t, 3, 3, WireDelta, true, driftTrainer{}),
+		"dense-mode-forced-too": runWireFederation(t, 3, 3, WireDense, true, driftTrainer{}),
+	} {
+		if len(res.Global) != len(base.Global) {
+			t.Fatalf("%s: global length %d vs %d", name, len(res.Global), len(base.Global))
+		}
+		for i := range base.Global {
+			if math.Float64bits(res.Global[i]) != math.Float64bits(base.Global[i]) {
+				t.Fatalf("%s: global element %d differs from the dense run", name, i)
+			}
+		}
+		if len(res.History) != len(base.History) {
+			t.Fatalf("%s: history length differs", name)
+		}
+	}
+}
+
+// wrongSizeTrainer emits a payload that cannot belong to this federation.
+type wrongSizeTrainer struct{}
+
+func (wrongSizeTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
+	return &fl.Update{ClientID: c.ID, Params: make(param.Vector, len(global)+3), NumSamples: 1}, nil
+}
+
+// TestServerRejectsWrongSizeUpdate pins the ingress contract: a client
+// shipping a wrong-length payload is evicted while the round aggregates
+// the remaining updates — the round is degraded, never panicked.
+func TestServerRejectsWrongSizeUpdate(t *testing.T) {
+	n := 3
+	clients := netClients(t, n)
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", NumClients: n, Rounds: 1, ClientsPerRound: n, Seed: 7,
+		Quorum:        1,
+		RoundDeadline: 30 * time.Second,
+		Aggregator:    fl.WeightedAverage{},
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) {
+			return make(param.Vector, 8), nil
+		},
+		IOTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var trainer fl.Trainer = addOneTrainer{}
+			if id == 1 {
+				trainer = wrongSizeTrainer{}
+			}
+			// The misbehaving client is evicted server-side, so its RunClient
+			// exits with a transport error; the others shut down cleanly.
+			_ = RunClient(ctx, ClientConfig{
+				Addr: srv.Addr().String(), ClientID: id, Data: clients[id],
+				Trainer: trainer, Personalizer: idPersonalizer{}, Seed: 7,
+			})
+		}(i)
+	}
+	res, err := srv.Run(ctx)
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	wg.Wait()
+	h := res.History[0]
+	if len(h.Stragglers) != 1 || h.Stragglers[0] != 1 {
+		t.Fatalf("round 0 stragglers = %v, want [1]", h.Stragglers)
+	}
+	if _, ok := res.Accuracies[1]; ok {
+		t.Fatal("rejected client still personalized")
+	}
+	if len(res.Accuracies) != n-1 {
+		t.Fatalf("got %d accuracies, want %d", len(res.Accuracies), n-1)
+	}
+}
+
+// TestWireUpdateFallsBackToDense pins the sender-side guard: an update
+// whose delta would not be smaller than the dense form ships dense.
+func TestWireUpdateFallsBackToDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	global := make(param.Vector, 256)
+	random := make(param.Vector, 256)
+	for i := range global {
+		global[i] = rng.NormFloat64()
+		random[i] = math.Float64frombits(rng.Uint64() | 1) // high-entropy, never equal
+	}
+	u := &fl.Update{ClientID: 0, Params: random, NumSamples: 1}
+	if w := wireUpdate(u, global, true); w.Delta != nil {
+		t.Fatalf("high-entropy update was delta-encoded to %d bytes (dense %d)", w.Delta.Size(), 8*len(random))
+	}
+	// An SGD-like update compresses and therefore ships as a delta.
+	closeBy := global.Clone()
+	for i := range closeBy {
+		closeBy[i] += 1e-9 * closeBy[i]
+	}
+	u = &fl.Update{ClientID: 0, Params: closeBy, NumSamples: 1}
+	w := wireUpdate(u, global, true)
+	if w.Delta == nil {
+		t.Fatal("compressible update was not delta-encoded")
+	}
+	if w == u || u.Params == nil || u.Delta != nil {
+		t.Fatal("wireUpdate mutated the trainer's update")
+	}
+	if got, err := w.Delta.Apply(global); err != nil {
+		t.Fatalf("Apply: %v", err)
+	} else {
+		for i := range closeBy {
+			if math.Float64bits(got[i]) != math.Float64bits(closeBy[i]) {
+				t.Fatalf("delta reconstruction differs at %d", i)
+			}
+		}
+	}
+}

@@ -17,6 +17,25 @@
 // before any gob traffic, so an incompatible build fails with a clear
 // error instead of a gob decode failure mid-handshake.
 //
+// The current ProtocolVersion is 2: payloads are typed param.Vector
+// values, and train-result updates may travel as lossless XOR-deltas
+// against the round's global vector (fl.Update.Delta) instead of dense
+// params. The server advertises its preferred uplink encoding in the
+// join-ack envelope (Updates field, ServerConfig.UpdateWire); clients
+// comply unless forced dense (ClientConfig.DenseUpdates), and fall back
+// to dense per update whenever the delta would not be smaller. Either
+// form is legal on every train-result: the server materializes deltas at
+// ingress (fl.Update.Resolve) before aggregation, bit-identically, and a
+// client whose payload fails validation (wrong length, corrupt delta) is
+// evicted from the federation instead of panicking the aggregator. The
+// round then proceeds like any other client failure: with a K<N quorum
+// configured it closes on the remaining responders, while under the
+// default all-must-reply discipline it fails loudly with
+// fl.ErrQuorumNotMet (the typed fl.ErrUpdateSize in its cause) — the
+// strict synchronous contract would otherwise silently aggregate fewer
+// updates. Version 1 spoke dense []float64 payloads only and is refused
+// at the preamble.
+//
 // After the preamble, every message on the wire is one Envelope,
 // gob-encoded onto the raw TCP stream. gob's self-describing stream
 // provides the framing: type
@@ -27,9 +46,9 @@
 //
 //	Type                Direction        Fields used
 //	join                client → server  ClientID
-//	join-ack            server → client  ClientID
+//	join-ack            server → client  ClientID, Updates (advertised encoding)
 //	train               server → client  Round, Global
-//	train-result        client → server  ClientID, Round, Update
+//	train-result        client → server  ClientID, Round, Update (dense Params or Delta)
 //	personalize         server → client  Global
 //	personalize-result  client → server  ClientID, Accuracy
 //	shutdown            server → client  —

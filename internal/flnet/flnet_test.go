@@ -11,13 +11,14 @@ import (
 	"calibre/internal/baselines"
 	"calibre/internal/data"
 	"calibre/internal/fl"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
 )
 
 type addOneTrainer struct{}
 
-func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	params := make([]float64, len(global))
 	for i, v := range global {
 		params[i] = v + 1
@@ -29,7 +30,7 @@ func (addOneTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Cli
 // tests hold a federation mid-round.
 type gatedTrainer struct{ release chan struct{} }
 
-func (g gatedTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (g gatedTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	select {
 	case <-g.release:
 	case <-ctx.Done():
@@ -40,7 +41,7 @@ func (g gatedTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Cl
 
 type idPersonalizer struct{}
 
-func (idPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
+func (idPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector) (float64, error) {
 	return float64(c.ID) / 10, nil
 }
 
@@ -65,7 +66,7 @@ func TestServerConfigValidation(t *testing.T) {
 	good := ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 1,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return []float64{0}, nil },
 	}
 	if _, err := NewServer(good); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
@@ -110,7 +111,7 @@ func runFederation(t *testing.T, n, rounds, perRound int, trainer fl.Trainer, pe
 	srv, err := NewServer(ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: n, Rounds: rounds, ClientsPerRound: perRound, Seed: 7,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 4), nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 4), nil },
 		IOTimeout:  20 * time.Second,
 	})
 	if err != nil {
@@ -235,7 +236,7 @@ func TestDuplicateClientIDRejected(t *testing.T) {
 	srv, err := NewServer(ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 2, ClientsPerRound: 1, Seed: 1,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return []float64{0}, nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return []float64{0}, nil },
 		IOTimeout:  10 * time.Second,
 	})
 	if err != nil {

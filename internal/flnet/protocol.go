@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 )
 
 // Wire preamble: before any gob traffic, each side of a fresh connection
@@ -25,7 +26,16 @@ const (
 	ProtocolMagic = "CALF"
 	// ProtocolVersion is bumped on any incompatible wire change (envelope
 	// layout, handshake sequence, codec switch).
-	ProtocolVersion = 1
+	//
+	// Version history:
+	//
+	//	1  gob envelopes with dense []float64 payloads everywhere
+	//	2  typed param.Vector payloads; train-result updates may carry a
+	//	   lossless XOR-delta against the round's global instead of dense
+	//	   params, with the server advertising its preference in join-ack
+	//	   (Envelope.Updates); dense remains legal at any time (fallback
+	//	   for incompressible updates)
+	ProtocolVersion = 2
 
 	preambleSize = 8
 )
@@ -110,16 +120,59 @@ func (m MsgType) String() string {
 	}
 }
 
+// UpdateWire selects how clients ship their train-result payloads: the
+// server advertises its preference in the join-ack envelope, and clients
+// comply unless forced dense (ClientConfig.DenseUpdates). Whatever the
+// advertisement, the server accepts both forms on every train-result —
+// delta encoding is an optimization, never a correctness requirement.
+type UpdateWire int
+
+const (
+	// WireDelta (the default) ships updates as lossless XOR-deltas against
+	// the round's global vector, falling back to dense per update when the
+	// delta would not be smaller.
+	WireDelta UpdateWire = iota
+	// WireDense ships full dense parameter vectors, protocol v1 style.
+	WireDense
+)
+
+// String renders the wire mode for logs and flags.
+func (w UpdateWire) String() string {
+	switch w {
+	case WireDelta:
+		return "delta"
+	case WireDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("updatewire(%d)", int(w))
+	}
+}
+
+// ParseUpdateWire parses the CLI spelling of an update wire mode.
+func ParseUpdateWire(s string) (UpdateWire, error) {
+	switch s {
+	case "delta", "":
+		return WireDelta, nil
+	case "dense":
+		return WireDense, nil
+	default:
+		return 0, fmt.Errorf("flnet: unknown update wire mode %q (want delta or dense)", s)
+	}
+}
+
 // Envelope is the single wire message; fields are populated according to
 // Type. gob's self-describing stream keeps the framing simple.
 type Envelope struct {
 	Type     MsgType
 	ClientID int
 	Round    int
-	Global   []float64  `json:",omitempty"`
-	Update   *fl.Update `json:",omitempty"`
+	Global   param.Vector `json:",omitempty"`
+	Update   *fl.Update   `json:",omitempty"`
 	Accuracy float64
 	Err      string
+	// Updates is the server's advertised update encoding, meaningful on
+	// join-ack only.
+	Updates UpdateWire
 }
 
 // conn wraps a net.Conn with gob codecs and deadline management.

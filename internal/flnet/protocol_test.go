@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 )
 
 // TestPreambleExchange pins the preamble bytes and the happy path over a
@@ -110,7 +111,7 @@ func TestServerRejectsIncompatibleClient(t *testing.T) {
 	srv, err := NewServer(ServerConfig{
 		Addr: "127.0.0.1:0", NumClients: 1, Rounds: 1, ClientsPerRound: 1, Seed: 3,
 		Aggregator: fl.WeightedAverage{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) { return make([]float64, 2), nil },
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) { return make([]float64, 2), nil },
 		IOTimeout:  10 * time.Second,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 )
 
 // ServerConfig configures a federated server.
@@ -27,9 +28,15 @@ type ServerConfig struct {
 	Seed            int64
 	// Aggregator merges updates; InitGlobal produces the first vector.
 	Aggregator fl.Aggregator
-	InitGlobal func(rng *rand.Rand) ([]float64, error)
+	InitGlobal func(rng *rand.Rand) (param.Vector, error)
 	// IOTimeout bounds each network operation (default 2 minutes).
 	IOTimeout time.Duration
+	// UpdateWire is the update encoding advertised to clients at join-ack:
+	// WireDelta (default) asks for lossless XOR-delta compressed updates,
+	// WireDense for full vectors. The server accepts both forms regardless
+	// — the knob shapes traffic, not correctness — and reconstruction is
+	// bit-exact, so results are identical either way.
+	UpdateWire UpdateWire
 
 	// Quorum is the minimum number of client updates needed to close a
 	// round at its deadline (K in K-of-N aggregation). 0 means every
@@ -107,7 +114,7 @@ func (c *ServerConfig) validate() error {
 
 // Result is the outcome of a completed federation.
 type Result struct {
-	Global  []float64
+	Global  param.Vector
 	History []fl.RoundStats
 	// Accuracies maps client ID to its personalized local test accuracy.
 	// Clients evicted during training (StragglerDrop, connection failures)
@@ -221,7 +228,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		for r := 0; r < st.Round; r++ {
 			fl.UniformSampler{}.Sample(rng, st.EligibleCounts[r], s.cfg.ClientsPerRound)
 		}
-		global = append([]float64(nil), st.Global...)
+		global = st.Global.Clone()
 		history = append(history, st.History...)
 		eng.eligibleCounts = append(eng.eligibleCounts, st.EligibleCounts...)
 		startRound = st.Round
@@ -308,7 +315,7 @@ func (s *Server) handleJoin(raw net.Conn) {
 	}
 	s.clients[env.ClientID] = h
 	s.mu.Unlock()
-	if err := c.send(&Envelope{Type: MsgJoinAck, ClientID: env.ClientID}); err != nil {
+	if err := c.send(&Envelope{Type: MsgJoinAck, ClientID: env.ClientID, Updates: s.cfg.UpdateWire}); err != nil {
 		s.evict(env.ClientID)
 		// The engine may already have dispatched to this roster entry (it
 		// becomes eligible the moment it is inserted); with no worker ever
@@ -443,7 +450,7 @@ func (e *roundEngine) eligible() []int {
 // with at least a quorum of updates. Updates are streamed into the
 // aggregate in canonical participant order as they become contiguous, so
 // payloads are not buffered beyond reordering needs.
-func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, global []float64) (fl.RoundStats, []float64, error) {
+func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, global param.Vector) (fl.RoundStats, param.Vector, error) {
 	s := e.s
 	stats := fl.RoundStats{Round: round}
 
@@ -570,8 +577,24 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 					stats.LateUpdates++
 					continue
 				}
+				u := ev.env.Update
+				if u == nil {
+					err = skipParticipant(ev.id, reqRound, "sent train-result without an update")
+					break
+				}
+				// Ingress validation: materialize a delta payload against
+				// this round's global and length-check everything before the
+				// update can reach the aggregate. A client shipping a
+				// wrong-sized or corrupt payload is evicted like any other
+				// failed participant (typed fl.ErrUpdateSize in the cause)
+				// instead of panicking the aggregator; the round survives
+				// whenever the configured quorum still can.
+				if rerr := u.Resolve(global); rerr != nil {
+					err = skipParticipant(ev.id, reqRound, fmt.Sprintf("rejected (%v)", rerr))
+					break
+				}
 				slot := slotOf[ev.id]
-				pending[slot] = ev.env.Update
+				pending[slot] = u
 				arrived[slot] = true
 				nArrived++
 				err = ingest()
@@ -664,7 +687,7 @@ func (e *roundEngine) drainStragglers(ctx context.Context) error {
 }
 
 // personalizeAll runs the personalization stage on every surviving client.
-func (e *roundEngine) personalizeAll(ctx context.Context, global []float64) (map[int]float64, error) {
+func (e *roundEngine) personalizeAll(ctx context.Context, global param.Vector) (map[int]float64, error) {
 	s := e.s
 	ids := s.Joined()
 	accs := make(map[int]float64, len(ids))

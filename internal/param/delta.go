@@ -1,0 +1,211 @@
+package param
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Typed delta-codec errors. Apply never panics and never allocates more
+// than Len implies, whatever bytes it is handed — hostile input from the
+// wire or a corrupt snapshot yields one of these, wrapped with context.
+var (
+	// ErrLenMismatch marks a delta applied to (or diffed from) a vector of
+	// the wrong length.
+	ErrLenMismatch = errors.New("param: delta length does not match the reference vector")
+	// ErrCorrupt marks a delta payload that is not a canonical encoding:
+	// truncated, trailing bytes, impossible run lengths, zero words inside
+	// a literal run, or non-minimal varints.
+	ErrCorrupt = errors.New("param: corrupt delta payload")
+)
+
+// Delta is the lossless encoded difference between a Vector and a
+// reference Vector (see the package comment for the format). The zero
+// value is not meaningful; build one with Diff.
+type Delta struct {
+	// Len is the element count of the vectors the delta relates.
+	Len int
+	// Bits is the canonical zero-run/varint encoding of the per-element
+	// IEEE-754 XOR words.
+	Bits []byte
+}
+
+// Size returns the encoded payload size in bytes — the wire cost of
+// shipping this delta, as opposed to DenseSize for the full vector.
+func (d *Delta) Size() int { return len(d.Bits) }
+
+// DenseSize returns the raw cost of the dense vector the delta stands in
+// for: 8 bytes per element.
+func (d *Delta) DenseSize() int { return 8 * d.Len }
+
+// Changed returns how many elements differ from the reference. A
+// non-canonical payload yields ErrCorrupt exactly as Apply would.
+func (d *Delta) Changed() (int, error) {
+	if d.Len < 0 {
+		return 0, fmt.Errorf("%w: negative length %d", ErrCorrupt, d.Len)
+	}
+	dec := newDeltaDecoder(d)
+	changed := 0
+	for dec.remaining > 0 {
+		_, lits, err := dec.block()
+		if err != nil {
+			return 0, err
+		}
+		changed += lits
+		for i := 0; i < lits; i++ {
+			if _, err := dec.word(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := dec.finish(); err != nil {
+		return 0, err
+	}
+	return changed, nil
+}
+
+// Diff encodes v against ref. The two vectors must have the same length;
+// reconstruction via Apply(ref) is bit-identical to v.
+func Diff(ref, v Vector) (*Delta, error) {
+	if len(ref) != len(v) {
+		return nil, fmt.Errorf("%w: reference has %d elements, vector has %d", ErrLenMismatch, len(ref), len(v))
+	}
+	d := &Delta{Len: len(v), Bits: make([]byte, 0, 16+len(v))}
+	i := 0
+	for i < len(v) {
+		zeros := i
+		for i < len(v) && math.Float64bits(v[i]) == math.Float64bits(ref[i]) {
+			i++
+		}
+		zeroRun := i - zeros
+		lits := i
+		for i < len(v) && math.Float64bits(v[i]) != math.Float64bits(ref[i]) {
+			i++
+		}
+		d.Bits = binary.AppendUvarint(d.Bits, uint64(zeroRun))
+		d.Bits = binary.AppendUvarint(d.Bits, uint64(i-lits))
+		for j := lits; j < i; j++ {
+			d.Bits = binary.AppendUvarint(d.Bits, math.Float64bits(v[j])^math.Float64bits(ref[j]))
+		}
+	}
+	return d, nil
+}
+
+// deltaDecoder is a bounds-checked cursor over a delta payload that
+// enforces the canonical form: maximal runs, minimal varints, exact
+// element count, no trailing bytes.
+type deltaDecoder struct {
+	bits      []byte
+	off       int
+	total     int
+	remaining int
+}
+
+func newDeltaDecoder(d *Delta) *deltaDecoder {
+	return &deltaDecoder{bits: d.Bits, total: d.Len, remaining: d.Len}
+}
+
+// uvarint reads one minimal-form LEB128 value.
+func (dec *deltaDecoder) uvarint() (uint64, error) {
+	var v uint64
+	for n := 0; n < 10; n++ {
+		if dec.off >= len(dec.bits) {
+			return 0, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+		}
+		b := dec.bits[dec.off]
+		dec.off++
+		if n == 9 && b > 1 {
+			return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrCorrupt)
+		}
+		if b < 0x80 {
+			if n > 0 && b == 0 {
+				return 0, fmt.Errorf("%w: non-minimal varint", ErrCorrupt)
+			}
+			return v | uint64(b)<<(7*n), nil
+		}
+		v |= uint64(b&0x7f) << (7 * n)
+	}
+	return 0, fmt.Errorf("%w: varint longer than 10 bytes", ErrCorrupt)
+}
+
+// block reads one (zeroRun, litCount) header, enforcing run maximality.
+func (dec *deltaDecoder) block() (zeros, lits int, err error) {
+	z, err := dec.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	l, err := dec.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if z > uint64(dec.remaining) || l > uint64(dec.remaining)-z {
+		return 0, 0, fmt.Errorf("%w: run of %d+%d elements, %d remain", ErrCorrupt, z, l, dec.remaining)
+	}
+	switch {
+	case z == 0 && l == 0:
+		return 0, 0, fmt.Errorf("%w: empty block", ErrCorrupt)
+	case z == 0 && l > 0 && dec.remaining != dec.total:
+		// Only the first block may start with no zeros; a later block with
+		// zeroRun 0 should have been merged into the previous literal run.
+		return 0, 0, fmt.Errorf("%w: zero-length zero run after the first block", ErrCorrupt)
+	case l == 0 && z != uint64(dec.remaining):
+		// A block with no literals is only canonical as the final trailing-
+		// zeros block; anything else splits one zero run in two.
+		return 0, 0, fmt.Errorf("%w: literal-free block before the end", ErrCorrupt)
+	}
+	dec.remaining -= int(z) + int(l)
+	return int(z), int(l), nil
+}
+
+// word reads one literal XOR word, which canonically is never zero.
+func (dec *deltaDecoder) word() (uint64, error) {
+	w, err := dec.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if w == 0 {
+		return 0, fmt.Errorf("%w: zero word in a literal run", ErrCorrupt)
+	}
+	return w, nil
+}
+
+func (dec *deltaDecoder) finish() error {
+	if dec.off != len(dec.bits) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(dec.bits)-dec.off)
+	}
+	return nil
+}
+
+// Apply reconstructs the vector d encodes against ref — bit-identical to
+// the vector originally passed to Diff. ref is never modified. Length
+// mismatches yield ErrLenMismatch; any non-canonical payload yields
+// ErrCorrupt.
+func (d *Delta) Apply(ref Vector) (Vector, error) {
+	if d.Len != len(ref) {
+		return nil, fmt.Errorf("%w: delta encodes %d elements, reference has %d", ErrLenMismatch, d.Len, len(ref))
+	}
+	out := make(Vector, d.Len)
+	dec := newDeltaDecoder(d)
+	i := 0
+	for dec.remaining > 0 {
+		zeros, lits, err := dec.block()
+		if err != nil {
+			return nil, err
+		}
+		copy(out[i:i+zeros], ref[i:i+zeros])
+		i += zeros
+		for j := 0; j < lits; j++ {
+			w, err := dec.word()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(math.Float64bits(ref[i]) ^ w)
+			i++
+		}
+	}
+	if err := dec.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

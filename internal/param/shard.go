@@ -1,0 +1,25 @@
+package param
+
+import "calibre/internal/tensor"
+
+// MinShard is the smallest element range worth dispatching to the kernel
+// pool; reductions over fewer elements per shard run serially. The value
+// keeps per-shard work well above the pool's dispatch overhead for the
+// simple fused multiply-add loops aggregation runs.
+const MinShard = 4096
+
+// Shard runs fn over contiguous disjoint subranges covering [0, n),
+// dispatched on the shared tensor kernel pool (the same pool the matmul
+// kernels and concurrently-training clients ride, so total kernel
+// concurrency stays bounded by callers + tensor.Workers()). fn must touch
+// only its own [lo, hi) range; every element then belongs to exactly one
+// invocation, so a per-element reduction performs the identical float
+// operations in the identical order as a serial sweep — sharded
+// aggregation is bit-identical to serial aggregation. Small n (or a
+// single-worker pool) degrades to one inline fn(0, n) call.
+func Shard(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	tensor.ParallelRanges(n, MinShard, fn)
+}

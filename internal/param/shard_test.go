@@ -1,0 +1,67 @@
+package param
+
+import (
+	"sync"
+	"testing"
+
+	"calibre/internal/tensor"
+)
+
+// TestShardCoversExactlyOnce pins the decomposition contract: every
+// element of [0, n) is visited by exactly one shard, for sizes around the
+// MinShard boundary and well past it.
+func TestShardCoversExactlyOnce(t *testing.T) {
+	tensor.SetWorkers(4)
+	defer tensor.SetWorkers(0)
+	for _, n := range []int{0, 1, MinShard - 1, MinShard, MinShard + 1, 4 * MinShard, 4*MinShard + 3} {
+		visits := make([]int32, n)
+		var mu sync.Mutex
+		covered := 0
+		Shard(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				visits[i]++
+			}
+			mu.Lock()
+			covered += hi - lo
+			mu.Unlock()
+		})
+		if covered != n {
+			t.Fatalf("n=%d: shards covered %d elements", n, covered)
+		}
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("n=%d: element %d visited %d times", n, i, v)
+			}
+		}
+	}
+}
+
+// TestShardReductionBitIdentical pins that a sharded fused
+// multiply-add reduction equals the serial sweep bit-for-bit — the
+// property the aggregators rely on.
+func TestShardReductionBitIdentical(t *testing.T) {
+	n := 3*MinShard + 17
+	x := make(Vector, n)
+	y := make(Vector, n)
+	for i := range x {
+		x[i] = float64(i)*1.0000001 - 7
+		y[i] = 0.1 * float64(n-i)
+	}
+	serial := make(Vector, n)
+	for i := 0; i < n; i++ {
+		serial[i] = 0.25*x[i] + 0.75*y[i]
+	}
+	for _, workers := range []int{1, 2, 7} {
+		tensor.SetWorkers(workers)
+		sharded := make(Vector, n)
+		Shard(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sharded[i] = 0.25*x[i] + 0.75*y[i]
+			}
+		})
+		if !bitsEqual(serial, sharded) {
+			t.Fatalf("workers=%d: sharded reduction differs from serial", workers)
+		}
+	}
+	tensor.SetWorkers(0)
+}

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"math"
 
+	"calibre/internal/param"
 	"calibre/internal/tensor"
 )
 
@@ -40,12 +41,13 @@ const (
 // legal depends on the entry point (DecodeSnapshot vs DecodeVector vs
 // DecodeTensors).
 const (
-	secMeta    byte = iota + 1 // JSON-encoded Meta
-	secVector                  // int64 count + count little-endian float64s
-	secHistory                 // binary-encoded []fl.RoundStats
-	secCounts                  // int64 count + count little-endian int64s
-	secTensor                  // uint32 ndims + dims (int64) + float64 payload
-	secState                   // int64 round + vector payload (snapshot global)
+	secMeta       byte = iota + 1 // JSON-encoded Meta
+	secVector                     // int64 count + count little-endian float64s
+	secHistory                    // binary-encoded []fl.RoundStats
+	secCounts                     // int64 count + count little-endian int64s
+	secTensor                     // uint32 ndims + dims (int64) + float64 payload
+	secState                      // int64 round + vector payload (snapshot global)
+	secDeltaState                 // int64 round + int64 refVersion + delta payload (incremental global)
 )
 
 // Typed decode errors. All of them wrap into the error returned to the
@@ -349,6 +351,56 @@ func DecodeVector(data []byte) ([]float64, error) {
 		return nil, err
 	}
 	return readVectorPayload(p)
+}
+
+// --- Delta state ------------------------------------------------------------
+
+// deltaRef is the decoded form of a secDeltaState section: the snapshot's
+// round plus the reference version and the XOR-delta of the global vector
+// against that version's (resolved) global. The delta payload itself is
+// validated by param's canonical decoder when it is applied.
+type deltaRef struct {
+	round      int
+	refVersion int
+	delta      *param.Delta
+}
+
+func appendDeltaStatePayload(e *encoder, round, refVersion int, d *param.Delta) {
+	e.i64(int64(round))
+	e.i64(int64(refVersion))
+	e.i64(int64(d.Len))
+	e.buf = append(e.buf, d.Bits...)
+}
+
+func readDeltaStatePayload(p []byte) (*deltaRef, error) {
+	r := &reader{p: p}
+	round, err := r.i64()
+	if err != nil {
+		return nil, err
+	}
+	refVersion, err := r.i64()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.i64()
+	if err != nil {
+		return nil, err
+	}
+	if refVersion < 1 || refVersion > 1<<31 {
+		return nil, fmt.Errorf("%w: incremental snapshot references version %d", ErrMalformed, refVersion)
+	}
+	// A tiny payload can legitimately describe a huge unchanged vector (a
+	// zero run is 2 bytes whatever its length), so the element count is
+	// only sanity-bounded here; Apply checks it against the resolved
+	// reference before allocating, so a hostile count cannot over-allocate.
+	if n < 0 || n > 1<<48 {
+		return nil, fmt.Errorf("%w: incremental snapshot declares %d delta elements", ErrMalformed, n)
+	}
+	return &deltaRef{
+		round:      int(round),
+		refVersion: int(refVersion),
+		delta:      &param.Delta{Len: int(n), Bits: p[r.off:]},
+	}, nil
 }
 
 // --- Tensors ----------------------------------------------------------------

@@ -36,6 +36,28 @@
 // errors (ErrBadMagic, ErrVersion, ErrChecksum, ErrTruncated,
 // ErrMalformed) — never a panic.
 //
+// # Incremental snapshots
+//
+// With Store.SetIncremental(true), Save replaces the full global-vector
+// section with a delta section: the round number, the version it
+// references, and the param package's lossless XOR-delta of this global
+// against the referenced version's — unchanged elements cost amortized
+// fractions of a byte and slightly-moved weights a few bytes, so
+// checkpoint storage scales with per-round drift instead of model size.
+// Metadata, history and pool counts stay full (they are a sliver of the
+// model payload). Chains are bounded: after deltaChainLimit links Save
+// writes the next full snapshot, and it also falls back to full whenever
+// no usable reference exists (fresh directory, unreadable latest version,
+// or a parameter-dimension change). Store.Open resolves chains
+// transparently and bit-exactly — XOR reconstruction is exact for every
+// bit pattern — so kill/resume bit-identity is preserved verbatim; the
+// standalone DecodeSnapshot refuses an incremental blob with
+// ErrIncremental since it cannot see the chain. A broken link (deleted or
+// corrupt reference) makes every snapshot above it unreadable, and Latest
+// falls back below it, which the chain bound keeps to at most
+// deltaChainLimit lost rounds. calibre-ckpt list/inspect/diff report each
+// version's encoding, reference and chain depth.
+//
 // # Checkpoint directory
 //
 // A Store is a flat directory of ckpt-%08d.calibre files with dense

@@ -28,8 +28,12 @@ func fuzzSeeds() [][]byte {
 	})
 	vec := EncodeVector([]float64{-0.0, 1e300})
 	tens := EncodeTensors([]*tensor.Tensor{tensor.New(2, 3), tensor.New()})
+	inc, _ := EncodeSnapshotDelta(&Snapshot{
+		Meta:  Meta{Seed: 7, Fingerprint: "abc", Runtime: "simulator"},
+		State: fl.SimState{Round: 3, Global: []float64{1, math.NaN(), math.Inf(-1)}, History: []fl.RoundStats{{Round: 2}}, EligibleCounts: []int{2}},
+	}, 2, []float64{1, 2, 3})
 
-	seeds := [][]byte{snap, vec, tens, nil, []byte(Magic)}
+	seeds := [][]byte{snap, vec, tens, inc, nil, []byte(Magic)}
 	// Truncations at interesting boundaries.
 	for _, cut := range []int{headerSize, headerSize + secHeaderSize, len(snap) / 2, len(snap) - 1} {
 		if cut < len(snap) {

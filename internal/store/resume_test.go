@@ -16,6 +16,7 @@ import (
 
 	"calibre/internal/data"
 	"calibre/internal/fl"
+	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/store"
 )
@@ -24,7 +25,7 @@ import (
 // the global vector, the round number and the per-(round, client) RNG.
 type driftTrainer struct{}
 
-func (driftTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64, round int) (*fl.Update, error) {
+func (driftTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
 	params := make([]float64, len(global))
 	for i, v := range global {
 		params[i] = v + rng.NormFloat64()*0.1 + float64(round)*0.01
@@ -34,7 +35,7 @@ func (driftTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Clie
 
 type noopPersonalizer struct{}
 
-func (noopPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global []float64) (float64, error) {
+func (noopPersonalizer) Personalize(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector) (float64, error) {
 	return 0, nil
 }
 
@@ -59,7 +60,7 @@ func diskMethod() *fl.Method {
 		Trainer:      driftTrainer{},
 		Aggregator:   fl.WeightedAverage{},
 		Personalizer: noopPersonalizer{},
-		InitGlobal: func(rng *rand.Rand) ([]float64, error) {
+		InitGlobal: func(rng *rand.Rand) (param.Vector, error) {
 			out := make([]float64, 6)
 			for i := range out {
 				out[i] = rng.NormFloat64()

@@ -2,10 +2,17 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 )
+
+// ErrIncremental is returned by DecodeSnapshot for an incremental blob:
+// its global vector is a delta against another version, so it can only be
+// resolved by a Store that can open the reference (Store.Open does).
+var ErrIncremental = errors.New("store: incremental snapshot needs its reference version resolved")
 
 // Meta describes the federation a snapshot belongs to. It travels inside
 // the blob (JSON section — it is tiny and string-heavy) so a checkpoint
@@ -33,17 +40,15 @@ const (
 	histDeadlineExpired byte = 1 << iota
 )
 
-// EncodeSnapshot serializes a snapshot into one self-checking blob.
-// Encoding is deterministic: the same snapshot always produces
-// byte-identical output. The parameter vector and history are pure binary
-// (floats as exact IEEE-754 bits — NaN and ±Inf payloads survive).
-func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+// encodeSnapshotWith writes the common snapshot frame, delegating the
+// state section (full vector vs incremental delta) to writeState.
+func encodeSnapshotWith(s *Snapshot, extra int, writeState func(e *encoder)) ([]byte, error) {
 	meta, err := json.Marshal(s.Meta)
 	if err != nil {
 		return nil, fmt.Errorf("store: encode meta: %w", err)
 	}
 	st := &s.State
-	capacity := len(meta) + 8 + 8*len(st.Global) + 8 + 8*len(st.EligibleCounts) + 64
+	capacity := len(meta) + 8 + extra + 8 + 8*len(st.EligibleCounts) + 64
 	for _, h := range st.History {
 		capacity += 40 + 8*(len(h.Participants)+len(h.Responders)+len(h.Stragglers))
 	}
@@ -53,10 +58,7 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	e.buf = append(e.buf, meta...)
 	e.end(sec)
 
-	sec = e.begin(secState)
-	e.i64(int64(st.Round))
-	appendVectorPayload(e, st.Global)
-	e.end(sec)
+	writeState(e)
 
 	sec = e.begin(secHistory)
 	e.u32(uint32(len(st.History)))
@@ -83,6 +85,44 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	e.end(sec)
 
 	return e.finish(), nil
+}
+
+// EncodeSnapshot serializes a snapshot into one self-checking blob.
+// Encoding is deterministic: the same snapshot always produces
+// byte-identical output. The parameter vector and history are pure binary
+// (floats as exact IEEE-754 bits — NaN and ±Inf payloads survive).
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	return encodeSnapshotWith(s, 8*len(s.State.Global), func(e *encoder) {
+		sec := e.begin(secState)
+		e.i64(int64(s.State.Round))
+		appendVectorPayload(e, s.State.Global)
+		e.end(sec)
+	})
+}
+
+// EncodeSnapshotDelta serializes a snapshot incrementally: its global
+// vector is stored as the lossless XOR-delta against refGlobal, the
+// (resolved) global of on-disk version refVersion — typically a small
+// fraction of the full vector's 8 bytes per element, since consecutive
+// checkpoints of a converging federation differ slightly. Metadata,
+// history and pool counts are still stored in full (they are a sliver of
+// the model payload), so everything except the global vector decodes
+// without touching the reference. Decoding requires the reference chain:
+// DecodeSnapshot refuses the blob with ErrIncremental, Store.Open
+// resolves it.
+func EncodeSnapshotDelta(s *Snapshot, refVersion int, refGlobal param.Vector) ([]byte, error) {
+	if refVersion < 1 {
+		return nil, fmt.Errorf("store: incremental snapshot needs a positive reference version, got %d", refVersion)
+	}
+	d, err := param.Diff(refGlobal, param.Vector(s.State.Global))
+	if err != nil {
+		return nil, fmt.Errorf("store: incremental snapshot vs v%d: %w", refVersion, err)
+	}
+	return encodeSnapshotWith(s, 24+len(d.Bits), func(e *encoder) {
+		sec := e.begin(secDeltaState)
+		appendDeltaStatePayload(e, s.State.Round, refVersion, d)
+		e.end(sec)
+	})
 }
 
 func readHistoryPayload(p []byte) ([]fl.RoundStats, error) {
@@ -166,17 +206,18 @@ func readCountsPayload(p []byte) ([]int, error) {
 	return out, nil
 }
 
-// DecodeSnapshot decodes a blob produced by EncodeSnapshot. It never
-// panics and never allocates more than the input size implies; corrupt or
-// hostile input yields a typed error (ErrBadMagic, ErrVersion,
-// ErrChecksum, ErrTruncated, ErrMalformed).
-func DecodeSnapshot(data []byte) (*Snapshot, error) {
+// decodeSnapshot parses either snapshot flavor. For a full snapshot ref
+// is nil and State.Global is populated; for an incremental one ref holds
+// the round/reference/delta and State.Global stays nil until the caller
+// resolves the reference chain (Store.Open).
+func decodeSnapshot(data []byte) (*Snapshot, *deltaRef, error) {
 	f, err := parseFrame(data)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var (
 		s           Snapshot
+		ref         *deltaRef
 		haveMeta    bool
 		haveVector  bool
 		haveHistory bool
@@ -185,57 +226,84 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	for i := 0; i < f.sections; i++ {
 		kind, p, err := f.next()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		switch kind {
 		case secMeta:
 			if haveMeta {
-				return nil, fmt.Errorf("%w: duplicate meta section", ErrMalformed)
+				return nil, nil, fmt.Errorf("%w: duplicate meta section", ErrMalformed)
 			}
 			haveMeta = true
 			if err := json.Unmarshal(p, &s.Meta); err != nil {
-				return nil, fmt.Errorf("%w: meta: %v", ErrMalformed, err)
+				return nil, nil, fmt.Errorf("%w: meta: %v", ErrMalformed, err)
 			}
 		case secState:
 			if haveVector {
-				return nil, fmt.Errorf("%w: duplicate state section", ErrMalformed)
+				return nil, nil, fmt.Errorf("%w: duplicate state section", ErrMalformed)
 			}
 			haveVector = true
 			r := &reader{p: p}
 			round, err := r.i64()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			s.State.Round = int(round)
 			if s.State.Global, err = readVectorPayload(p[r.off:]); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
+		case secDeltaState:
+			if haveVector {
+				return nil, nil, fmt.Errorf("%w: duplicate state section", ErrMalformed)
+			}
+			haveVector = true
+			if ref, err = readDeltaStatePayload(p); err != nil {
+				return nil, nil, err
+			}
+			s.State.Round = ref.round
 		case secHistory:
 			if haveHistory {
-				return nil, fmt.Errorf("%w: duplicate history section", ErrMalformed)
+				return nil, nil, fmt.Errorf("%w: duplicate history section", ErrMalformed)
 			}
 			haveHistory = true
 			if s.State.History, err = readHistoryPayload(p); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		case secCounts:
 			if haveCounts {
-				return nil, fmt.Errorf("%w: duplicate counts section", ErrMalformed)
+				return nil, nil, fmt.Errorf("%w: duplicate counts section", ErrMalformed)
 			}
 			haveCounts = true
 			if s.State.EligibleCounts, err = readCountsPayload(p); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		default:
-			return nil, fmt.Errorf("%w: unknown section kind %d", ErrMalformed, kind)
+			return nil, nil, fmt.Errorf("%w: unknown section kind %d", ErrMalformed, kind)
 		}
 	}
 	if err := f.finish(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if !haveMeta || !haveVector {
-		return nil, fmt.Errorf("%w: snapshot missing %s section", ErrMalformed,
+		return nil, nil, fmt.Errorf("%w: snapshot missing %s section", ErrMalformed,
 			map[bool]string{false: "meta", true: "state"}[haveMeta])
 	}
-	return &s, nil
+	return &s, ref, nil
+}
+
+// DecodeSnapshot decodes a blob produced by EncodeSnapshot. It never
+// panics and never allocates more than the input size implies; corrupt or
+// hostile input yields a typed error (ErrBadMagic, ErrVersion,
+// ErrChecksum, ErrTruncated, ErrMalformed). An incremental blob
+// (EncodeSnapshotDelta) is structurally valid but unresolvable without
+// its reference chain and yields ErrIncremental — open it through a
+// Store instead.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	s, ref, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	if ref != nil {
+		return nil, fmt.Errorf("%w (reference v%d)", ErrIncremental, ref.refVersion)
+	}
+	return s, nil
 }

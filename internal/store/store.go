@@ -10,9 +10,11 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/param"
 )
 
 // Store-level typed errors.
@@ -40,8 +42,30 @@ const (
 // skips. Publishing never replaces an existing file, so concurrent Saves
 // into one directory (two processes, or two Store handles) each land in
 // their own version instead of clobbering each other.
+//
+// With SetIncremental(true), Save encodes each snapshot's global vector
+// as a lossless XOR-delta against the previous version instead of in
+// full, bounding the chain at deltaChainLimit links (and falling back to
+// a full snapshot whenever no usable reference exists), so checkpoint
+// storage scales with per-round drift rather than model size. Open
+// resolves delta chains transparently and bit-exactly; Latest still skips
+// anything unreadable, including incrementals whose chain is broken.
 type Store struct {
 	dir string
+
+	mu          sync.Mutex
+	incremental bool
+	// last caches the most recently saved version's resolved global (and
+	// its chain depth), so steady-state incremental saves need no disk
+	// reads to find their reference.
+	last *saveRef
+}
+
+// saveRef is a candidate reference for the next incremental save.
+type saveRef struct {
+	version int
+	global  param.Vector
+	depth   int
 }
 
 // Open opens (creating if necessary) a checkpoint directory.
@@ -107,14 +131,72 @@ func (s *Store) Versions() ([]int, error) {
 	return out, nil
 }
 
+// deltaChainLimit bounds how many incremental snapshots may chain off one
+// full snapshot before Save writes the next full one: resolving a version
+// reads at most this many reference files, and a single damaged full
+// snapshot can strand at most this many incrementals.
+const deltaChainLimit = 8
+
+// SetIncremental toggles incremental encoding for subsequent Saves (see
+// the Store doc). Decoding is unaffected: any Store reads both snapshot
+// flavors. Turning it off simply makes every later Save a full snapshot.
+func (s *Store) SetIncremental(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.incremental = on
+}
+
+// pickReference chooses the reference for an incremental save, or nil
+// when the next save must be full: incremental encoding off, no usable
+// previous version, a dimension change, or a chain already at its limit.
+func (s *Store) pickReference(next *Snapshot) *saveRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.incremental {
+		return nil
+	}
+	ref := s.last
+	if ref == nil {
+		// Cold start (fresh handle over an existing directory): anchor the
+		// chain on the newest resolvable snapshot.
+		snap, v, err := s.Latest()
+		if err != nil {
+			return nil
+		}
+		depth, err := s.chainDepth(v)
+		if err != nil {
+			return nil
+		}
+		ref = &saveRef{version: v, global: param.Vector(snap.State.Global), depth: depth}
+	}
+	if ref.depth+1 > deltaChainLimit || len(ref.global) != len(next.State.Global) {
+		return nil
+	}
+	return ref
+}
+
 // Save encodes snap and writes it as the next version. The write is
 // atomic and never replaces an existing file: the blob lands in a temp
 // file in the same directory, is synced, and is then published under the
-// next free version with a no-replace primitive (see publish).
+// next free version with a no-replace primitive (see publish). Under
+// SetIncremental the blob is a delta against the previous version
+// whenever a usable reference exists (full-snapshot fallback otherwise).
 func (s *Store) Save(snap *Snapshot) (int, error) {
 	data, err := EncodeSnapshot(snap)
 	if err != nil {
 		return 0, err
+	}
+	depth := 0 // chain depth of the blob being written
+	if ref := s.pickReference(snap); ref != nil {
+		// Keep the delta only when it is actually smaller — a global that
+		// shifted substantially can XOR to high-entropy words whose varint
+		// form exceeds 8 bytes per element, and a delta that beats no
+		// storage would still add chain-resolution cost and fragility.
+		// This mirrors the wire path's dense fallback: worst-case storage
+		// is full-snapshot parity.
+		if b, derr := EncodeSnapshotDelta(snap, ref.version, ref.global); derr == nil && len(b) < len(data) {
+			data, depth = b, ref.depth+1
+		}
 	}
 	versions, err := s.Versions()
 	if err != nil {
@@ -150,6 +232,17 @@ func (s *Store) Save(snap *Snapshot) (int, error) {
 		_ = d.Sync()
 		_ = d.Close()
 	}
+	// Remember what just landed so the next incremental save can reference
+	// it without touching the disk. The copy keeps the cache independent
+	// of whatever the caller does with its state afterwards; when
+	// incremental encoding is off the cache would never be read, so skip
+	// the model-sized clone entirely (SetIncremental(true) later simply
+	// cold-starts from Latest).
+	s.mu.Lock()
+	if s.incremental {
+		s.last = &saveRef{version: version, global: param.Vector(snap.State.Global).Clone(), depth: depth}
+	}
+	s.mu.Unlock()
 	return version, nil
 }
 
@@ -177,20 +270,89 @@ func (s *Store) publish(tmp string, next int) (int, error) {
 	return 0, fmt.Errorf("store: publish snapshot: versions %d..%d all occupied", next-publishRetries, next-1)
 }
 
-// Open loads and decodes one specific version.
-func (s *Store) Open(version int) (*Snapshot, error) {
+// readVersion loads one on-disk version without resolving delta chains.
+func (s *Store) readVersion(version int) (*Snapshot, *deltaRef, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, fileFor(version)))
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("%w: version %d in %s", ErrNotFound, version, s.dir)
+		return nil, nil, fmt.Errorf("%w: version %d in %s", ErrNotFound, version, s.dir)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: read version %d: %w", version, err)
+		return nil, nil, fmt.Errorf("store: read version %d: %w", version, err)
 	}
-	snap, err := DecodeSnapshot(data)
+	snap, ref, err := decodeSnapshot(data)
 	if err != nil {
-		return nil, fmt.Errorf("store: version %d: %w", version, err)
+		return nil, nil, fmt.Errorf("store: version %d: %w", version, err)
 	}
-	return snap, nil
+	return snap, ref, nil
+}
+
+// Open loads and decodes one specific version, resolving incremental
+// snapshots through their reference chain: each link's XOR-delta is
+// applied to the resolved global of the version it references, so the
+// returned state is bit-identical to what was saved, however deep the
+// chain. A missing or corrupt link anywhere in the chain fails the whole
+// resolution (Latest then falls back to an older version).
+func (s *Store) Open(version int) (*Snapshot, error) {
+	snap, _, err := s.openResolved(version, 0)
+	return snap, err
+}
+
+// maxResolveDepth is a hard backstop on reference-chain recursion, far
+// beyond deltaChainLimit: encode always bounds chains, but the decoder
+// must also terminate on directories written by arbitrary producers.
+const maxResolveDepth = 1024
+
+// openResolved resolves one version and reports the chain depth below it
+// (0 for a full snapshot), so callers needing both pay one chain walk.
+func (s *Store) openResolved(version, depth int) (*Snapshot, int, error) {
+	if depth > maxResolveDepth {
+		return nil, 0, fmt.Errorf("%w: version %d: reference chain deeper than %d", ErrMalformed, version, maxResolveDepth)
+	}
+	snap, ref, err := s.readVersion(version)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ref == nil {
+		return snap, 0, nil
+	}
+	if ref.refVersion >= version {
+		// Back-references only: forward or self references could loop and
+		// can never occur in an encoder-produced directory.
+		return nil, 0, fmt.Errorf("%w: version %d references non-earlier version %d", ErrMalformed, version, ref.refVersion)
+	}
+	base, baseDepth, err := s.openResolved(ref.refVersion, depth+1)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: version %d: resolve reference: %w", version, err)
+	}
+	global, err := ref.delta.Apply(param.Vector(base.State.Global))
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: version %d vs v%d: %v", ErrMalformed, version, ref.refVersion, err)
+	}
+	snap.State.Global = global
+	return snap, baseDepth + 1, nil
+}
+
+// chainDepth reports how many reference links sit under version (0 for a
+// full snapshot).
+func (s *Store) chainDepth(version int) (int, error) {
+	depth := 0
+	for {
+		_, ref, err := s.readVersion(version)
+		if err != nil {
+			return 0, err
+		}
+		if ref == nil {
+			return depth, nil
+		}
+		if ref.refVersion >= version {
+			return 0, fmt.Errorf("%w: version %d references non-earlier version %d", ErrMalformed, version, ref.refVersion)
+		}
+		version = ref.refVersion
+		depth++
+		if depth > maxResolveDepth {
+			return 0, fmt.Errorf("%w: reference chain deeper than %d", ErrMalformed, maxResolveDepth)
+		}
+	}
 }
 
 // Latest returns the newest decodable snapshot and its version, skipping
@@ -233,13 +395,21 @@ type Entry struct {
 	Version int
 	Size    int64
 	ModTime time.Time
-	// Corrupt marks files that fail to decode; the remaining fields
-	// besides Version/Size/ModTime are zero for them.
+	// Corrupt marks files that fail to decode (or incrementals whose
+	// reference chain is broken); the remaining fields besides
+	// Version/Size/ModTime — and Incremental/RefVersion, which come from
+	// the file itself — are zero for them.
 	Corrupt bool
 	Meta    Meta
 	Round   int
 	Params  int
 	Rounds  int // history length
+	// Incremental marks delta-encoded snapshots; RefVersion is the version
+	// the delta references and ChainDepth how many links separate this
+	// snapshot from its underlying full one (0 for full snapshots).
+	Incremental bool
+	RefVersion  int
+	ChainDepth  int
 }
 
 // List returns one Entry per on-disk version, ascending.
@@ -249,13 +419,22 @@ func (s *Store) List() ([]Entry, error) {
 		return nil, err
 	}
 	out := make([]Entry, 0, len(versions))
+	refOf := make(map[int]int)
 	for _, v := range versions {
 		e := Entry{Version: v}
 		if info, err := os.Stat(filepath.Join(s.dir, fileFor(v))); err == nil {
 			e.Size = info.Size()
 			e.ModTime = info.ModTime()
 		}
-		snap, err := s.Open(v)
+		// One decode per full snapshot; incrementals additionally resolve
+		// their (bounded) reference chain for the state-derived fields.
+		snap, ref, err := s.readVersion(v)
+		if err == nil && ref != nil {
+			e.Incremental = true
+			e.RefVersion = ref.refVersion
+			refOf[v] = ref.refVersion
+			snap, err = s.Open(v)
+		}
 		if err != nil {
 			e.Corrupt = true
 		} else {
@@ -266,7 +445,48 @@ func (s *Store) List() ([]Entry, error) {
 		}
 		out = append(out, e)
 	}
+	for i := range out {
+		v, depth := out[i].Version, 0
+		for depth <= len(versions) {
+			r, ok := refOf[v]
+			if !ok {
+				break
+			}
+			v, depth = r, depth+1
+		}
+		out[i].ChainDepth = depth
+	}
 	return out, nil
+}
+
+// Stat reports one version's Entry without scanning or resolving the rest
+// of the directory (one decode, plus the reference-chain walk for
+// incremental snapshots) — the cheap path for tooling that labels a
+// single snapshot.
+func (s *Store) Stat(version int) (Entry, error) {
+	e := Entry{Version: version}
+	info, err := os.Stat(filepath.Join(s.dir, fileFor(version)))
+	if err != nil {
+		return e, fmt.Errorf("%w: version %d in %s", ErrNotFound, version, s.dir)
+	}
+	e.Size = info.Size()
+	e.ModTime = info.ModTime()
+	snap, ref, err := s.readVersion(version)
+	if err == nil && ref != nil {
+		e.Incremental = true
+		e.RefVersion = ref.refVersion
+		// One pass resolves the state and measures the chain.
+		snap, e.ChainDepth, err = s.openResolved(version, 0)
+	}
+	if err != nil {
+		e.Corrupt = true
+		return e, nil
+	}
+	e.Meta = snap.Meta
+	e.Round = snap.State.Round
+	e.Params = len(snap.State.Global)
+	e.Rounds = len(snap.State.History)
+	return e, nil
 }
 
 // SaveHook adapts the store to the runtimes' OnCheckpoint signature

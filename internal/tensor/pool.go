@@ -98,6 +98,23 @@ func ensurePool() {
 	poolMu.Unlock()
 }
 
+// ParallelRanges splits [0, n) into at most Workers() contiguous chunks of
+// at least minChunk elements and runs fn on every chunk — the exported form
+// of the decomposition the kernels use, for shard-parallel reductions
+// outside this package (internal/param dispatches the fl aggregators'
+// element-range sweeps through it). fn must touch only its own [lo, hi)
+// range; chunk boundaries are deterministic, and the first chunk runs on
+// the calling goroutine.
+func ParallelRanges(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	parallelRows(n, minChunk, fn)
+}
+
 // parallelRows splits [0, m) into at most Workers() contiguous chunks of at
 // least minChunk rows each and runs fn on every chunk, executing the first
 // chunk on the calling goroutine and the rest on the shared pool. fn must
