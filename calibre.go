@@ -38,6 +38,7 @@ import (
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
 	"calibre/internal/store"
+	"calibre/internal/sweep"
 )
 
 // Re-exported types forming the public API. The aliases point at internal
@@ -109,6 +110,26 @@ type (
 	// simulator (SimConfig) and the TCP server (ServerConfig) emit it via
 	// OnCheckpoint and accept it back via ResumeFrom.
 	SimState = fl.SimState
+
+	// SweepGrid is a declarative scenario grid: methods × settings ×
+	// seeds × federation knobs, expanded into deterministic cells.
+	SweepGrid = sweep.Grid
+	// SweepConfig controls sweep execution: worker budgets, per-cell
+	// timeouts, the resumable manifest directory and per-cell durable
+	// checkpoints.
+	SweepConfig = sweep.Config
+	// SweepCell is one fully specified scenario of a grid.
+	SweepCell = sweep.Cell
+	// SweepCellResult is one cell's typed outcome.
+	SweepCellResult = sweep.CellResult
+	// SweepResult is a completed sweep: every cell outcome in canonical
+	// order.
+	SweepResult = sweep.Result
+	// SweepReport is the fairness-first aggregation of a sweep —
+	// cross-seed aggregates with variance-of-variance, variance reduction
+	// vs the grid baseline and per-scenario Pareto fronts — renderable as
+	// CSV and markdown.
+	SweepReport = sweep.Report
 )
 
 // Straggler policies for asynchronous federations (ServerConfig.Straggler):
@@ -196,6 +217,25 @@ func RunResumable(ctx context.Context, env *Environment, methodName, dir string,
 	}
 	return experiments.RunMethodResumable(ctx, env, methodName, ckpt, every)
 }
+
+// RunSweep executes a declarative scenario grid — every (method,
+// setting, seed, knob) cell as one scheduled unit — and returns the
+// per-cell outcomes. With cfg.Dir set the sweep is durable: an atomic
+// manifest records each completed cell, a killed sweep resumes with
+// cfg.Resume (skipping finished cells, byte-identical final report), and
+// cfg.CheckpointEvery threads per-cell round checkpoints through the
+// resume machinery. Results are bit-identical at any cfg.Workers count.
+// The calibre-sweep CLI wraps this (plan/run/resume/report).
+func RunSweep(ctx context.Context, grid *SweepGrid, cfg SweepConfig) (*SweepResult, error) {
+	return sweep.Run(ctx, grid, cfg)
+}
+
+// LoadSweepGrid reads a declarative sweep grid from a JSON file.
+func LoadSweepGrid(path string) (*SweepGrid, error) { return sweep.LoadGrid(path) }
+
+// NewSweepReport aggregates a sweep result into its fairness-first
+// report (WriteMarkdown, WriteCellsCSV, WriteMethodsCSV).
+func NewSweepReport(res *SweepResult) *SweepReport { return sweep.NewReport(res) }
 
 // NewCalibreVariant builds a Calibre method with explicit regularizer
 // switches (the Table I ablation knobs) on any supported SSL flavor

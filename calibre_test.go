@@ -146,3 +146,36 @@ func TestNetworkedFederationFacade(t *testing.T) {
 		t.Fatalf("accuracies = %v", res.Accuracies)
 	}
 }
+
+func TestSweepFacade(t *testing.T) {
+	grid := &SweepGrid{
+		Name:     "facade",
+		Methods:  []string{"fedavg", "fedavg-ft"},
+		Settings: []string{"cifar10-q(2,500)"},
+		Seeds:    []int64{1},
+		Baseline: "fedavg-ft",
+	}
+	res, err := RunSweep(context.Background(), grid, SweepConfig{Workers: 2})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Status != "ok" || c.Participants.N == 0 {
+			t.Fatalf("cell outcome: %+v", c)
+		}
+	}
+	rep := NewSweepReport(res)
+	var b strings.Builder
+	if err := rep.WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# Sweep report: facade") {
+		t.Fatalf("report not rendered:\n%s", b.String())
+	}
+	if _, err := LoadSweepGrid("/nonexistent/grid.json"); err == nil {
+		t.Fatal("missing grid file accepted")
+	}
+}

@@ -10,6 +10,7 @@
 #   go run ./cmd/calibre-bench -exp kernels -out .
 #   go run ./cmd/calibre-bench -exp codec -out .
 #   go run ./cmd/calibre-bench -exp delta -out .
+#   go run ./cmd/calibre-bench -exp sweep -out .
 # (see README.md "Benchmark harness").
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -46,5 +47,8 @@ go run ./cmd/calibre-bench -exp codec -quick -out "$(mktemp -d)"
 
 echo "== delta bench (quick) =="
 go run ./cmd/calibre-bench -exp delta -quick -out "$(mktemp -d)"
+
+echo "== sweep bench (quick) =="
+go run ./cmd/calibre-bench -exp sweep -quick -out "$(mktemp -d)"
 
 echo "CI gate passed."

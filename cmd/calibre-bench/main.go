@@ -33,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("calibre-bench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "fig3", "experiment id (fig1..fig8, table1, 'kernels', 'codec', 'delta', or 'all')")
+		exp   = fs.String("exp", "fig3", "experiment id (fig1..fig8, table1, 'kernels', 'codec', 'delta', 'sweep', or 'all')")
 		scale = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
 		seed  = fs.Int64("seed", 42, "master seed")
 		out   = fs.String("out", "", "directory for CSV/JSON outputs (optional)")
@@ -45,14 +45,14 @@ func run(args []string) error {
 	}
 	if *list {
 		fmt.Println("experiments:", experiments.IDs())
-		fmt.Println("perf harnesses: kernels, codec, delta (run with -exp; not part of -exp all)")
+		fmt.Println("perf harnesses: kernels, codec, delta, sweep (run with -exp; not part of -exp all)")
 		fmt.Println("settings:")
 		for name := range experiments.Settings() {
 			fmt.Println("  ", name)
 		}
 		return nil
 	}
-	if *exp == "kernels" || *exp == "codec" || *exp == "delta" {
+	if *exp == "kernels" || *exp == "codec" || *exp == "delta" || *exp == "sweep" {
 		dir := *out
 		if dir == "" {
 			dir = "."
@@ -62,6 +62,8 @@ func run(args []string) error {
 			return runKernelBench(dir, *quick)
 		case "codec":
 			return runCodecBench(dir, *quick)
+		case "sweep":
+			return runSweepBench(dir, *quick)
 		default:
 			return runDeltaBench(dir, *quick)
 		}

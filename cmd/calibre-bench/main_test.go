@@ -12,7 +12,7 @@ import (
 
 func TestListPrintsExperimentsAndKernels(t *testing.T) {
 	out := climain.CaptureStdout(t, func() error { return run([]string{"-list"}) })
-	for _, needle := range []string{"experiments:", "kernels", "codec", "delta"} {
+	for _, needle := range []string{"experiments:", "kernels", "codec", "delta", "sweep"} {
 		if !strings.Contains(out, needle) {
 			t.Fatalf("-list output missing %q:\n%s", needle, out)
 		}
@@ -244,5 +244,71 @@ func TestCodecHarnessEmitsGoldenSchema(t *testing.T) {
 		if r.CodecBytes >= r.GobBytes || r.EncSpeedup <= 1 || r.DecSpeedup <= 1 {
 			t.Errorf("committed golden record does not beat gob on size and time: %+v", r)
 		}
+	}
+}
+
+// TestSweepHarnessEmitsGoldenSchema runs the sweep-scheduler harness at
+// quick scale and validates BENCH_sweep.json structurally and against
+// the committed golden file: same schema version and the same worker
+// sweep, with every cell succeeding. Timings are host-dependent and only
+// sanity-checked.
+func TestSweepHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "sweep", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "sweep bench:") || !strings.Contains(out, "workers=4") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	check := func(file SweepBenchFile, where string) {
+		t.Helper()
+		if file.Schema != SweepBenchSchema {
+			t.Fatalf("%s schema = %q, want %q", where, file.Schema, SweepBenchSchema)
+		}
+		if file.GOOS == "" || file.GOARCH == "" || file.GOMaxProcs < 1 {
+			t.Fatalf("%s host metadata incomplete: %+v", where, file)
+		}
+		if file.Grid.Cells < 6 || file.Grid.Methods < 3 {
+			t.Fatalf("%s grid too small to exercise the scheduler: %+v", where, file.Grid)
+		}
+		workers := map[int]bool{}
+		for _, r := range file.Records {
+			workers[r.Workers] = true
+			if r.WallMS <= 0 || r.CellsPerSec <= 0 || r.SpeedupVsOne <= 0 {
+				t.Errorf("%s record has non-positive measurements: %+v", where, r)
+			}
+			if r.FailedCells != 0 {
+				t.Errorf("%s bench grid had %d failed cells at %d workers", where, r.FailedCells, r.Workers)
+			}
+		}
+		for _, w := range []int{1, 2, 4} {
+			if !workers[w] {
+				t.Errorf("%s missing workers=%d record", where, w)
+			}
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_sweep.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got SweepBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	check(got, "emitted")
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_sweep.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_sweep.json: %v", err)
+	}
+	var golden SweepBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	check(golden, "golden")
+	if golden.GOMaxProcs == 1 && golden.Note == "" {
+		t.Error("golden file recorded on a single core must carry the caveat note")
 	}
 }

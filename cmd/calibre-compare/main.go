@@ -10,6 +10,12 @@
 // Variants with explicit Calibre regularizer switches are also accepted:
 // calibre-simclr[base], calibre-simclr[ln], calibre-simclr[lp],
 // calibre-simclr[ln+lp] (likewise for swav/smog/byol/simsiam/mocov2).
+//
+// With -diff, it instead reads two sweep cells CSVs (as written by
+// calibre-sweep into sweep-cells.csv) and diffs them method by method —
+// e.g. a dense-wire sweep against a delta-wire sweep:
+//
+//	calibre-compare -diff dense/sweep-cells.csv delta/sweep-cells.csv
 package main
 
 import (
@@ -21,7 +27,9 @@ import (
 	"strings"
 	"time"
 
+	"calibre/internal/eval"
 	"calibre/internal/experiments"
+	"calibre/internal/sweep"
 )
 
 func main() {
@@ -39,9 +47,16 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 42, "master seed")
 		novel   = fs.Bool("novel", false, "also personalize the held-out novel clients")
 		dump    = fs.Bool("dump", false, "print the sorted per-client accuracies")
+		diff    = fs.Bool("diff", false, "diff two sweep cells CSVs method-by-method (args: a.csv b.csv)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff wants exactly two sweep CSV paths, got %d args", fs.NArg())
+		}
+		return diffSweeps(fs.Arg(0), fs.Arg(1))
 	}
 	methods := fs.Args()
 	if len(methods) == 0 {
@@ -78,6 +93,121 @@ func run(args []string) error {
 			sort.Float64s(accs)
 			fmt.Printf("%-26s   accs: %.2f\n", "", accs)
 		}
+	}
+	return nil
+}
+
+// diffSweeps reads two sweep cells CSVs and prints the per-method drift
+// in mean accuracy and fairness variance, aggregated over the cells the
+// two sweeps share. Cells are matched by (method, setting, scale, seed)
+// — the A/B join for sweeps that differ in a federation knob, like a
+// dense-wire sweep against a delta-wire sweep — falling back to the full
+// cell key when that join is ambiguous (a sweep with several knob
+// combinations per method/environment).
+func diffSweeps(pathA, pathB string) error {
+	read := func(path string) ([]sweep.CellRow, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		rows, err := sweep.ReadCellsCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		ok := rows[:0]
+		for _, r := range rows {
+			if r.Status == sweep.StatusOK {
+				ok = append(ok, r)
+			}
+		}
+		return ok, nil
+	}
+	rowsA, err := read(pathA)
+	if err != nil {
+		return err
+	}
+	rowsB, err := read(pathB)
+	if err != nil {
+		return err
+	}
+	abKey := func(r sweep.CellRow) string {
+		return fmt.Sprintf("method=%s|setting=%s|scale=%s|seed=%d", r.Method, r.Setting, r.Scale, r.Seed)
+	}
+	// The A/B join is only usable when it is unambiguous in BOTH files;
+	// otherwise both fall back to full cell keys together.
+	unambiguous := func(rows []sweep.CellRow) bool {
+		seen := make(map[string]bool, len(rows))
+		for _, r := range rows {
+			k := abKey(r)
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	keyOf := func(r sweep.CellRow) string { return r.Key }
+	if unambiguous(rowsA) && unambiguous(rowsB) {
+		keyOf = abKey
+	}
+	index := func(rows []sweep.CellRow) map[string]sweep.CellRow {
+		out := make(map[string]sweep.CellRow, len(rows))
+		for _, r := range rows {
+			out[keyOf(r)] = r
+		}
+		return out
+	}
+	a, b := index(rowsA), index(rowsB)
+	type acc struct {
+		cells        int
+		meanA, meanB float64
+		varA, varB   float64
+	}
+	byMethod := make(map[string]*acc)
+	onlyA, onlyB := 0, 0
+	for key, ra := range a {
+		rb, ok := b[key]
+		if !ok {
+			onlyA++
+			continue
+		}
+		m := byMethod[ra.Method]
+		if m == nil {
+			m = &acc{}
+			byMethod[ra.Method] = m
+		}
+		m.cells++
+		m.meanA += ra.Mean
+		m.meanB += rb.Mean
+		m.varA += ra.Variance
+		m.varB += rb.Variance
+	}
+	for key := range b {
+		if _, ok := a[key]; !ok {
+			onlyB++
+		}
+	}
+	if len(byMethod) == 0 {
+		return fmt.Errorf("the two sweeps share no completed cells (different grids?)")
+	}
+	methods := make([]string, 0, len(byMethod))
+	for m := range byMethod {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	fmt.Printf("sweep diff: %s vs %s\n", pathA, pathB)
+	if onlyA > 0 || onlyB > 0 {
+		fmt.Printf("note: %d cells only in A, %d only in B (excluded from the diff)\n", onlyA, onlyB)
+	}
+	fmt.Printf("%-26s %6s %12s %12s %12s %14s %12s\n", "method", "cells", "mean A", "mean B", "Δmean", "Δfairness-var", "Δvar%")
+	for _, name := range methods {
+		m := byMethod[name]
+		n := float64(m.cells)
+		meanA, meanB := m.meanA/n, m.meanB/n
+		varA, varB := m.varA/n, m.varB/n
+		fmt.Printf("%-26s %6d %12.4f %12.4f %+12.4f %+14.5f %+11.1f%%\n",
+			name, m.cells, meanA, meanB, meanB-meanA, varB-varA, eval.VarianceReductionOf(varB, varA))
 	}
 	return nil
 }

@@ -1,0 +1,176 @@
+// Command calibre-sweep runs declarative scenario grids — methods ×
+// partitions × seeds × federation knobs — as one scheduled, resumable,
+// reportable unit (see internal/sweep and the "Sweep engine" section of
+// ARCHITECTURE.md).
+//
+// Usage:
+//
+//	calibre-sweep plan   -grid grid.json
+//	calibre-sweep run    -grid grid.json -out results/ [-workers 4] [-sim-budget 8]
+//	calibre-sweep resume -grid grid.json -out results/
+//	calibre-sweep report -grid grid.json -out results/
+//
+// run executes every cell and writes sweep-cells.csv, sweep-methods.csv
+// and sweep-report.md next to the manifest in -out. A killed sweep is
+// picked up with resume, which skips completed cells (and, with
+// -checkpoint-every, continues long cells mid-federation); the resumed
+// report is byte-identical to an uninterrupted run's. report rebuilds
+// the report from the manifest without running anything. plan prints the
+// expanded grid and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"calibre/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "calibre-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: calibre-sweep <plan|run|resume|report> -grid grid.json [-out dir] [flags]")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("calibre-sweep "+sub, flag.ContinueOnError)
+	var (
+		gridPath  = fs.String("grid", "", "grid JSON file (required)")
+		out       = fs.String("out", "", "sweep directory: manifest, per-cell checkpoints, reports")
+		workers   = fs.Int("workers", 1, "concurrent cells (outer level of the worker budget)")
+		simBudget = fs.Int("sim-budget", 0, "total concurrent client-training goroutines across cells; 0 = GOMAXPROCS")
+		timeout   = fs.Duration("timeout", 0, "per-cell wall-clock budget; 0 = unbounded")
+		ckptEvery = fs.Int("checkpoint-every", 0, "per-cell durable checkpoint stride in rounds; 0 = off")
+		kernels   = fs.Int("kernel-workers", 0, "resize the process-wide tensor kernel pool; 0 = leave as is")
+		quiet     = fs.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *gridPath == "" {
+		return fmt.Errorf("%s: -grid is required", sub)
+	}
+	grid, err := sweep.LoadGrid(*gridPath)
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "plan":
+		return plan(grid)
+	case "run", "resume":
+		if *out == "" {
+			return fmt.Errorf("%s: -out is required (the manifest makes the sweep resumable)", sub)
+		}
+		cfg := sweep.Config{
+			Workers:         *workers,
+			SimBudget:       *simBudget,
+			CellTimeout:     *timeout,
+			KernelWorkers:   *kernels,
+			CheckpointEvery: *ckptEvery,
+			Dir:             *out,
+			Resume:          sub == "resume",
+		}
+		total, done := 0, 0
+		if !*quiet {
+			cfg.OnPlan = func(planned, pending int) {
+				total = pending
+				if pending < planned {
+					fmt.Printf("plan: %d cells, %d already in the manifest, %d to run\n", planned, planned-pending, pending)
+				} else {
+					fmt.Printf("plan: %d cells\n", planned)
+				}
+			}
+			cfg.OnCell = func(res sweep.CellResult) {
+				done++
+				status := res.Status
+				if res.Status == sweep.StatusOK {
+					status = fmt.Sprintf("ok mean=%.4f var=%.5f", res.Participants.Mean, res.Participants.Variance)
+				}
+				fmt.Printf("[%d/%d] %s: %s (%dms)\n", done, total, res.Key, status, res.DurationMS)
+			}
+		}
+		start := time.Now()
+		res, err := sweep.Run(context.Background(), grid, cfg)
+		if err != nil {
+			return err
+		}
+		for _, n := range res.Notes {
+			fmt.Println("note:", n)
+		}
+		fmt.Printf("sweep completed in %s\n\n", time.Since(start).Round(time.Millisecond))
+		return emit(res, *out)
+	case "report":
+		if *out == "" {
+			return fmt.Errorf("report: -out is required")
+		}
+		res, err := sweep.Load(grid, *out)
+		if err != nil {
+			return err
+		}
+		return emit(res, *out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (plan|run|resume|report)", sub)
+	}
+}
+
+// plan prints the expanded grid without running anything.
+func plan(grid *sweep.Grid) error {
+	cells, err := grid.Expand()
+	if err != nil {
+		return err
+	}
+	fp, err := grid.Fingerprint()
+	if err != nil {
+		return err
+	}
+	name := grid.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Printf("sweep %s: %d cells, fingerprint %s\n", name, len(cells), fp)
+	for _, c := range cells {
+		fmt.Printf("  %s (env-seed %d)\n", c.Key(), c.EnvSeed())
+	}
+	return nil
+}
+
+// emit writes the report artifacts into dir and prints the markdown.
+func emit(res *sweep.Result, dir string) error {
+	rep := sweep.NewReport(res)
+	for _, art := range []struct {
+		name  string
+		write func(f *os.File) error
+	}{
+		{"sweep-cells.csv", func(f *os.File) error { return rep.WriteCellsCSV(f) }},
+		{"sweep-methods.csv", func(f *os.File) error { return rep.WriteMethodsCSV(f) }},
+		{"sweep-report.md", func(f *os.File) error { return rep.WriteMarkdown(f) }},
+	} {
+		path := filepath.Join(dir, art.name)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := art.write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+	}
+	fmt.Printf("[wrote sweep-cells.csv, sweep-methods.csv, sweep-report.md to %s]\n\n", dir)
+	return rep.WriteMarkdown(os.Stdout)
+}

@@ -1,9 +1,14 @@
 // Fairness sweep: reproduce the paper's central comparison — mean accuracy
-// (overall performance) against accuracy variance (fairness) — for a set of
-// representative methods on the Dirichlet non-i.i.d. CIFAR-10 setting, and
-// report Calibre's margins the way the paper does.
+// (overall performance) against accuracy variance (fairness) — as a real
+// sweep workload: a declarative grid of methods × non-i.i.d. partitions ×
+// seeds, scheduled by the sweep engine and aggregated into the
+// fairness-first report (cross-seed variance-of-variance, variance
+// reduction vs FedAvg-FT, per-scenario Pareto fronts).
 //
-//	go run ./examples/fairness_sweep [-scale ci]
+//	go run ./examples/fairness_sweep [-scale ci] [-workers 4] [-out dir]
+//
+// With -out the sweep is durable: kill it mid-run and re-run with the
+// same -out to resume from the manifest, skipping completed cells.
 package main
 
 import (
@@ -11,40 +16,44 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"calibre"
 )
 
 func main() {
 	scale := flag.String("scale", "smoke", "experiment scale: smoke | ci | paper")
+	workers := flag.Int("workers", 2, "concurrent cells")
+	out := flag.String("out", "", "sweep directory (durable + resumable when set)")
 	flag.Parse()
 
-	env, err := calibre.NewEnvironment("cifar10-d(0.3,600)", calibre.Scale(*scale), 42)
+	grid := &calibre.SweepGrid{
+		Name:     "fairness-vs-accuracy",
+		Methods:  []string{"fedavg-ft", "fedbabu", "fedrep", "script-convergent", "pfl-simclr", "calibre-simclr"},
+		Settings: []string{"cifar10-d(0.3,600)", "cifar10-q(2,500)"},
+		Scales:   []calibre.Scale{calibre.Scale(*scale)},
+		Seeds:    []int64{1, 2},
+		Baseline: "fedavg-ft",
+	}
+	cfg := calibre.SweepConfig{
+		Workers: *workers,
+		Dir:     *out,
+		OnCell: func(res calibre.SweepCellResult) {
+			fmt.Printf("%-90s %s\n", res.Key, res.Status)
+		},
+	}
+	if *out != "" {
+		// Resume transparently when the directory already holds a manifest.
+		if _, err := os.Stat(*out); err == nil {
+			cfg.Resume = true
+		}
+	}
+	res, err := calibre.RunSweep(context.Background(), grid, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	env.Novel = nil // only participating clients in this comparison
-
-	methods := []string{
-		"fedavg-ft", "fedbabu", "fedrep", "script-convergent",
-		"pfl-simclr", "calibre-simclr",
+	fmt.Println()
+	if err := calibre.NewSweepReport(res).WriteMarkdown(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-	results := make(map[string]calibre.Summary, len(methods))
-	fmt.Printf("%-20s %10s %10s %10s\n", "method", "mean", "variance", "bottom10")
-	for _, m := range methods {
-		out, err := calibre.Run(context.Background(), env, m)
-		if err != nil {
-			log.Fatalf("%s: %v", m, err)
-		}
-		s := out.Participants.Summary
-		results[m] = s
-		fmt.Printf("%-20s %10.4f %10.5f %10.4f\n", m, s.Mean, s.Variance, s.Bottom10)
-	}
-
-	cal := results["calibre-simclr"]
-	fmt.Printf("\nCalibre (SimCLR) vs FedAvg-FT:  %+.2f pp mean, %+.1f%% variance reduction\n",
-		calibre.Improvement(cal, results["fedavg-ft"]),
-		calibre.VarianceReduction(cal, results["fedavg-ft"]))
-	fmt.Printf("Calibre (SimCLR) vs pFL-SimCLR: %+.2f pp mean (the calibration margin)\n",
-		calibre.Improvement(cal, results["pfl-simclr"]))
 }

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestAggregateSeeds(t *testing.T) {
+	if got := AggregateSeeds(nil); got != (SeedAggregate{}) {
+		t.Fatalf("empty input: %+v", got)
+	}
+	in := []Summary{
+		{Mean: 0.6, Variance: 0.02, Bottom10: 0.3},
+		{Mean: 0.8, Variance: 0.04, Bottom10: 0.5},
+	}
+	got := AggregateSeeds(in)
+	want := SeedAggregate{
+		Runs:          2,
+		MeanOfMeans:   0.7,
+		VarOfMeans:    0.01, // ((0.1)^2 + (0.1)^2) / 2
+		MeanVariance:  0.03,
+		VarOfVariance: 0.0001, // ((0.01)^2 + (0.01)^2) / 2
+		MeanBottom10:  0.4,
+	}
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+	if got.Runs != want.Runs || !approx(got.MeanOfMeans, want.MeanOfMeans) ||
+		!approx(got.VarOfMeans, want.VarOfMeans) || !approx(got.MeanVariance, want.MeanVariance) ||
+		!approx(got.VarOfVariance, want.VarOfVariance) || !approx(got.MeanBottom10, want.MeanBottom10) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestAggregateSeedsOrderIndependent(t *testing.T) {
+	a := []Summary{{Mean: 0.1, Variance: 0.3}, {Mean: 0.5, Variance: 0.1}, {Mean: 0.9, Variance: 0.2}}
+	b := []Summary{a[2], a[0], a[1]}
+	if AggregateSeeds(a) != AggregateSeeds(b) {
+		t.Fatal("aggregation depends on input order")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	points := []ParetoPoint{
+		{Label: "best-mean", Mean: 0.9, Variance: 0.05},
+		{Label: "fairest", Mean: 0.7, Variance: 0.01},
+		{Label: "dominated", Mean: 0.6, Variance: 0.05}, // worse than both
+		{Label: "tradeoff", Mean: 0.8, Variance: 0.02},
+	}
+	front := ParetoFront(points)
+	var labels []string
+	for _, p := range front {
+		labels = append(labels, p.Label)
+	}
+	want := []string{"best-mean", "tradeoff", "fairest"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("front = %v, want %v", labels, want)
+	}
+
+	// Input order must not change the front or its ordering.
+	rev := []ParetoPoint{points[3], points[2], points[1], points[0]}
+	front2 := ParetoFront(rev)
+	if !reflect.DeepEqual(front, front2) {
+		t.Fatalf("front depends on input order: %v vs %v", front, front2)
+	}
+}
+
+func TestParetoFrontDuplicatesSurvive(t *testing.T) {
+	points := []ParetoPoint{
+		{Label: "a", Mean: 0.5, Variance: 0.02},
+		{Label: "b", Mean: 0.5, Variance: 0.02},
+	}
+	front := ParetoFront(points)
+	if len(front) != 2 {
+		t.Fatalf("exact ties should both survive, got %v", front)
+	}
+	if front[0].Label != "a" || front[1].Label != "b" {
+		t.Fatalf("tie-break by label broken: %v", front)
+	}
+}
+
+func TestVarianceReductionOf(t *testing.T) {
+	if got := VarianceReductionOf(0.5, 1.0); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("got %v, want 50", got)
+	}
+	if got := VarianceReductionOf(0.5, 0); got != 0 {
+		t.Fatalf("zero baseline should yield 0, got %v", got)
+	}
+}

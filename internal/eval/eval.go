@@ -177,8 +177,5 @@ func Improvement(a, b Summary) float64 {
 // percent (positive = a fairer), e.g. the paper's "23.8% reduction in
 // variance compared to FedAvg-FT".
 func VarianceReduction(a, b Summary) float64 {
-	if b.Variance == 0 {
-		return 0
-	}
-	return (1 - a.Variance/b.Variance) * 100
+	return VarianceReductionOf(a.Variance, b.Variance)
 }

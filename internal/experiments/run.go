@@ -75,6 +75,15 @@ func RunBuiltMethod(ctx context.Context, env *Environment, m *fl.Method) (*Metho
 	return runBuilt(ctx, env, m, nil)
 }
 
+// RunBuiltMethodWith is RunBuiltMethod with access to the simulator
+// configuration: mutate (may be nil) runs after the preset-derived fields
+// are filled and can adjust any knob — parallelism budgets, the delta
+// wire, quorum/dropout/straggler policies, checkpoint wiring. The sweep
+// engine drives every cell through this entry point.
+func RunBuiltMethodWith(ctx context.Context, env *Environment, m *fl.Method, mutate func(*fl.SimConfig)) (*MethodOutcome, error) {
+	return runBuilt(ctx, env, m, mutate)
+}
+
 // RunMethodResumable is RunMethod with durable round snapshots: round
 // state is checkpointed into ckpt every `every` rounds (≤0 means every
 // round) and, when the store already holds a matching snapshot, training
@@ -145,7 +154,10 @@ func runBuilt(ctx context.Context, env *Environment, m *fl.Method, mutate func(*
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", m.Name, env.Setting.Name, err)
 	}
-	part, err := fl.PersonalizeAll(ctx, env.Seed, m, env.Participants, global, 0)
+	// Personalization honors the same explicit parallelism budget as
+	// training (0 keeps the GOMAXPROCS default), so a sweep running many
+	// cells concurrently bounds its total fan-out at both stages.
+	part, err := fl.PersonalizeAll(ctx, env.Seed, m, env.Participants, global, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: personalize participants (%s): %w", m.Name, err)
 	}
@@ -159,7 +171,7 @@ func runBuilt(ctx context.Context, env *Environment, m *fl.Method, mutate func(*
 		},
 	}
 	if len(env.Novel) > 0 {
-		novel, err := fl.PersonalizeAll(ctx, env.Seed, m, env.Novel, global, 0)
+		novel, err := fl.PersonalizeAll(ctx, env.Seed, m, env.Novel, global, cfg.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: personalize novel clients (%s): %w", m.Name, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -34,6 +35,23 @@ var ErrUpdateSize = errors.New("fl: update payload does not match the global vec
 // ErrQuorumNotMet is returned (wrapped) when a round's deadline expires
 // before the configured quorum of client updates has arrived.
 var ErrQuorumNotMet = errors.New("fl: quorum not met before round deadline")
+
+// PanicError is a panic recovered from a client goroutine (local training
+// or personalization), converted into an ordinary error so one
+// misbehaving method cannot take down a process running many federations
+// (the sweep scheduler relies on this to record the cell as failed and
+// keep going). Value is the recovered panic value and Stack the goroutine
+// stack captured at recovery time.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error; the stack stays out of the one-line message and
+// is available via the Stack field for logs.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fl: panic in client goroutine: %v", e.Value)
+}
 
 // StragglerPolicy decides what happens to a sampled client that misses the
 // round deadline under quorum aggregation.
@@ -265,16 +283,25 @@ func runParallel[T any](ctx context.Context, parallelism int, ids []int, fn func
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i, id := range ids {
-		select {
-		case <-ctx.Done():
+		// Stop dispatching once the context is canceled (first error or
+		// parent cancellation); already-spawned goroutines drain on their
+		// own ctx check.
+		if ctx.Err() != nil {
 			break
-		default:
 		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(slot, id int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Panic isolation: a panicking trainer/personalizer becomes a
+			// typed error on its slot instead of crashing the process.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[slot] = &PanicError{Value: r, Stack: debug.Stack()}
+					cancel()
+				}
+			}()
 			if ctx.Err() != nil {
 				errs[slot] = ctx.Err()
 				return
@@ -303,6 +330,12 @@ func runParallel[T any](ctx context.Context, parallelism int, ids []int, fn func
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Parent cancellation can also land between dispatches, stopping the
+	// loop before any goroutine records an error: the results are then
+	// incomplete and must not be returned as success.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

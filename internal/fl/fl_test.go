@@ -405,3 +405,39 @@ func TestWeightedAverageConvexityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// panicTrainer panics on a chosen client to exercise panic isolation.
+type panicTrainer struct {
+	inner   fakeTrainer
+	panicOn int
+}
+
+func (p *panicTrainer) Train(ctx context.Context, rng *rand.Rand, c *partition.Client, global param.Vector, round int) (*Update, error) {
+	if c.ID == p.panicOn {
+		panic("trainer exploded")
+	}
+	return p.inner.Train(ctx, rng, c, global, round)
+}
+
+// TestClientPanicBecomesTypedError pins the sweep scheduler's foundation:
+// a panicking trainer inside a client goroutine surfaces as *PanicError
+// from Run instead of crashing the process.
+func TestClientPanicBecomesTypedError(t *testing.T) {
+	clients := testClients(t, 4)
+	m := fakeMethod(&panicTrainer{panicOn: clients[1].ID})
+	sim, err := NewSimulator(SimConfig{Rounds: 2, ClientsPerRound: 4, Seed: 1}, m, clients)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	_, _, err = sim.Run(context.Background())
+	if err == nil {
+		t.Fatal("panicking trainer did not fail the run")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a *PanicError: %v", err)
+	}
+	if pe.Value != "trainer exploded" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value/stack not captured: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+}

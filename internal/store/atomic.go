@@ -1,0 +1,48 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile replaces path with data atomically: the bytes land in a
+// temp file in the same directory, are synced, and the temp file is then
+// renamed over path. A crash at any point leaves either the old complete
+// file or the new complete file — never a torn mix. This is the
+// replace-in-place sibling of the checkpoint store's no-replace publish:
+// snapshots are immutable versions and must never be overwritten, whereas
+// a single evolving file (the sweep manifest) wants exactly one current
+// version with rename's replace semantics.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("store: create temp for %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Chmod(tmp.Name(), perm); err != nil {
+		return fmt.Errorf("store: chmod %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publish %s: %w", path, err)
+	}
+	// Best-effort directory sync so the rename itself is durable; some
+	// filesystems reject fsync on directories, which is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("read back %q", got)
+	}
+	if err := AtomicWriteFile(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2-longer" {
+		t.Fatalf("read back after replace %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestAtomicWriteFileMissingDirFails(t *testing.T) {
+	if err := AtomicWriteFile(filepath.Join(t.TempDir(), "nope", "f"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,33 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"calibre/internal/sweep"
+)
+
+// ExampleGrid_Expand shows the declarative grid: three axes expand into
+// the full cross product of deterministic cells, whose RNG seeds derive
+// from hashes of their keys — so two cells differing only in method (or
+// wire format) share the exact same federation world.
+func ExampleGrid_Expand() {
+	grid := &sweep.Grid{
+		Name:     "wire-ab",
+		Methods:  []string{"fedavg-ft", "calibre-simclr"},
+		Settings: []string{"cifar10-q(2,500)"},
+		Seeds:    []int64{1, 2},
+		Baseline: "fedavg-ft",
+	}
+	cells, err := grid.Expand()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", len(cells))
+	fmt.Println(cells[0].Key())
+	sameWorld := cells[0].EnvSeed() == cells[2].EnvSeed() // fedavg-ft vs calibre-simclr, seed 1
+	fmt.Println("methods share the federation world:", sameWorld)
+	// Output:
+	// cells: 4
+	// method=fedavg-ft|setting=cifar10-q(2,500)|scale=smoke|seed=1|delta=false|quorum=0|dropout=0|straggler=requeue
+	// methods share the federation world: true
+}

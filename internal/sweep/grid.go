@@ -1,0 +1,334 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"calibre/internal/baselines"
+	"calibre/internal/experiments"
+	"calibre/internal/fl"
+	"calibre/internal/store"
+)
+
+// maxCells bounds a grid expansion: a sweep far beyond this is a typo
+// (e.g. a pasted seed list), not a workload, and would silently queue
+// days of work.
+const maxCells = 4096
+
+// Grid is the declarative scenario spec: every axis is a list, and the
+// sweep runs the full cross product. Zero-valued optional axes default to
+// a single neutral value (delta off, no quorum, no dropout, requeue), so
+// the minimal grid is methods × settings × seeds. Grids load from JSON
+// via LoadGrid/ParseGrid or are built directly in Go.
+type Grid struct {
+	// Name labels the sweep in reports; it does not enter the
+	// fingerprint, so renaming a sweep does not orphan its manifest.
+	Name string `json:"name,omitempty"`
+	// Methods are registry method names (calibre.MethodNames).
+	Methods []string `json:"methods"`
+	// Settings are experiment setting names (dataset + partition), e.g.
+	// "cifar10-q(2,500)" or "cifar10-d(0.3,600)".
+	Settings []string `json:"settings"`
+	// Scales are experiment scale presets; empty defaults to ["smoke"].
+	Scales []experiments.Scale `json:"scales,omitempty"`
+	// Seeds are replicate indices. The actual RNG seed of a cell is a
+	// hash of (setting, scale, seed), not the raw value — see Cell.EnvSeed.
+	Seeds []int64 `json:"seeds"`
+	// DeltaUpdates toggles the lossless XOR-delta update wire; empty
+	// defaults to [false].
+	DeltaUpdates []bool `json:"delta_updates,omitempty"`
+	// Quorums are K-of-N aggregation floors; empty defaults to [0].
+	Quorums []int `json:"quorums,omitempty"`
+	// DropoutRates are per-round client dropout probabilities in [0,1);
+	// empty defaults to [0].
+	DropoutRates []float64 `json:"dropout_rates,omitempty"`
+	// Stragglers are straggler policies ("requeue" or "drop"); empty
+	// defaults to ["requeue"].
+	Stragglers []string `json:"stragglers,omitempty"`
+	// Baseline, when set, must be one of Methods; the report computes
+	// every method's variance reduction against it.
+	Baseline string `json:"baseline,omitempty"`
+}
+
+// Cell is one fully specified scenario: a single (method, environment,
+// federation-knob) combination the scheduler runs as one unit.
+type Cell struct {
+	Method    string            `json:"method"`
+	Setting   string            `json:"setting"`
+	Scale     experiments.Scale `json:"scale"`
+	Seed      int64             `json:"seed"`
+	Delta     bool              `json:"delta_updates,omitempty"`
+	Quorum    int               `json:"quorum,omitempty"`
+	Dropout   float64           `json:"dropout,omitempty"`
+	Straggler string            `json:"straggler"`
+}
+
+// Key is the cell's canonical identity: a fixed-order rendering of every
+// axis value. It keys the manifest, derives the RNG seed and the
+// checkpoint fingerprint, and sorts the report — which is what makes
+// sweep output independent of scheduler interleaving.
+func (c Cell) Key() string {
+	return fmt.Sprintf("method=%s|%s", c.Method, c.scenarioAndEnv())
+}
+
+// scenarioAndEnv renders everything but the method.
+func (c Cell) scenarioAndEnv() string {
+	return fmt.Sprintf("setting=%s|scale=%s|seed=%d|%s", c.Setting, c.Scale, c.Seed, c.knobs())
+}
+
+func (c Cell) knobs() string {
+	return fmt.Sprintf("delta=%t|quorum=%d|dropout=%g|straggler=%s", c.Delta, c.Quorum, c.Dropout, c.Straggler)
+}
+
+// EnvKey identifies the federation world the cell runs in: setting, scale
+// and replicate seed. The method and the federation knobs are excluded,
+// so every method in a scenario trains on the identical generated data
+// and partition, which is what keeps method comparisons apples-to-apples.
+func (c Cell) EnvKey() string {
+	return fmt.Sprintf("setting=%s|scale=%s|seed=%d", c.Setting, c.Scale, c.Seed)
+}
+
+// EnvSeed derives the cell's master RNG seed from a hash of EnvKey. A
+// hash — rather than the raw seed axis value — decorrelates scenarios
+// that share a replicate index and makes the seed a pure function of the
+// cell's identity, independent of execution order.
+func (c Cell) EnvSeed() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.EnvKey()))
+	return int64(h.Sum64() & (1<<63 - 1))
+}
+
+// Scenario is the cross-seed grouping key: the cell's identity minus
+// method and seed. Cells sharing a Scenario differ only in replicate
+// seed and method, so the report aggregates over seeds within it and
+// compares methods across it.
+func (c Cell) Scenario() string {
+	return fmt.Sprintf("setting=%s|scale=%s|%s", c.Setting, c.Scale, c.knobs())
+}
+
+// Fingerprint condenses the cell identity for per-cell checkpoint stores,
+// using the same digest as snapshot fingerprints.
+func (c Cell) Fingerprint() string {
+	return store.Fingerprint("sweep-cell", c.Key())
+}
+
+// normalized returns a copy with optional axes defaulted.
+func (g *Grid) normalized() Grid {
+	out := *g
+	if len(out.Scales) == 0 {
+		out.Scales = []experiments.Scale{experiments.ScaleSmoke}
+	}
+	if len(out.DeltaUpdates) == 0 {
+		out.DeltaUpdates = []bool{false}
+	}
+	if len(out.Quorums) == 0 {
+		out.Quorums = []int{0}
+	}
+	if len(out.DropoutRates) == 0 {
+		out.DropoutRates = []float64{0}
+	}
+	if len(out.Stragglers) == 0 {
+		out.Stragglers = []string{fl.StragglerRequeue.String()}
+	}
+	return out
+}
+
+// Validate checks every axis against the registries and presets, so a
+// bad grid fails at plan time instead of n cells into a sweep.
+func (g *Grid) Validate() error {
+	n := g.normalized()
+	if len(n.Methods) == 0 {
+		return fmt.Errorf("sweep: grid has no methods")
+	}
+	if len(n.Settings) == 0 {
+		return fmt.Errorf("sweep: grid has no settings")
+	}
+	if len(n.Seeds) == 0 {
+		return fmt.Errorf("sweep: grid has no seeds")
+	}
+	known := make(map[string]bool)
+	for _, m := range baselines.MethodNames() {
+		known[m] = true
+	}
+	for _, m := range n.Methods {
+		if !known[m] {
+			return fmt.Errorf("sweep: unknown method %q (see calibre.MethodNames)", m)
+		}
+	}
+	if n.Baseline != "" {
+		found := false
+		for _, m := range n.Methods {
+			found = found || m == n.Baseline
+		}
+		if !found {
+			return fmt.Errorf("sweep: baseline %q is not one of the grid's methods", n.Baseline)
+		}
+	}
+	settings := experiments.Settings()
+	for _, s := range n.Settings {
+		if _, ok := settings[s]; !ok {
+			return fmt.Errorf("sweep: unknown setting %q (see calibre.SettingNames)", s)
+		}
+	}
+	minPerRound, minClients := -1, -1
+	for _, sc := range n.Scales {
+		preset, err := experiments.PresetFor(sc)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if minPerRound < 0 || preset.ClientsPerRound < minPerRound {
+			minPerRound = preset.ClientsPerRound
+		}
+		if minClients < 0 || preset.Clients < minClients {
+			minClients = preset.Clients
+		}
+	}
+	// Duplicate axis entries would expand into cells with identical keys
+	// that each get scheduled (and then collide in the manifest), so every
+	// axis rejects them.
+	for _, axis := range []struct {
+		name   string
+		values []string
+	}{
+		{"methods", n.Methods},
+		{"settings", n.Settings},
+		{"stragglers", n.Stragglers},
+		{"scales", asStrings(n.Scales)},
+		{"delta_updates", asStrings(n.DeltaUpdates)},
+		{"quorums", asStrings(n.Quorums)},
+		{"dropout_rates", asStrings(n.DropoutRates)},
+		{"seeds", asStrings(n.Seeds)},
+	} {
+		if dup := firstDuplicate(axis.values); dup != "" {
+			return fmt.Errorf("sweep: duplicate %s entry %v", axis.name, dup)
+		}
+	}
+	for _, q := range n.Quorums {
+		if q < 0 {
+			return fmt.Errorf("sweep: quorum must be ≥0, got %d", q)
+		}
+		if q > minPerRound || q > minClients {
+			return fmt.Errorf("sweep: quorum %d exceeds the smallest scale's clients-per-round (%d) or population (%d)", q, minPerRound, minClients)
+		}
+	}
+	for _, d := range n.DropoutRates {
+		if d < 0 || d >= 1 {
+			return fmt.Errorf("sweep: dropout rate must be in [0,1), got %g", d)
+		}
+	}
+	for _, s := range n.Stragglers {
+		if _, err := fl.ParseStragglerPolicy(s); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	total := len(n.Methods) * len(n.Settings) * len(n.Scales) * len(n.Seeds) *
+		len(n.DeltaUpdates) * len(n.Quorums) * len(n.DropoutRates) * len(n.Stragglers)
+	if total > maxCells {
+		return fmt.Errorf("sweep: grid expands to %d cells, above the %d-cell cap", total, maxCells)
+	}
+	return nil
+}
+
+// Expand validates the grid and returns its cells in canonical axis order
+// (method, setting, scale, seed, delta, quorum, dropout, straggler —
+// outermost first). The expansion is a pure function of the grid.
+func (g *Grid) Expand() ([]Cell, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.normalized()
+	var cells []Cell
+	for _, m := range n.Methods {
+		for _, s := range n.Settings {
+			for _, sc := range n.Scales {
+				for _, seed := range n.Seeds {
+					for _, delta := range n.DeltaUpdates {
+						for _, q := range n.Quorums {
+							for _, d := range n.DropoutRates {
+								for _, st := range n.Stragglers {
+									cells = append(cells, Cell{
+										Method: m, Setting: s, Scale: sc, Seed: seed,
+										Delta: delta, Quorum: q, Dropout: d, Straggler: st,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fingerprint digests the expanded cell keys — the grid's full semantic
+// identity. Manifests record it; resuming under a changed grid fails with
+// ErrManifestMismatch. Name and Baseline are cosmetic/report-only and
+// deliberately excluded.
+func (g *Grid) Fingerprint() (string, error) {
+	cells, err := g.Expand()
+	if err != nil {
+		return "", err
+	}
+	keys := make([]string, 0, len(cells)+1)
+	keys = append(keys, "sweep-grid")
+	for _, c := range cells {
+		keys = append(keys, c.Key())
+	}
+	return store.Fingerprint(keys...), nil
+}
+
+// ParseGrid decodes a grid from JSON, rejecting unknown fields and
+// trailing data so a typo'd axis name or a botched merge of two grid
+// objects cannot silently shrink a sweep.
+func ParseGrid(data []byte) (*Grid, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("sweep: parse grid: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: parse grid: trailing data after the grid object")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// LoadGrid reads and parses a grid JSON file.
+func LoadGrid(path string) (*Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read grid: %w", err)
+	}
+	g, err := ParseGrid(data)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+func firstDuplicate(values []string) string {
+	seen := make(map[string]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			return v
+		}
+		seen[v] = true
+	}
+	return ""
+}
+
+// asStrings renders an axis's values canonically for duplicate detection.
+func asStrings[T any](values []T) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}

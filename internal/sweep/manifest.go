@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"calibre/internal/store"
+)
+
+// ManifestName is the manifest file name inside a sweep directory.
+const ManifestName = "sweep-manifest.json"
+
+// manifestSchema identifies the manifest layout; a file with any other
+// schema is treated as unusable (full re-plan), like a torn write.
+const manifestSchema = "calibre/sweep-manifest/v1"
+
+// Typed manifest errors.
+var (
+	// ErrManifestExists is returned by a fresh (non-resume) sweep whose
+	// directory already holds a manifest: starting over would silently
+	// discard completed work — resume it, or point at a fresh directory.
+	ErrManifestExists = errors.New("sweep: directory already holds a sweep manifest (resume it or use a fresh directory)")
+	// ErrManifestMismatch is returned when resuming with a grid whose
+	// fingerprint differs from the manifest's: the completed cells belong
+	// to a different sweep and skipping by key would silently mix results.
+	ErrManifestMismatch = errors.New("sweep: manifest belongs to a different grid")
+	// ErrManifestCorrupt marks a manifest that cannot be decoded (torn
+	// write, truncation, schema drift). Resume treats it as absent and
+	// re-plans the full grid rather than crashing.
+	ErrManifestCorrupt = errors.New("sweep: manifest is corrupt or torn")
+)
+
+// manifest is the durable record of a sweep in progress: the grid
+// fingerprint plus one outcome per completed (or failed) cell, keyed by
+// cell key. It is rewritten atomically after every cell, so a SIGKILL at
+// any instant leaves either the previous or the next complete manifest.
+type manifest struct {
+	Schema      string                `json:"schema"`
+	Name        string                `json:"name,omitempty"`
+	Fingerprint string                `json:"fingerprint"`
+	Cells       map[string]CellResult `json:"cells"`
+}
+
+// loadManifest reads and decodes a manifest. A missing file surfaces as
+// os.ErrNotExist; any decode problem (including a wrong schema) wraps
+// ErrManifestCorrupt so callers can fall back to a full re-plan.
+func loadManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrManifestCorrupt, err)
+	}
+	if m.Schema != manifestSchema {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrManifestCorrupt, m.Schema, manifestSchema)
+	}
+	if m.Cells == nil {
+		m.Cells = map[string]CellResult{}
+	}
+	return &m, nil
+}
+
+// save writes the manifest atomically (write-rename): concurrent cell
+// completions serialize through the scheduler's lock, and a crash
+// mid-save can never tear the previous manifest.
+func (m *manifest) save(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode manifest: %w", err)
+	}
+	if err := store.AtomicWriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: save manifest: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"calibre/internal/eval"
+	"calibre/internal/experiments"
+)
+
+// syntheticResult builds a hand-computable result: one scenario, two
+// methods × two seeds, plus one failure.
+func syntheticResult() *Result {
+	cell := func(method string, seed int64, mean, variance float64) CellResult {
+		c := Cell{Method: method, Setting: "cifar10-q(2,500)", Scale: experiments.ScaleSmoke, Seed: seed, Straggler: "requeue"}
+		return CellResult{
+			Key: c.Key(), Cell: c, Status: StatusOK, Rounds: 4,
+			Participants: eval.Summary{N: 8, Mean: mean, Variance: variance},
+		}
+	}
+	failedCell := Cell{Method: "perfedavg", Setting: "cifar10-q(2,500)", Scale: experiments.ScaleSmoke, Seed: 1, Straggler: "requeue"}
+	res := &Result{
+		Grid: Grid{
+			Name:     "synthetic",
+			Methods:  []string{"fedavg-ft", "calibre-simclr", "perfedavg"},
+			Settings: []string{"cifar10-q(2,500)"},
+			Seeds:    []int64{1, 2},
+			Baseline: "fedavg-ft",
+		},
+		Fingerprint: "feedc0de",
+		Cells: []CellResult{
+			cell("fedavg-ft", 1, 0.60, 0.040),
+			cell("fedavg-ft", 2, 0.62, 0.040),
+			cell("calibre-simclr", 1, 0.64, 0.020),
+			cell("calibre-simclr", 2, 0.66, 0.020),
+			{Key: failedCell.Key(), Cell: failedCell, Status: StatusFailed, Error: "boom, with commas"},
+		},
+	}
+	return res
+}
+
+func TestReportAggregation(t *testing.T) {
+	rep := NewReport(syntheticResult())
+	if len(rep.Aggregates) != 2 {
+		t.Fatalf("expected 2 aggregates, got %+v", rep.Aggregates)
+	}
+	// Ranked by mean descending: calibre-simclr first.
+	best := rep.Aggregates[0]
+	if best.Method != "calibre-simclr" || math.Abs(best.Participants.MeanOfMeans-0.65) > 1e-12 {
+		t.Fatalf("ranking broken: %+v", best)
+	}
+	if best.Participants.Runs != 2 {
+		t.Fatalf("seeds not aggregated: %+v", best.Participants)
+	}
+	// Variance reduction vs fedavg-ft: 1 - 0.02/0.04 = 50%.
+	if !best.HasBaseline || math.Abs(best.VarianceReduction-50) > 1e-9 {
+		t.Fatalf("variance reduction: %+v", best)
+	}
+	// calibre-simclr dominates fedavg-ft (higher mean, lower variance):
+	// the front is exactly calibre-simclr.
+	if !best.Pareto {
+		t.Fatal("dominating method not on the Pareto front")
+	}
+	if rep.Aggregates[1].Pareto {
+		t.Fatalf("dominated method on the Pareto front: %+v", rep.Aggregates[1])
+	}
+	if len(rep.Failures) != 1 || rep.Failures[0].Cell.Method != "perfedavg" {
+		t.Fatalf("failures: %+v", rep.Failures)
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewReport(syntheticResult()).WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{
+		"# Sweep report: synthetic",
+		"baseline: `fedavg-ft`",
+		"5 planned, 4 ok, 1 failed, 0 pending",
+		"| calibre-simclr | 2 | 0.6500 |",
+		"Pareto front (mean vs variance): calibre-simclr",
+		"## Failures",
+		"boom, with commas",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("markdown missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestCellsCSVRoundTrip(t *testing.T) {
+	rep := NewReport(syntheticResult())
+	var b bytes.Buffer
+	if err := rep.WriteCellsCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadCellsCSV(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCellsCSV: %v", err)
+	}
+	if len(rows) != len(rep.Cells) {
+		t.Fatalf("%d rows, want %d", len(rows), len(rep.Cells))
+	}
+	byKey := make(map[string]CellRow)
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	for _, c := range rep.Cells {
+		r, ok := byKey[c.Key]
+		if !ok {
+			t.Fatalf("row %s missing", c.Key)
+		}
+		// Full-precision round trip: the parsed floats are bit-identical.
+		if r.Mean != c.Participants.Mean || r.Variance != c.Participants.Variance {
+			t.Fatalf("float round trip broken: %+v vs %+v", r, c.Participants)
+		}
+		if r.Method != c.Cell.Method || r.Status != c.Status || r.Seed != c.Cell.Seed {
+			t.Fatalf("row fields: %+v vs %+v", r, c)
+		}
+	}
+	// A non-sweep CSV is rejected with a clear error.
+	if _, err := ReadCellsCSV(strings.NewReader("a,b\n1,2\n")); err == nil || !strings.Contains(err.Error(), "not a sweep cells file") {
+		t.Fatalf("foreign CSV accepted: %v", err)
+	}
+}
+
+func TestMethodsCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := NewReport(syntheticResult()).WriteMethodsCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "var_reduction_vs_baseline_pct") || !strings.Contains(out, "calibre-simclr") {
+		t.Fatalf("methods CSV:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 aggregates
+		t.Fatalf("%d lines, want 3:\n%s", len(lines), out)
+	}
+}
