@@ -25,6 +25,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"sort"
 
 	"calibre/internal/baselines"
@@ -34,6 +36,7 @@ import (
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
 	"calibre/internal/flnet"
+	"calibre/internal/obs"
 	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/ssl"
@@ -130,6 +133,30 @@ type (
 	// vs the grid baseline and per-scenario Pareto fronts — renderable as
 	// CSV and markdown.
 	SweepReport = sweep.Report
+
+	// MetricsRegistry is the live observability plane: attach one to
+	// SimConfig.Obs, ServerConfig.Obs or SweepConfig.Obs and every round
+	// is counted (responders, stragglers, uplink wire-vs-dense bytes,
+	// per-client participation) without perturbing results — a run with a
+	// registry attached is bit-identical to one without. Snapshot is
+	// race-free and never blocks training; ServeMetrics exposes it over
+	// HTTP.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is one consistent point-in-time view of a
+	// MetricsRegistry (counters, gauges, recent round samples,
+	// participation table); its WriteProm renders Prometheus text.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsRoundSample is one federated round as the metrics plane saw
+	// it.
+	MetricsRoundSample = obs.RoundSample
+)
+
+// Counter names for MetricsSnapshot.Counters lookups (the full set is in
+// internal/obs).
+const (
+	MetricRounds           = obs.CounterRounds
+	MetricUplinkWireBytes  = obs.CounterUplinkWireBytes
+	MetricUplinkDenseBytes = obs.CounterUplinkDenseBytes
 )
 
 // Straggler policies for asynchronous federations (ServerConfig.Straggler):
@@ -257,6 +284,21 @@ func VarianceReduction(a, b Summary) float64 { return eval.VarianceReduction(a, 
 
 // SSLMethodNames lists the supported self-supervised flavors.
 func SSLMethodNames() []string { return ssl.MethodNames() }
+
+// NewMetricsRegistry builds an empty observability registry; attach it
+// via SimConfig.Obs / ServerConfig.Obs / SweepConfig.Obs and serve it
+// with ServeMetrics. All registry methods are nil-receiver-safe, so
+// instrumented code never needs to check whether metrics are enabled.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// ServeMetrics binds addr (port 0 picks a free one) and serves the
+// registry read-only over HTTP — /metrics as a JSON MetricsSnapshot,
+// /metrics/prom as Prometheus text — exactly what the calibre-server and
+// calibre-sweep `-metrics-addr` flags do, and what `calibre-sweep watch`
+// polls. Tear down with the returned server's Shutdown.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*http.Server, net.Addr, error) {
+	return obs.Serve(addr, reg)
+}
 
 // NewServer starts a TCP federation server (see cmd/calibre-server).
 func NewServer(cfg ServerConfig) (*Server, error) { return flnet.NewServer(cfg) }

@@ -2,6 +2,8 @@ package calibre
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -177,5 +179,37 @@ func TestSweepFacade(t *testing.T) {
 	}
 	if _, err := LoadSweepGrid("/nonexistent/grid.json"); err == nil {
 		t.Fatal("missing grid file accepted")
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	reg := NewMetricsRegistry()
+	reg.ObserveRound(MetricsRoundSample{
+		Runtime: "sim", Round: 0, Participants: 3, Responders: 3,
+		UplinkWireBytes: 64, UplinkDenseBytes: 256,
+	})
+	srv, addr, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("ServeMetrics: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got := snap.Counters[MetricRounds]; got != 1 {
+		t.Fatalf("rounds_total = %d, want 1", got)
+	}
+	if snap.Counters[MetricUplinkWireBytes] != 64 || snap.Counters[MetricUplinkDenseBytes] != 256 {
+		t.Fatalf("uplink counters = %v", snap.Counters)
 	}
 }

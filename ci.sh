@@ -39,6 +39,9 @@ go vet ./examples/...
 echo "== doc gate =="
 go run ./tools/docgate
 
+echo "== metrics smoke =="
+go run ./tools/metricssmoke
+
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 

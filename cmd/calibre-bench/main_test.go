@@ -7,8 +7,30 @@ import (
 	"strings"
 	"testing"
 
+	"calibre/cmd/internal/benchfile"
 	"calibre/cmd/internal/climain"
 )
+
+// warnEnvMismatch surfaces recording-environment differences between a
+// freshly emitted bench file and its committed golden. The committed
+// baselines are single-core (gomaxprocs=1), so on any multi-core test
+// host timings are incomparable; the golden checks above deliberately
+// compare only schemas and measurement sets, and this makes the reason
+// visible in -v output instead of silent.
+func warnEnvMismatch(t *testing.T, emitted, golden string) {
+	t.Helper()
+	a, err := benchfile.Read(emitted)
+	if err != nil {
+		t.Fatalf("read emitted envelope: %v", err)
+	}
+	b, err := benchfile.Read(golden)
+	if err != nil {
+		t.Fatalf("read golden envelope: %v", err)
+	}
+	for _, w := range benchfile.EnvMismatch(a, b) {
+		t.Logf("bench env mismatch (emitted vs golden): %s", w)
+	}
+}
 
 func TestListPrintsExperimentsAndKernels(t *testing.T) {
 	out := climain.CaptureStdout(t, func() error { return run([]string{"-list"}) })
@@ -98,6 +120,7 @@ func TestKernelHarnessEmitsGoldenSchema(t *testing.T) {
 			t.Errorf("measurement %s emitted but missing from golden file (regenerate it: go run ./cmd/calibre-bench -exp kernels)", k)
 		}
 	}
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_kernels.json"), filepath.Join("..", "..", "BENCH_kernels.json"))
 }
 
 // TestDeltaHarnessEmitsGoldenSchema runs the update-plane harness at
@@ -179,6 +202,7 @@ func TestDeltaHarnessEmitsGoldenSchema(t *testing.T) {
 			t.Errorf("golden pattern %s not emitted (regenerate: go run ./cmd/calibre-bench -exp delta -out .)", r.Pattern)
 		}
 	}
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_delta.json"), filepath.Join("..", "..", "BENCH_delta.json"))
 }
 
 // TestCodecHarnessEmitsGoldenSchema runs the codec harness at quick scale
@@ -245,6 +269,7 @@ func TestCodecHarnessEmitsGoldenSchema(t *testing.T) {
 			t.Errorf("committed golden record does not beat gob on size and time: %+v", r)
 		}
 	}
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_codec.json"), filepath.Join("..", "..", "BENCH_codec.json"))
 }
 
 // TestSweepHarnessEmitsGoldenSchema runs the sweep-scheduler harness at
@@ -311,4 +336,5 @@ func TestSweepHarnessEmitsGoldenSchema(t *testing.T) {
 	if golden.GOMaxProcs == 1 && golden.Note == "" {
 		t.Error("golden file recorded on a single core must carry the caveat note")
 	}
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_sweep.json"), filepath.Join("..", "..", "BENCH_sweep.json"))
 }

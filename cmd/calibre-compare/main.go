@@ -16,6 +16,15 @@
 // e.g. a dense-wire sweep against a delta-wire sweep:
 //
 //	calibre-compare -diff dense/sweep-cells.csv delta/sweep-cells.csv
+//
+// With -bench, it diffs two calibre-bench envelopes (BENCH_*.json)
+// record by record. Both files' recording environments are printed with
+// the diff, and an explicit warning is emitted when they differ — most
+// importantly on gomaxprocs, since the committed baselines were recorded
+// single-core and their timings read as regressions against any
+// multi-core run:
+//
+//	calibre-compare -bench BENCH_kernels.json /tmp/new/BENCH_kernels.json
 package main
 
 import (
@@ -48,6 +57,7 @@ func run(args []string) error {
 		novel   = fs.Bool("novel", false, "also personalize the held-out novel clients")
 		dump    = fs.Bool("dump", false, "print the sorted per-client accuracies")
 		diff    = fs.Bool("diff", false, "diff two sweep cells CSVs method-by-method (args: a.csv b.csv)")
+		bench   = fs.Bool("bench", false, "diff two calibre-bench BENCH_*.json envelopes record-by-record (args: a.json b.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +67,12 @@ func run(args []string) error {
 			return fmt.Errorf("-diff wants exactly two sweep CSV paths, got %d args", fs.NArg())
 		}
 		return diffSweeps(fs.Arg(0), fs.Arg(1))
+	}
+	if *bench {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-bench wants exactly two BENCH json paths, got %d args", fs.NArg())
+		}
+		return diffBench(fs.Arg(0), fs.Arg(1))
 	}
 	methods := fs.Args()
 	if len(methods) == 0 {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -118,5 +119,85 @@ func TestCompareRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-scale", "smoke", "calibre-simclr[bogus]"}); err == nil {
 		t.Fatal("unknown regularizer combo accepted")
+	}
+}
+
+// TestCompareBenchDiff diffs two synthetic calibre-bench envelopes and
+// pins the satellite fix: a gomaxprocs mismatch must produce an explicit
+// warning instead of a silent timings comparison, and both files'
+// environments must ride along in the output.
+func TestCompareBenchDiff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, gomaxprocs, nsOp int) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		body := fmt.Sprintf(`{"schema":"calibre/bench-kernels/v1","goos":"linux","goarch":"amd64","gomaxprocs":%d,"workers":1,"records":[{"op":"matmul","shape":"64x64x64","ns_op":%d,"allocs_op":0}]}`, gomaxprocs, nsOp)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	a := write("a.json", 1, 1000)
+	b := write("b.json", 8, 500)
+
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	errCh := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r)
+		errCh <- string(buf)
+	}()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-bench", a, b})
+	})
+	w.Close()
+	os.Stderr = oldErr
+	stderr := <-errCh
+
+	if !strings.Contains(out, "gomaxprocs=1") || !strings.Contains(out, "gomaxprocs=8") {
+		t.Fatalf("both environments must be printed with the diff:\n%s", out)
+	}
+	if !strings.Contains(out, "ns_op 1000 → 500 (-50.0%)") {
+		t.Fatalf("record diff missing:\n%s", out)
+	}
+	if !strings.Contains(stderr, "warning:") || !strings.Contains(stderr, "gomaxprocs 1 vs 8") {
+		t.Fatalf("gomaxprocs mismatch must warn on stderr, got:\n%s", stderr)
+	}
+
+	// Identical environments: no warning.
+	c := write("c.json", 1, 900)
+	os.Stderr, _ = os.Open(os.DevNull)
+	r2, w2, _ := os.Pipe()
+	os.Stderr = w2
+	errCh2 := make(chan string)
+	go func() {
+		buf, _ := io.ReadAll(r2)
+		errCh2 <- string(buf)
+	}()
+	climain.CaptureStdout(t, func() error {
+		return run([]string{"-bench", a, c})
+	})
+	w2.Close()
+	os.Stderr = oldErr
+	if s := <-errCh2; strings.Contains(s, "warning:") {
+		t.Fatalf("identical environments should not warn:\n%s", s)
+	}
+}
+
+func TestCompareBenchRejectsNonEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"foo":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", bad, bad}); err == nil {
+		t.Fatal("non-envelope JSON accepted")
+	}
+	if err := run([]string{"-bench", bad}); err == nil {
+		t.Fatal("single argument accepted")
 	}
 }

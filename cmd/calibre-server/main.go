@@ -28,12 +28,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"calibre/internal/eval"
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
 	"calibre/internal/flnet"
+	"calibre/internal/obs"
 	"calibre/internal/store"
 )
 
@@ -63,6 +67,7 @@ func run(args []string) error {
 		ckptDelta = fs.Bool("checkpoint-incremental", false, "encode checkpoints as lossless deltas against the previous version (full-snapshot fallback; see calibre-ckpt list)")
 		resume    = fs.Bool("resume", false, "resume from the latest matching checkpoint in -checkpoint-dir (fresh start when none exists)")
 		wire      = fs.String("update-wire", "delta", "client update encoding advertised at join: delta (compressed, lossless) | dense")
+		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,14 +153,41 @@ func run(args []string) error {
 			}
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		cfg.Obs = reg
+		msrv, maddr, err := obs.Serve(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics: listening on http://%s/metrics\n", maddr)
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = msrv.Shutdown(shCtx)
+		}()
+	}
 	srv, err := flnet.NewServer(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("listening on %s; waiting for %d clients (method %s, setting %s)\n",
 		srv.Addr(), *clients, *method, *setting)
-	res, err := srv.Run(context.Background())
+	res, err := srv.Run(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Checkpoints for completed rounds are already flushed (the
+			// save hook runs before OnRound); stop() restores default
+			// signal handling so a second ^C force-kills.
+			stop()
+			if *ckptDir != "" {
+				fmt.Fprintf(os.Stderr, "interrupted; completed rounds are checkpointed — restart with `calibre-server -resume -checkpoint-dir %s ...` to continue\n", *ckptDir)
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted; run with -checkpoint-dir to make the federation resumable")
+			}
+		}
 		return err
 	}
 	ids := make([]int, 0, len(res.Accuracies))

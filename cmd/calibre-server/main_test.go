@@ -2,7 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"calibre/cmd/internal/climain"
 	"calibre/internal/experiments"
 	"calibre/internal/flnet"
+	"calibre/internal/obs"
 )
 
 // freePort reserves an ephemeral localhost port and releases it for the
@@ -83,22 +86,67 @@ func TestServerSmokeFederation(t *testing.T) {
 		}(i)
 	}
 
+	// Scrape the live -metrics-addr endpoint for the whole run: /metrics
+	// must be curl-able while the federation executes, and the round
+	// counter must tick once round 0 closes. The run spans two rounds so
+	// the scraper has the entire second round — not just the teardown
+	// window — to observe a non-zero counter.
+	maddr := freePort(t)
+	runDone := make(chan struct{})
+	var scrapes, maxRounds int64
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		client := &http.Client{Timeout: 2 * time.Second}
+		for {
+			select {
+			case <-runDone:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			resp, err := client.Get("http://" + maddr + "/metrics")
+			if err != nil {
+				continue
+			}
+			var snap obs.Snapshot
+			decErr := json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if decErr != nil {
+				continue
+			}
+			scrapes++
+			if n := snap.Counters[obs.CounterRounds]; n > maxRounds {
+				maxRounds = n
+			}
+		}
+	}()
+
 	out := climain.CaptureStdout(t, func() error {
 		return run([]string{
-			"-addr", addr, "-clients", "2", "-rounds", "1", "-per-round", "2",
+			"-addr", addr, "-clients", "2", "-rounds", "2", "-per-round", "2",
 			"-method", "fedavg-ft", "-setting", setting, "-scale", "smoke", "-seed", "7",
+			"-metrics-addr", maddr,
 		})
 	})
+	close(runDone)
+	scraperWG.Wait()
 	wg.Wait()
 	for id, cerr := range clientErrs {
 		if cerr != nil {
 			t.Fatalf("client %d: %v", id, cerr)
 		}
 	}
-	for _, needle := range []string{"round 0:", "personalized accuracy", "summary:"} {
+	for _, needle := range []string{"round 0:", "personalized accuracy", "summary:", "metrics: listening on"} {
 		if !strings.Contains(out, needle) {
 			t.Fatalf("server output missing %q:\n%s", needle, out)
 		}
+	}
+	if scrapes == 0 {
+		t.Fatal("metrics endpoint was never scrapeable during the run")
+	}
+	if maxRounds < 1 {
+		t.Fatalf("scraper saw rounds_total max %d, want >= 1", maxRounds)
 	}
 }
 

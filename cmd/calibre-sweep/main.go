@@ -6,9 +6,10 @@
 // Usage:
 //
 //	calibre-sweep plan   -grid grid.json
-//	calibre-sweep run    -grid grid.json -out results/ [-workers 4] [-sim-budget 8]
+//	calibre-sweep run    -grid grid.json -out results/ [-workers 4] [-sim-budget 8] [-metrics-addr :9800]
 //	calibre-sweep resume -grid grid.json -out results/
 //	calibre-sweep report -grid grid.json -out results/
+//	calibre-sweep watch  -addr 127.0.0.1:9800
 //
 // run executes every cell and writes sweep-cells.csv, sweep-methods.csv
 // and sweep-report.md next to the manifest in -out. A killed sweep is
@@ -17,6 +18,13 @@
 // report is byte-identical to an uninterrupted run's. report rebuilds
 // the report from the manifest without running anything. plan prints the
 // expanded grid and exits.
+//
+// With -metrics-addr, run serves live observability (internal/obs) over
+// HTTP — /metrics as JSON, /metrics/prom as Prometheus text — and watch
+// polls that endpoint from another terminal, rendering one progress line
+// per poll. SIGINT/SIGTERM interrupt a run gracefully: in-flight cells
+// are abandoned, the manifest keeps every completed cell, and the process
+// exits non-zero with a resume hint.
 package main
 
 import (
@@ -24,9 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"calibre/internal/obs"
 	"calibre/internal/sweep"
 )
 
@@ -39,9 +50,14 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: calibre-sweep <plan|run|resume|report> -grid grid.json [-out dir] [flags]")
+		return fmt.Errorf("usage: calibre-sweep <plan|run|resume|report|watch> -grid grid.json [-out dir] [flags]")
 	}
 	sub := args[0]
+	if sub == "watch" {
+		// watch has its own flags (no grid needed): dispatch before the
+		// common -grid parse.
+		return watch(args[1:])
+	}
 	fs := flag.NewFlagSet("calibre-sweep "+sub, flag.ContinueOnError)
 	var (
 		gridPath  = fs.String("grid", "", "grid JSON file (required)")
@@ -52,6 +68,7 @@ func run(args []string) error {
 		ckptEvery = fs.Int("checkpoint-every", 0, "per-cell durable checkpoint stride in rounds; 0 = off")
 		kernels   = fs.Int("kernel-workers", 0, "resize the process-wide tensor kernel pool; 0 = leave as is")
 		quiet     = fs.Bool("quiet", false, "suppress per-cell progress lines")
+		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -102,9 +119,32 @@ func run(args []string) error {
 				fmt.Printf("[%d/%d] %s: %s (%dms)\n", done, total, res.Key, status, res.DurationMS)
 			}
 		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *metrics != "" {
+			reg := obs.NewRegistry()
+			cfg.Obs = reg
+			msrv, maddr, err := obs.Serve(*metrics, reg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("metrics: listening on http://%s/metrics (calibre-sweep watch -addr %s)\n", maddr, maddr)
+			defer func() {
+				shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = msrv.Shutdown(shCtx)
+			}()
+		}
 		start := time.Now()
-		res, err := sweep.Run(context.Background(), grid, cfg)
+		res, err := sweep.Run(ctx, grid, cfg)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The manifest holds every cell completed before the signal;
+				// stop() restores default signal handling so a second ^C
+				// kills a hung teardown the hard way.
+				stop()
+				fmt.Fprintf(os.Stderr, "interrupted; completed cells are in the manifest — resume with `calibre-sweep resume -grid %s -out %s`\n", *gridPath, *out)
+			}
 			return err
 		}
 		for _, n := range res.Notes {
@@ -122,7 +162,7 @@ func run(args []string) error {
 		}
 		return emit(res, *out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (plan|run|resume|report)", sub)
+		return fmt.Errorf("unknown subcommand %q (plan|run|resume|report|watch)", sub)
 	}
 }
 

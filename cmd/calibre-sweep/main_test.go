@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"calibre/cmd/internal/climain"
+	"calibre/internal/obs"
 )
 
 // acceptanceGrid is the ≥12-cell smoke grid from the issue's acceptance
@@ -168,6 +169,51 @@ func TestSweepRejectsBadInput(t *testing.T) {
 		t.Fatal("report without a manifest accepted")
 	}
 	if err := run([]string{"plan", "-grid", grid, "stray"}); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+}
+
+// TestWatchSmoke runs `calibre-sweep watch` against a live metrics
+// endpoint: a registry pre-populated the way a mid-sweep process would
+// be, served over real HTTP. -once renders a single progress line.
+func TestWatchSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge(obs.GaugeSweepCellsPlanned).Set(6)
+	reg.Gauge(obs.GaugeSweepCellsPending).Set(3)
+	reg.Gauge(obs.GaugeSweepCellsInFlight).Set(2)
+	reg.Counter(obs.CounterSweepCellsDone).Add(3)
+	reg.ObserveRound(obs.RoundSample{
+		Runtime: "sim", Round: 7, Participants: 4, Responders: 4,
+		MeanLoss: 0.5, UplinkWireBytes: 1 << 11, UplinkDenseBytes: 1 << 13,
+	})
+	srv, addr, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"watch", "-addr", addr.String(), "-once"})
+	})
+	for _, needle := range []string{
+		"cells 3/6 done", "2 in flight", "3 pending", "rounds 1",
+		"2.0KiB wire", "8.0KiB dense", "sim round 7: 4/4 responded, loss 0.5000",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("watch line missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestWatchUnreachableEndpointFails pins the bounded-retry contract: a
+// watch pointed at a dead port errors out once -timeout elapses instead
+// of spinning forever.
+func TestWatchUnreachableEndpointFails(t *testing.T) {
+	err := run([]string{"watch", "-addr", "127.0.0.1:1", "-timeout", "150ms", "-interval", "50ms"})
+	if err == nil || !strings.Contains(err.Error(), "no answer") {
+		t.Fatalf("want a no-answer error, got %v", err)
+	}
+	if err := run([]string{"watch", "stray"}); err == nil {
 		t.Fatal("stray positional argument accepted")
 	}
 }

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"calibre/internal/obs"
+)
+
+// watch polls a running federation's -metrics-addr endpoint and renders
+// live cell/round progress, one line per poll. It retries until the
+// endpoint first answers (so it can be started before or after the run),
+// and exits cleanly once a previously-live endpoint disappears — that is
+// what the end of a watched run looks like from outside.
+func watch(args []string) error {
+	fs := flag.NewFlagSet("calibre-sweep watch", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9800", "host:port of a running -metrics-addr endpoint")
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		timeout  = fs.Duration("timeout", 10*time.Second, "give up if the endpoint never answers within this window")
+		once     = fs.Bool("once", false, "render one snapshot and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	url := "http://" + *addr + "/metrics"
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*timeout)
+	connected := false
+	for {
+		snap, err := scrape(ctx, client, url)
+		switch {
+		case err == nil:
+			connected = true
+			fmt.Println(renderWatchLine(snap))
+			if *once {
+				return nil
+			}
+		case ctx.Err() != nil:
+			return nil
+		case connected:
+			// The endpoint answered before and is gone now: the federation
+			// finished (or was stopped). A clean exit, not an error.
+			fmt.Println("watch: metrics endpoint gone (run finished?)")
+			return nil
+		case time.Now().After(deadline):
+			return fmt.Errorf("watch: no answer from %s within %s: %w", *addr, *timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// scrape fetches and decodes one JSON snapshot.
+func scrape(ctx context.Context, client *http.Client, url string) (obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// renderWatchLine compresses one snapshot into a single progress line:
+// sweep cell states (when the endpoint belongs to a sweep), cumulative
+// rounds and uplink cost, and the latest round's outcome.
+func renderWatchLine(s obs.Snapshot) string {
+	c, g := s.Counters, s.Gauges
+	line := fmt.Sprintf("rounds %d", c[obs.CounterRounds])
+	if planned := g[obs.GaugeSweepCellsPlanned]; planned > 0 {
+		line = fmt.Sprintf("cells %d/%d done (%d failed, %d in flight, %d pending) · %s",
+			c[obs.CounterSweepCellsDone], planned, c[obs.CounterSweepCellsFailed],
+			g[obs.GaugeSweepCellsInFlight], g[obs.GaugeSweepCellsPending], line)
+	}
+	line += fmt.Sprintf(" · uplink %s wire / %s dense",
+		humanBytes(c[obs.CounterUplinkWireBytes]), humanBytes(c[obs.CounterUplinkDenseBytes]))
+	if last, ok := s.LastRound(); ok {
+		line += fmt.Sprintf(" · %s round %d: %d/%d responded, loss %.4f",
+			last.Runtime, last.Round, last.Responders, last.Participants, last.MeanLoss)
+	}
+	return line
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

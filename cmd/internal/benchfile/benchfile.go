@@ -1,0 +1,113 @@
+// Package benchfile reads the BENCH_*.json envelopes calibre-bench emits,
+// schema-generically: every harness (kernels, codec, delta, sweep) shares
+// the host-environment header but carries its own record shapes, so
+// cross-file tooling — calibre-compare's -bench diff, the golden tests —
+// decodes the header into typed fields and every array-of-objects section
+// into generic records.
+//
+// The header matters more than it looks: the committed baselines were
+// recorded at gomaxprocs=1 (see the ROADMAP caveat — parallel speedups
+// read as ≈1× there), so comparing timings across files from different
+// environments is noise. EnvMismatch makes that mistake loud.
+package benchfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// File is one parsed BENCH_*.json envelope.
+type File struct {
+	Schema     string
+	GOOS       string
+	GOARCH     string
+	GOMaxProcs int
+	// Workers is the kernel-pool size; 0 when the harness does not record
+	// one (codec, sweep).
+	Workers int
+	// Note carries the harness's environment caveat, when present (e.g.
+	// the single-core recording note).
+	Note string
+	// Sections maps each top-level array-of-objects field ("records",
+	// "wire", "rounds", …) to its rows as generic maps. JSON numbers
+	// decode as float64.
+	Sections map[string][]map[string]any
+}
+
+// Read parses one envelope. It fails on files that do not carry the
+// common header (schema + gomaxprocs) — those are not calibre-bench
+// output — but accepts any record shapes.
+func Read(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("benchfile: %s: %w", path, err)
+	}
+	f := &File{Sections: map[string][]map[string]any{}}
+	str := func(key string) string {
+		var s string
+		_ = json.Unmarshal(fields[key], &s)
+		return s
+	}
+	f.Schema = str("schema")
+	f.GOOS = str("goos")
+	f.GOARCH = str("goarch")
+	f.Note = str("note")
+	_ = json.Unmarshal(fields["gomaxprocs"], &f.GOMaxProcs)
+	_ = json.Unmarshal(fields["workers"], &f.Workers)
+	if f.Schema == "" || f.GOMaxProcs < 1 {
+		return nil, fmt.Errorf("benchfile: %s: not a calibre-bench envelope (schema or gomaxprocs missing)", path)
+	}
+	for key, rawv := range fields {
+		var recs []map[string]any
+		if err := json.Unmarshal(rawv, &recs); err == nil && len(recs) > 0 {
+			f.Sections[key] = recs
+		}
+	}
+	return f, nil
+}
+
+// Env renders the recording environment on one line — the provenance that
+// must ride along with any derived numbers.
+func (f *File) Env() string {
+	s := fmt.Sprintf("%s/%s gomaxprocs=%d", f.GOOS, f.GOARCH, f.GOMaxProcs)
+	if f.Workers > 0 {
+		s += fmt.Sprintf(" workers=%d", f.Workers)
+	}
+	return s
+}
+
+// SectionNames returns the section keys in sorted order.
+func (f *File) SectionNames() []string {
+	names := make([]string, 0, len(f.Sections))
+	for name := range f.Sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EnvMismatch returns human-readable warnings for every way a and b were
+// recorded under incomparable conditions. Empty means timings are fair to
+// compare.
+func EnvMismatch(a, b *File) []string {
+	var warns []string
+	if a.Schema != b.Schema {
+		warns = append(warns, fmt.Sprintf("different harnesses: schema %q vs %q — records measure different things", a.Schema, b.Schema))
+	}
+	if a.GOOS != b.GOOS || a.GOARCH != b.GOARCH {
+		warns = append(warns, fmt.Sprintf("different platforms: %s/%s vs %s/%s", a.GOOS, a.GOARCH, b.GOOS, b.GOARCH))
+	}
+	if a.GOMaxProcs != b.GOMaxProcs {
+		warns = append(warns, fmt.Sprintf("gomaxprocs %d vs %d — timings and speedups are not comparable (the committed baselines were recorded single-core, where parallel speedups read as ≈1×)", a.GOMaxProcs, b.GOMaxProcs))
+	}
+	if a.Workers > 0 && b.Workers > 0 && a.Workers != b.Workers {
+		warns = append(warns, fmt.Sprintf("kernel pool workers %d vs %d", a.Workers, b.Workers))
+	}
+	return warns
+}

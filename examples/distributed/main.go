@@ -44,7 +44,7 @@ const (
 // simulated crash.
 func runPhase(ctx context.Context, env *calibre.Environment, method *calibre.Method,
 	ckpt *calibre.CheckpointStore, fingerprint string, resume *calibre.SimState,
-	killAfter int, kill context.CancelFunc) (*calibre.FederationResult, error) {
+	killAfter int, kill context.CancelFunc, metrics *calibre.MetricsRegistry) (*calibre.FederationResult, error) {
 
 	srv, err := calibre.NewServer(calibre.ServerConfig{
 		Addr:            "127.0.0.1:0",
@@ -52,9 +52,13 @@ func runPhase(ctx context.Context, env *calibre.Environment, method *calibre.Met
 		Rounds:          rounds,
 		ClientsPerRound: numClients,
 		Seed:            seed,
-		Aggregator:      method.Aggregator,
-		InitGlobal:      method.InitGlobal,
-		IOTimeout:       2 * time.Minute,
+		// Observability: both phases feed one metrics registry, so the
+		// totals printed at the end span the crash. A registry never
+		// perturbs results — instrumented runs stay bit-identical.
+		Obs:        metrics,
+		Aggregator: method.Aggregator,
+		InitGlobal: method.InitGlobal,
+		IOTimeout:  2 * time.Minute,
 		// Asynchronous rounds: close on a 3-of-4 quorum once the deadline
 		// passes; deadline-missers are requeued for later rounds.
 		Quorum:        numClients - 1,
@@ -138,10 +142,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fingerprint := "distributed-demo" // binds snapshots to this config
+	metrics := calibre.NewMetricsRegistry()
 
 	fmt.Printf("=== phase 1: async federation with checkpoints (killed after round 1) ===\n")
 	phase1, cancel1 := context.WithTimeout(context.Background(), 5*time.Minute)
-	_, err = runPhase(phase1, env, method, ckpt, fingerprint, nil, 1, cancel1)
+	_, err = runPhase(phase1, env, method, ckpt, fingerprint, nil, 1, cancel1, metrics)
 	cancel1()
 	if err == nil {
 		log.Fatal("phase 1 was supposed to die mid-federation")
@@ -159,7 +164,7 @@ func main() {
 	fmt.Printf("resuming from checkpoint v%d (round %d/%d)\n", version, snap.State.Round, rounds)
 	phase2, cancel2 := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel2()
-	res, err := runPhase(phase2, env, method, ckpt, fingerprint, &snap.State, -1, nil)
+	res, err := runPhase(phase2, env, method, ckpt, fingerprint, &snap.State, -1, nil, metrics)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,4 +180,14 @@ func main() {
 		accs = append(accs, res.Accuracies[id])
 	}
 	fmt.Println("federation summary:", calibre.Summarize(accs))
+
+	// What the metrics plane saw across both phases: every completed
+	// round, and how much uplink traffic the XOR-delta wire saved versus
+	// shipping dense vectors. With -metrics-addr / calibre.ServeMetrics
+	// the same numbers are scrapeable live at /metrics and /metrics/prom.
+	ms := metrics.Snapshot()
+	fmt.Printf("metrics: %d rounds observed, uplink %d B on the wire vs %d B dense\n",
+		ms.Counters[calibre.MetricRounds],
+		ms.Counters[calibre.MetricUplinkWireBytes],
+		ms.Counters[calibre.MetricUplinkDenseBytes])
 }

@@ -6,8 +6,10 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
+	"calibre/internal/obs"
 	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/tensor"
@@ -64,6 +66,12 @@ type SimConfig struct {
 	Straggler StragglerPolicy
 	// OnRound, if set, observes each completed round (single-goroutine).
 	OnRound func(RoundStats)
+	// Obs, if non-nil, receives live observability for every completed
+	// round (an obs.RoundSample plus per-client participation). Purely
+	// additive: a nil registry costs one branch per round, and an attached
+	// one never perturbs training — instrumented runs are bit-identical to
+	// uninstrumented ones (pinned by TestObsRegistryDoesNotPerturbRun).
+	Obs *obs.Registry
 
 	// OnCheckpoint, if set, receives a deep-copied SimState after every
 	// CheckpointEvery-th completed round and after the final round. It
@@ -253,6 +261,8 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			roundCtx, cancelRound = context.WithTimeout(ctx, s.Config.RoundDeadline)
 		}
 		round := round
+		roundStart := time.Now()
+		var wireBytes, denseBytes atomic.Int64
 		updates, err := runParallel(roundCtx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
 			rng := clientRNG(s.Config.Seed, round, id)
 			u, err := s.Method.Trainer.Train(ctx, rng, s.Clients[id], global, round)
@@ -271,6 +281,19 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 					return nil, fmt.Errorf("fl: client %d round %d: %w", id, round, derr)
 				}
 				u.Delta, u.Params = d, nil
+			}
+			// Uplink accounting must happen before Resolve clears the delta:
+			// actual wire bytes vs. the dense baseline the codec saves
+			// against. The simulator always encodes (to exercise the codec),
+			// but a real sender ships dense when the delta does not compress
+			// (flnet's wireUpdate fallback), so the wire cost is capped at
+			// the dense size.
+			if u.Delta != nil {
+				wireBytes.Add(int64(min(u.Delta.Size(), u.Delta.DenseSize())))
+				denseBytes.Add(int64(u.Delta.DenseSize()))
+			} else {
+				wireBytes.Add(int64(8 * len(u.Params)))
+				denseBytes.Add(int64(8 * len(u.Params)))
 			}
 			// Ingress validation: a wrong-sized payload from an in-process
 			// trainer is a bug, surfaced as a typed ErrUpdateSize instead of
@@ -306,6 +329,20 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		stats.MeanLoss /= float64(len(updates))
 		history = append(history, stats)
 		eligibleCounts = append(eligibleCounts, eligibleCount)
+		if reg := s.Config.Obs; reg != nil {
+			reg.ObserveRound(obs.RoundSample{
+				Runtime:          "sim",
+				Round:            round,
+				Participants:     len(sampled),
+				Responders:       len(ids),
+				Stragglers:       len(sampled) - len(ids),
+				MeanLoss:         stats.MeanLoss,
+				UplinkWireBytes:  wireBytes.Load(),
+				UplinkDenseBytes: denseBytes.Load(),
+				DurationMS:       time.Since(roundStart).Milliseconds(),
+			})
+			reg.AddParticipation(ids)
+		}
 		if s.Config.OnCheckpoint != nil && CheckpointDue(round+1, s.Config.CheckpointEvery, s.Config.Rounds) {
 			st := &SimState{Round: round + 1, Global: global, History: history, EligibleCounts: eligibleCounts}
 			if err := s.Config.OnCheckpoint(st.Clone()); err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/obs"
 	"calibre/internal/param"
 )
 
@@ -54,6 +55,12 @@ type ServerConfig struct {
 
 	// OnRound observes completed rounds.
 	OnRound func(fl.RoundStats)
+	// Obs, if non-nil, receives live observability for every completed
+	// round: an obs.RoundSample carrying the straggler/quorum accounting
+	// plus the uplink wire bytes actually received (delta-encoded size vs
+	// the dense baseline), and per-client participation. Nil-safe and
+	// side-effect-free on training.
+	Obs *obs.Registry
 
 	// OnCheckpoint, if set, receives a deep-copied fl.SimState after every
 	// CheckpointEvery-th completed round and after the final round, before
@@ -453,6 +460,10 @@ func (e *roundEngine) eligible() []int {
 func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, global param.Vector) (fl.RoundStats, param.Vector, error) {
 	s := e.s
 	stats := fl.RoundStats{Round: round}
+	roundStart := time.Now()
+	// Uplink accounting (engine is single-goroutine, plain ints suffice):
+	// bytes as received on the wire vs. the dense-encoding baseline.
+	var wireBytes, denseBytes int64
 
 	eligible := e.eligible()
 	if len(eligible) == 0 {
@@ -582,6 +593,15 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 					err = skipParticipant(ev.id, reqRound, "sent train-result without an update")
 					break
 				}
+				// Account wire bytes before Resolve clears the delta; the
+				// payload did cross the uplink whether or not it validates.
+				if u.Delta != nil {
+					wireBytes += int64(u.Delta.Size())
+					denseBytes += int64(u.Delta.DenseSize())
+				} else {
+					wireBytes += int64(8 * len(u.Params))
+					denseBytes += int64(8 * len(u.Params))
+				}
 				// Ingress validation: materialize a delta payload against
 				// this round's global and length-check everything before the
 				// update can reach the aggregate. A client shipping a
@@ -650,6 +670,26 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		}
 		stats.Responders = responders
 		sort.Ints(stats.Stragglers)
+	}
+	if reg := s.cfg.Obs; reg != nil {
+		respIDs := participants
+		if nSkipped > 0 {
+			respIDs = stats.Responders
+		}
+		reg.ObserveRound(obs.RoundSample{
+			Runtime:          "server",
+			Round:            round,
+			Participants:     len(participants),
+			Responders:       nArrived,
+			Stragglers:       nSkipped,
+			LateUpdates:      stats.LateUpdates,
+			DeadlineExpired:  stats.DeadlineExpired,
+			MeanLoss:         stats.MeanLoss,
+			UplinkWireBytes:  wireBytes,
+			UplinkDenseBytes: denseBytes,
+			DurationMS:       time.Since(roundStart).Milliseconds(),
+		})
+		reg.AddParticipation(respIDs)
 	}
 	return stats, next, nil
 }

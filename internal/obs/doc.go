@@ -1,0 +1,44 @@
+// Package obs is the live observability plane for the federation
+// runtimes: a stdlib-only, snapshot-consistent metrics registry that both
+// the in-process simulator (fl), the TCP server (flnet) and the sweep
+// scheduler (sweep) feed while they run, exported over HTTP so a long
+// federation is steerable while it executes instead of only post-mortem.
+//
+// # Registry
+//
+// A Registry holds three kinds of state:
+//
+//   - named monotonic counters (rounds_total, uplink_wire_bytes_total, …)
+//   - named gauges (round, sweep_cells_in_flight, …)
+//   - a bounded ring of per-round samples (RoundSample: straggler/quorum
+//     accounting from fl.RoundStats, uplink bytes dense-vs-delta, round
+//     wall-clock), plus a per-client participation table
+//
+// Counter and Gauge handles are lock-free atomics once obtained, so the
+// training hot path never blocks on a scraper: instrumentation costs one
+// atomic add, and Snapshot takes a short mutex only to copy the ring and
+// the name tables. Snapshot returns a fully consistent copy — every
+// counter, gauge and sample in it was observed under one lock acquisition
+// — and is safe to call from any goroutine at any rate (pinned by a
+// -race test hammering Snapshot during concurrent flnet rounds).
+//
+// Every Registry method is nil-receiver-safe: runtimes instrument
+// unconditionally and a federation without observability attached pays a
+// single predictable-branch nil check. Instrumentation never perturbs
+// results — a simulation with a live Registry attached is bit-identical
+// to one without (pinned by a test in fl).
+//
+// # Endpoints
+//
+// Handler serves two read-only views of a Registry:
+//
+//	/metrics       the JSON Snapshot (counters, gauges, round ring,
+//	               participation)
+//	/metrics/prom  a Prometheus text-format rendering of the same
+//	               snapshot (deterministic ordering, golden-tested)
+//
+// Serve binds a listener and serves Handler in the background; the
+// calibre-server and calibre-sweep binaries expose it behind their
+// -metrics-addr flags, and `calibre-sweep watch` polls the JSON view to
+// render live cell/round progress.
+package obs

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler serves the registry's two read-only views:
+//
+//	/metrics       JSON Snapshot
+//	/metrics/prom  Prometheus text exposition
+//
+// Each request takes its own Snapshot, so concurrent scrapes never block
+// each other or the training hot path.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot())
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WriteProm(w)
+	})
+	return mux
+}
+
+// Serve binds addr (host:port; port 0 picks a free one) and serves
+// Handler(reg) in a background goroutine. The returned server supports
+// graceful teardown via Shutdown; the returned address is the bound
+// listener address, which callers print so scrapers and `calibre-sweep
+// watch` know where to point.
+func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

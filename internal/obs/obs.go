@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Canonical counter names the runtimes feed. Keeping them as constants
+// means the JSON endpoint, the Prometheus encoder and `calibre-sweep
+// watch` agree on spelling without a shared schema file.
+const (
+	// CounterRounds counts completed federated rounds (simulator and
+	// server alike; sweeps accumulate across cells).
+	CounterRounds = "rounds_total"
+	// CounterResponders counts participants whose updates were aggregated.
+	CounterResponders = "responders_total"
+	// CounterStragglers counts participants whose updates were not
+	// aggregated (deadline missed, dropped out, failed mid-round).
+	CounterStragglers = "stragglers_total"
+	// CounterLateUpdates counts stale straggler replies that drained
+	// during later rounds' collection windows.
+	CounterLateUpdates = "late_updates_total"
+	// CounterDeadlineExpired counts rounds closed by their deadline with a
+	// quorum rather than by every participant replying.
+	CounterDeadlineExpired = "deadline_expired_total"
+	// CounterUplinkWireBytes is the actual uplink payload cost: delta
+	// bytes for delta-encoded updates, 8 bytes/element for dense ones.
+	CounterUplinkWireBytes = "uplink_wire_bytes_total"
+	// CounterUplinkDenseBytes is what the same updates would have cost
+	// shipped dense — the baseline the delta wire is saving against.
+	CounterUplinkDenseBytes = "uplink_dense_bytes_total"
+
+	// CounterSweepCellsDone / CounterSweepCellsFailed count sweep cells by
+	// outcome; CounterSweepCellsRestored counts cells a resume restored
+	// from the manifest without re-running.
+	CounterSweepCellsDone     = "sweep_cells_done_total"
+	CounterSweepCellsFailed   = "sweep_cells_failed_total"
+	CounterSweepCellsRestored = "sweep_cells_restored_total"
+)
+
+// Canonical gauge names.
+const (
+	// GaugeRound is the last completed round index.
+	GaugeRound = "round"
+	// GaugeSweepCellsPlanned / Pending / InFlight describe a running
+	// sweep: the grid's total cell count, cells not yet finished in this
+	// process, and cells currently executing.
+	GaugeSweepCellsPlanned  = "sweep_cells_planned"
+	GaugeSweepCellsPending  = "sweep_cells_pending"
+	GaugeSweepCellsInFlight = "sweep_cells_in_flight"
+)
+
+// roundWindow bounds the per-round sample ring: a million-round run keeps
+// live memory constant while the scraper still sees recent history.
+const roundWindow = 256
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// handles obtained from a Registry are shared and lock-free.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; safe for concurrent use, no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value; no-op on nil.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (negative to decrement); no-op on nil.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// RoundSample is one completed round as the metrics plane sees it — the
+// fl.RoundStats straggler accounting plus the wire-byte and wall-clock
+// facts the runtimes know at round close.
+type RoundSample struct {
+	// Runtime names the producer: "sim" (fl.Simulator), "server"
+	// (flnet.Server) or a sweep cell key prefix.
+	Runtime string `json:"runtime"`
+	// Round is the round index within its federation.
+	Round int `json:"round"`
+	// Participants, Responders and Stragglers are head-counts (the
+	// participation table tracks per-client detail).
+	Participants int `json:"participants"`
+	Responders   int `json:"responders"`
+	Stragglers   int `json:"stragglers"`
+	// LateUpdates counts stale straggler replies drained this round.
+	LateUpdates int `json:"late_updates,omitempty"`
+	// DeadlineExpired reports a round closed by its deadline with quorum.
+	DeadlineExpired bool `json:"deadline_expired,omitempty"`
+	// MeanLoss is the round's mean local training loss.
+	MeanLoss float64 `json:"mean_loss"`
+	// UplinkWireBytes is the actual uplink payload cost of the round;
+	// UplinkDenseBytes what the same updates would cost shipped dense.
+	UplinkWireBytes  int64 `json:"uplink_wire_bytes"`
+	UplinkDenseBytes int64 `json:"uplink_dense_bytes"`
+	// DurationMS is the round's wall-clock time. Observability only —
+	// it never feeds back into training, which is what keeps
+	// instrumented runs bit-identical to uninstrumented ones.
+	DurationMS int64 `json:"duration_ms"`
+}
+
+// Registry is the process-local metrics hub. The zero value is not
+// usable; build one with NewRegistry. All methods are safe for concurrent
+// use and safe on a nil receiver (recording becomes a no-op), so runtime
+// code instruments unconditionally.
+type Registry struct {
+	mu            sync.Mutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	rounds        []RoundSample
+	participation map[int]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		participation: make(map[int]int64),
+	}
+}
+
+// Counter returns the named counter handle, creating it on first use.
+// Returns nil (a usable no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge handle, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// ObserveRound records one completed round: it appends the sample to the
+// bounded ring and folds its facts into the aggregate counters and the
+// round gauge, all under one lock so a concurrent Snapshot never sees a
+// half-recorded round.
+func (r *Registry) ObserveRound(s RoundSample) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rounds = append(r.rounds, s)
+	if len(r.rounds) > roundWindow {
+		r.rounds = r.rounds[len(r.rounds)-roundWindow:]
+	}
+	r.counterLocked(CounterRounds).Add(1)
+	r.counterLocked(CounterResponders).Add(int64(s.Responders))
+	r.counterLocked(CounterStragglers).Add(int64(s.Stragglers))
+	r.counterLocked(CounterLateUpdates).Add(int64(s.LateUpdates))
+	var expired int64
+	if s.DeadlineExpired {
+		expired = 1
+	}
+	r.counterLocked(CounterDeadlineExpired).Add(expired)
+	r.counterLocked(CounterUplinkWireBytes).Add(s.UplinkWireBytes)
+	r.counterLocked(CounterUplinkDenseBytes).Add(s.UplinkDenseBytes)
+	r.gaugeLocked(GaugeRound).Set(int64(s.Round))
+}
+
+// AddParticipation bumps the per-client participation count for every id
+// (one round each).
+func (r *Registry) AddParticipation(ids []int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		r.participation[id]++
+	}
+}
+
+// counterLocked / gaugeLocked are the get-or-create paths for callers
+// already holding r.mu.
+func (r *Registry) counterLocked(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *Registry) gaugeLocked(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot is a consistent copy of a Registry at one instant — what the
+// JSON endpoint serves and the Prometheus encoder renders. Maps are fresh
+// copies; mutating a snapshot never touches the registry.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Rounds is the recent-round ring in chronological order.
+	Rounds []RoundSample `json:"rounds,omitempty"`
+	// Participation maps client ID (stringified for JSON) to the number
+	// of rounds the client's update was aggregated in.
+	Participation map[string]int64 `json:"participation,omitempty"`
+}
+
+// Snapshot copies the registry's state under one lock acquisition. A nil
+// registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Counters: map[string]int64{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{Counters: make(map[string]int64, len(r.counters))}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.rounds) > 0 {
+		snap.Rounds = append([]RoundSample(nil), r.rounds...)
+	}
+	if len(r.participation) > 0 {
+		snap.Participation = make(map[string]int64, len(r.participation))
+		for id, n := range r.participation {
+			snap.Participation[strconv.Itoa(id)] = n
+		}
+	}
+	return snap
+}
+
+// LastRound returns the most recent round sample, or false when none has
+// been recorded.
+func (s Snapshot) LastRound() (RoundSample, bool) {
+	if len(s.Rounds) == 0 {
+		return RoundSample{}, false
+	}
+	return s.Rounds[len(s.Rounds)-1], true
+}
+
+// sortedKeys returns m's keys in ascending order — the deterministic
+// iteration the Prometheus encoder and tests rely on.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

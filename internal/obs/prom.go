@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promPrefix namespaces every exported metric so a shared Prometheus
+// server can tell calibre apart from its neighbors.
+const promPrefix = "calibre_"
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters first, then gauges, then the per-client
+// participation as one labeled counter family, then the latest round's
+// mean loss as a float gauge. Ordering is fully deterministic (names
+// sorted, clients numeric-sorted), so the output is golden-testable and
+// scrape diffs are meaningful.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s counter\n%s%s %d\n", promPrefix, name, promPrefix, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %d\n", promPrefix, name, promPrefix, name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	if len(s.Participation) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE %sclient_rounds_total counter\n", promPrefix); err != nil {
+			return err
+		}
+		ids := make([]int, 0, len(s.Participation))
+		for id := range s.Participation {
+			n, err := strconv.Atoi(id)
+			if err != nil {
+				// Non-numeric IDs cannot occur from Registry.Snapshot;
+				// skip rather than emit an unsortable label.
+				continue
+			}
+			ids = append(ids, n)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if _, err := fmt.Fprintf(w, "%sclient_rounds_total{client=\"%d\"} %d\n", promPrefix, id, s.Participation[strconv.Itoa(id)]); err != nil {
+				return err
+			}
+		}
+	}
+	if last, ok := s.LastRound(); ok {
+		if _, err := fmt.Fprintf(w, "# TYPE %sround_mean_loss gauge\n%sround_mean_loss %s\n",
+			promPrefix, promPrefix, strconv.FormatFloat(last.MeanLoss, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"calibre/internal/eval"
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
+	"calibre/internal/obs"
 	"calibre/internal/store"
 	"calibre/internal/tensor"
 )
@@ -77,6 +78,12 @@ type Config struct {
 	// OnCell, if set, observes each completed cell's outcome (serialized
 	// across workers, after the outcome is durably recorded).
 	OnCell func(CellResult)
+	// Obs, if non-nil, receives live sweep observability: planned/pending/
+	// in-flight cell gauges, done/failed/restored counters, and — because
+	// the registry is threaded into every cell's simulation — the round
+	// and uplink counters accumulating across cells. This is what
+	// `calibre-sweep watch` renders.
+	Obs *obs.Registry
 
 	// buildEnv stubs environment construction in tests; nil means
 	// experiments.BuildEnvironment.
@@ -224,6 +231,9 @@ func Run(ctx context.Context, g *Grid, cfg Config) (*Result, error) {
 	if cfg.OnPlan != nil {
 		cfg.OnPlan(len(cells), len(pending))
 	}
+	cfg.Obs.Gauge(obs.GaugeSweepCellsPlanned).Set(int64(len(cells)))
+	cfg.Obs.Gauge(obs.GaugeSweepCellsPending).Set(int64(len(pending)))
+	cfg.Obs.Counter(obs.CounterSweepCellsRestored).Add(int64(len(outcomes)))
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -251,11 +261,19 @@ func Run(ctx context.Context, g *Grid, cfg Config) (*Result, error) {
 					cfg.OnCellStart(c)
 					cbMu.Unlock()
 				}
+				cfg.Obs.Gauge(obs.GaugeSweepCellsInFlight).Add(1)
 				res := s.runCell(ctx, c)
+				cfg.Obs.Gauge(obs.GaugeSweepCellsInFlight).Add(-1)
 				if ctx.Err() != nil {
 					// The sweep was canceled mid-cell: do not record a
 					// cancellation artifact; resume re-runs this cell.
 					continue
+				}
+				cfg.Obs.Gauge(obs.GaugeSweepCellsPending).Add(-1)
+				if res.Status == StatusOK {
+					cfg.Obs.Counter(obs.CounterSweepCellsDone).Add(1)
+				} else {
+					cfg.Obs.Counter(obs.CounterSweepCellsFailed).Add(1)
 				}
 				mu.Lock()
 				outcomes[res.Key] = res
@@ -423,6 +441,9 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 		cfg.Quorum = c.Quorum
 		cfg.DropoutRate = c.Dropout
 		cfg.Straggler = straggler
+		// One registry across all cells: round/uplink counters accumulate
+		// sweep-wide, which is the live view `calibre-sweep watch` polls.
+		cfg.Obs = s.cfg.Obs
 		if onCheckpoint != nil {
 			cfg.OnCheckpoint = onCheckpoint
 			cfg.CheckpointEvery = s.cfg.CheckpointEvery

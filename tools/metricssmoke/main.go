@@ -1,0 +1,162 @@
+// Command metricssmoke is the CI gate for the live metrics plane, run by
+// ci.sh. It drives a short real sweep (`calibre-sweep run -metrics-addr
+// 127.0.0.1:0`), parses the printed listen address, and scrapes the
+// endpoint with stdlib net/http while the federation executes: /metrics
+// must serve decodable JSON whose round counter goes non-zero, and
+// /metrics/prom must expose `calibre_rounds_total` in Prometheus text.
+// Any miss — unparseable output, dead endpoint, zero rounds, non-zero
+// sweep exit — fails CI.
+//
+//	go run ./tools/metricssmoke
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+const grid = `{
+  "name": "metrics-smoke",
+  "methods": ["fedavg-ft"],
+  "settings": ["cifar10-q(2,500)"],
+  "scales": ["smoke"],
+  "seeds": [1, 2]
+}`
+
+// snapshot mirrors the counters half of obs.Snapshot; the smoke keeps its
+// own decl so it exercises the endpoint exactly like an external scraper
+// (no in-module imports).
+type snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("metricssmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "calibre-metricssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(grid), 0o644); err != nil {
+		return err
+	}
+
+	cmd := exec.Command("go", "run", "./cmd/calibre-sweep", "run",
+		"-grid", gridPath, "-out", filepath.Join(dir, "out"),
+		"-metrics-addr", "127.0.0.1:0", "-quiet")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+
+	// The sweep prints "metrics: listening on http://<addr>/metrics (…)"
+	// before any cell runs; everything after that line just drains.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "metrics: listening on http://"); ok {
+				if addr, _, ok := strings.Cut(rest, "/metrics"); ok {
+					addrCh <- addr
+				}
+			}
+		}
+		close(addrCh)
+	}()
+
+	addr, ok := <-addrCh
+	if !ok || addr == "" {
+		_ = cmd.Wait()
+		return fmt.Errorf("sweep never printed its metrics listen address")
+	}
+
+	// Scrape until the sweep exits: JSON must decode every time the
+	// endpoint answers, and the round counter must tick at least once.
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	client := &http.Client{Timeout: 2 * time.Second}
+	var scrapes, maxRounds int64
+	promSeen := false
+	running := true
+	for running {
+		select {
+		case err := <-done:
+			if err != nil {
+				return fmt.Errorf("sweep exited non-zero: %w", err)
+			}
+			running = false
+		case <-time.After(10 * time.Millisecond):
+			resp, err := client.Get("http://" + addr + "/metrics")
+			if err != nil {
+				continue
+			}
+			var snap snapshot
+			decErr := json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if decErr != nil {
+				return fmt.Errorf("/metrics served undecodable JSON: %v", decErr)
+			}
+			scrapes++
+			if n := snap.Counters["rounds_total"]; n > maxRounds {
+				maxRounds = n
+			}
+			// Once a round has landed, the Prometheus view must carry it too.
+			if maxRounds > 0 && !promSeen {
+				resp, err := client.Get("http://" + addr + "/metrics/prom")
+				if err != nil {
+					continue
+				}
+				text := readAll(resp)
+				resp.Body.Close()
+				if !strings.Contains(text, "calibre_rounds_total") {
+					return fmt.Errorf("/metrics/prom missing calibre_rounds_total:\n%s", text)
+				}
+				promSeen = true
+			}
+		}
+	}
+
+	if scrapes == 0 {
+		return fmt.Errorf("metrics endpoint was never scrapeable during the sweep")
+	}
+	if maxRounds == 0 {
+		return fmt.Errorf("rounds_total never went non-zero across %d scrapes", scrapes)
+	}
+	if !promSeen {
+		return fmt.Errorf("never confirmed the Prometheus view (calibre_rounds_total)")
+	}
+	fmt.Printf("metricssmoke: %d scrapes, rounds_total peaked at %d, prom view confirmed\n", scrapes, maxRounds)
+	return nil
+}
+
+func readAll(resp *http.Response) string {
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
