@@ -42,6 +42,9 @@ go run ./tools/docgate
 echo "== metrics smoke =="
 go run ./tools/metricssmoke
 
+echo "== hostile smoke =="
+go run ./tools/hostilesmoke
+
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 

@@ -67,6 +67,8 @@ func run(args []string) error {
 		ckptDelta = fs.Bool("checkpoint-incremental", false, "encode checkpoints as lossless deltas against the previous version (full-snapshot fallback; see calibre-ckpt list)")
 		resume    = fs.Bool("resume", false, "resume from the latest matching checkpoint in -checkpoint-dir (fresh start when none exists)")
 		wire      = fs.String("update-wire", "delta", "client update encoding advertised at join: delta (compressed, lossless) | dense")
+		aggSpec   = fs.String("aggregator", "", "robust aggregator override: mean | median | trimmed(frac) | krum(f); empty keeps the method's own")
+		traceSpec = fs.String("trace", "", "seeded availability trace, e.g. diurnal(0.1,0.6,8) | flash(0,0.8,2,2) | markov(0,0.3,0.5); empty means always available")
 		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +97,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *aggSpec != "" && *aggSpec != "mean" {
+		agg, err := fl.ParseAggregator(*aggSpec)
+		if err != nil {
+			return err
+		}
+		m.Aggregator = agg
+	}
+	trace, err := fl.ParseTrace(*traceSpec)
+	if err != nil {
+		return err
+	}
 	cfg := flnet.ServerConfig{
 		Addr:            *addr,
 		NumClients:      *clients,
@@ -107,6 +120,7 @@ func run(args []string) error {
 		RoundDeadline:   *deadline,
 		Straggler:       policy,
 		UpdateWire:      updateWire,
+		Trace:           trace,
 		OnRound: func(stats fl.RoundStats) {
 			fmt.Println(stats)
 		},
@@ -133,7 +147,8 @@ func run(args []string) error {
 		// never silently continue a differently-configured federation.
 		fp := store.Fingerprint("server", *method, *setting, *scale,
 			fmt.Sprint(*seed), fmt.Sprint(*clients), fmt.Sprint(*perRound),
-			fmt.Sprint(*quorum), deadline.String(), policy.String())
+			fmt.Sprint(*quorum), deadline.String(), policy.String(),
+			fmt.Sprint(m.Aggregator), trace.String())
 		cfg.CheckpointEvery = *ckptEvery
 		cfg.OnCheckpoint = ckpt.SaveHook(
 			store.Meta{Seed: *seed, Fingerprint: fp, Runtime: "server"},

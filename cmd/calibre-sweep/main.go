@@ -1,7 +1,8 @@
 // Command calibre-sweep runs declarative scenario grids — methods ×
-// partitions × seeds × federation knobs — as one scheduled, resumable,
-// reportable unit (see internal/sweep and the "Sweep engine" section of
-// ARCHITECTURE.md).
+// partitions × seeds × federation knobs, including the hostile axes
+// (aggregators, adversary, adversary_frac, availability) — as one
+// scheduled, resumable, reportable unit (see internal/sweep and the
+// "Sweep engine" and "Threat model" sections of ARCHITECTURE.md).
 //
 // Usage:
 //

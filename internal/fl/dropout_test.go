@@ -17,7 +17,7 @@ func TestApplyDropoutKeepsAtLeastOne(t *testing.T) {
 			ids[i] = i
 		}
 		rate := rng.Float64() * 0.99
-		kept := applyDropout(rng, ids, rate, 0)
+		kept := applyDropout(rng, ids, func(int) float64 { return rate }, 0)
 		if len(kept) < 1 || len(kept) > n {
 			return false
 		}
@@ -40,7 +40,7 @@ func TestApplyDropoutKeepsAtLeastOne(t *testing.T) {
 func TestApplyDropoutZeroRateIsIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	ids := []int{3, 1, 4}
-	kept := applyDropout(rng, ids, 0, 0)
+	kept := applyDropout(rng, ids, nil, 0)
 	if len(kept) != 3 {
 		t.Fatalf("kept = %v", kept)
 	}
@@ -50,7 +50,7 @@ func TestApplyDropoutRespectsQuorum(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	ids := []int{0, 1, 2, 3, 4, 5}
 	for trial := 0; trial < 50; trial++ {
-		kept := applyDropout(rng, ids, 0.95, 4)
+		kept := applyDropout(rng, ids, func(int) float64 { return 0.95 }, 4)
 		if len(kept) < 4 {
 			t.Fatalf("trial %d: quorum 4 violated, kept %v", trial, kept)
 		}

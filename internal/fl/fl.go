@@ -217,6 +217,13 @@ type RoundStats struct {
 	// DeadlineExpired reports that the round was closed by its deadline
 	// with a quorum of updates, rather than by every participant replying.
 	DeadlineExpired bool
+	// AdversarialUpdates counts aggregated updates that came from clients
+	// under adversarial control (SimConfig.Adversary / the server's seeded
+	// compromise trace).
+	AdversarialUpdates int
+	// RejectedUpdates counts updates a robust aggregator excluded from the
+	// aggregate by construction (RobustAggregator.Rejected).
+	RejectedUpdates int
 }
 
 // String renders the round on one log line, including straggler accounting
@@ -232,6 +239,12 @@ func (r RoundStats) String() string {
 	}
 	if r.DeadlineExpired {
 		b.WriteString(" deadline-expired")
+	}
+	if r.AdversarialUpdates > 0 {
+		fmt.Fprintf(&b, " adversarial=%d", r.AdversarialUpdates)
+	}
+	if r.RejectedUpdates > 0 {
+		fmt.Fprintf(&b, " rejected=%d", r.RejectedUpdates)
 	}
 	return b.String()
 }

@@ -49,6 +49,18 @@ type SimConfig struct {
 	// max(1, Quorum) sampled clients always survive so every round
 	// aggregates something.
 	DropoutRate float64
+	// Trace, when set, replaces the flat DropoutRate with a seeded
+	// availability trace (diurnal sine, flash-crowd burst or correlated
+	// markov churn): each sampled client drops out of round r with
+	// probability Trace.DropProb(r, id). Mutually exclusive with
+	// DropoutRate; the quorum-survivor guarantee still holds.
+	Trace *TraceConfig
+	// Adversary, when set, places a seeded fraction of the client
+	// population under adversarial control (see Adversary). The compromised
+	// set and every hostile payload are pure functions of Seed, so hostile
+	// runs replay and resume bit-identically; RoundStats.AdversarialUpdates
+	// and RejectedUpdates account for the attack per round.
+	Adversary *Adversary
 	// Quorum is the minimum number of surviving updates a round keeps
 	// under DropoutRate (K in K-of-N aggregation). 0 means 1 — the
 	// historical "at least one survivor" floor. It mirrors the flnet
@@ -107,6 +119,10 @@ type Simulator struct {
 	Config  SimConfig
 	Method  *Method
 	Clients []*partition.Client
+
+	// trace is the seeded availability generator Run derives from
+	// Config.Trace; nil when the flat DropoutRate (or nothing) governs.
+	trace *TraceGen
 }
 
 // NewSimulator validates and assembles a simulator.
@@ -128,6 +144,17 @@ func NewSimulator(cfg SimConfig, method *Method, clients []*partition.Client) (*
 	}
 	if cfg.DropoutRate < 0 || cfg.DropoutRate >= 1 {
 		return nil, fmt.Errorf("fl: dropout rate must be in [0,1), got %v", cfg.DropoutRate)
+	}
+	if cfg.Trace != nil {
+		if cfg.DropoutRate > 0 {
+			return nil, fmt.Errorf("fl: Trace and DropoutRate are mutually exclusive")
+		}
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Adversary.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Quorum < 0 {
 		return nil, fmt.Errorf("fl: quorum must be ≥0, got %d", cfg.Quorum)
@@ -152,11 +179,12 @@ func NewSimulator(cfg SimConfig, method *Method, clients []*partition.Client) (*
 	return &Simulator{Config: cfg, Method: method, Clients: clients}, nil
 }
 
-// applyDropout removes each id with probability rate, keeping at least
-// max(1, quorum) survivors (preferring random survivors when too many
-// would drop).
-func applyDropout(rng *rand.Rand, ids []int, rate float64, quorum int) []int {
-	if rate <= 0 {
+// applyDropout removes each id with probability probOf(id), keeping at
+// least max(1, quorum) survivors (preferring random survivors when too
+// many would drop). A nil probOf means no dropout and consumes no RNG
+// draws — the stream contract flat-rate runs have always had.
+func applyDropout(rng *rand.Rand, ids []int, probOf func(id int) float64, quorum int) []int {
+	if probOf == nil {
 		return ids
 	}
 	if quorum < 1 {
@@ -168,7 +196,7 @@ func applyDropout(rng *rand.Rand, ids []int, rate float64, quorum int) []int {
 	kept := make([]int, 0, len(ids))
 	dropped := make([]int, 0, len(ids))
 	for _, id := range ids {
-		if rng.Float64() >= rate {
+		if rng.Float64() >= probOf(id) {
 			kept = append(kept, id)
 		} else {
 			dropped = append(dropped, id)
@@ -188,13 +216,20 @@ func applyDropout(rng *rand.Rand, ids []int, rate float64, quorum int) []int {
 // (shrunk under StragglerDrop). Both the live round loop and the resume
 // replay path go through it, which is what makes a resumed run's RNG
 // stream bit-identical to an uninterrupted one.
-func (s *Simulator) drawRound(rng *rand.Rand, alive []int) (sampled, ids, nextAlive []int) {
+func (s *Simulator) drawRound(rng *rand.Rand, round int, alive []int) (sampled, ids, nextAlive []int) {
 	picks := s.Config.Sampler.Sample(rng, len(alive), s.Config.ClientsPerRound)
 	sampled = make([]int, len(picks))
 	for i, p := range picks {
 		sampled[i] = alive[p]
 	}
-	ids = applyDropout(rng, sampled, s.Config.DropoutRate, s.Config.Quorum)
+	var probOf func(id int) float64
+	switch {
+	case s.trace != nil:
+		probOf = func(id int) float64 { return s.trace.DropProb(round, id) }
+	case s.Config.DropoutRate > 0:
+		probOf = func(int) float64 { return s.Config.DropoutRate }
+	}
+	ids = applyDropout(rng, sampled, probOf, s.Config.Quorum)
 	nextAlive = alive
 	if len(ids) != len(sampled) && s.Config.Straggler == StragglerDrop {
 		nextAlive = diffSorted(alive, diffSorted(sampled, ids))
@@ -209,6 +244,16 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		tensor.SetWorkers(s.Config.KernelWorkers)
 	}
 	masterRNG := rand.New(rand.NewSource(s.Config.Seed))
+	s.trace = s.Config.Trace.Generator(s.Config.Seed)
+	// The adversary wraps the trainer rather than mutating the method, so a
+	// hostile run never leaks attack state into a shared Method value. The
+	// compromised set is fixed for the whole run.
+	trainer := s.Config.Adversary.WrapTrainer(s.Method.Trainer, s.Config.Seed, len(s.Clients))
+	malicious := make(map[int]bool)
+	for _, id := range s.Config.Adversary.Malicious(s.Config.Seed, len(s.Clients)) {
+		malicious[id] = true
+	}
+	robust, _ := s.Method.Aggregator.(RobustAggregator)
 	global, err := s.Method.InitGlobal(masterRNG)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fl: init global: %w", err)
@@ -234,7 +279,7 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 				return nil, nil, fmt.Errorf("fl: resume: round %d replays a pool of %d clients, checkpoint recorded %d (configuration drift?)",
 					r, len(alive), st.EligibleCounts[r])
 			}
-			_, _, alive = s.drawRound(masterRNG, alive)
+			_, _, alive = s.drawRound(masterRNG, r, alive)
 		}
 		global = st.Global.Clone()
 		history = append(history, st.History...)
@@ -246,7 +291,7 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			return nil, nil, fmt.Errorf("fl: round %d: %w", round, err)
 		}
 		eligibleCount := len(alive)
-		sampled, ids, nextAlive := s.drawRound(masterRNG, alive)
+		sampled, ids, nextAlive := s.drawRound(masterRNG, round, alive)
 		// Guard the K-of-N contract loudly rather than letting applyDropout
 		// clamp the floor: a round that cannot keep Quorum survivors fails.
 		// (Unreachable in normal operation — validation bounds Quorum by
@@ -265,7 +310,7 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		var wireBytes, denseBytes atomic.Int64
 		updates, err := runParallel(roundCtx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
 			rng := clientRNG(s.Config.Seed, round, id)
-			u, err := s.Method.Trainer.Train(ctx, rng, s.Clients[id], global, round)
+			u, err := trainer.Train(ctx, rng, s.Clients[id], global, round)
 			if err != nil {
 				return nil, fmt.Errorf("fl: client %d round %d: %w", id, round, err)
 			}
@@ -322,6 +367,14 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			stats.Responders = ids
 			stats.Stragglers = diffSorted(sampled, ids)
 		}
+		for _, id := range ids {
+			if malicious[id] {
+				stats.AdversarialUpdates++
+			}
+		}
+		if robust != nil {
+			stats.RejectedUpdates = robust.Rejected(len(updates))
+		}
 		alive = nextAlive
 		for _, u := range updates {
 			stats.MeanLoss += u.TrainLoss
@@ -331,15 +384,17 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		eligibleCounts = append(eligibleCounts, eligibleCount)
 		if reg := s.Config.Obs; reg != nil {
 			reg.ObserveRound(obs.RoundSample{
-				Runtime:          "sim",
-				Round:            round,
-				Participants:     len(sampled),
-				Responders:       len(ids),
-				Stragglers:       len(sampled) - len(ids),
-				MeanLoss:         stats.MeanLoss,
-				UplinkWireBytes:  wireBytes.Load(),
-				UplinkDenseBytes: denseBytes.Load(),
-				DurationMS:       time.Since(roundStart).Milliseconds(),
+				Runtime:            "sim",
+				Round:              round,
+				Participants:       len(sampled),
+				Responders:         len(ids),
+				Stragglers:         len(sampled) - len(ids),
+				AdversarialUpdates: stats.AdversarialUpdates,
+				RejectedUpdates:    stats.RejectedUpdates,
+				MeanLoss:           stats.MeanLoss,
+				UplinkWireBytes:    wireBytes.Load(),
+				UplinkDenseBytes:   denseBytes.Load(),
+				DurationMS:         time.Since(roundStart).Milliseconds(),
 			})
 			reg.AddParticipation(ids)
 		}

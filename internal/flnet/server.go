@@ -53,6 +53,21 @@ type ServerConfig struct {
 	// requeue (default) keeps them in the federation, drop evicts them.
 	Straggler fl.StragglerPolicy
 
+	// Trace, when set, applies a seeded availability trace server-side:
+	// each sampled participant is dropped from the round pre-dispatch with
+	// probability Trace.DropProb(round, id), becoming a straggler (evicted
+	// under StragglerDrop). Exactly one RNG draw is consumed per
+	// participant and a round left below max(1, Quorum) available clients
+	// fails with fl.ErrQuorumNotMet — no rescue draws — so a resumed
+	// server can replay the stream from recorded pool sizes alone.
+	Trace *fl.TraceConfig
+	// Adversary is accounting-only: it names the seeded compromise trace
+	// the federation's clients were launched under (same Seed, population
+	// NumClients) so RoundStats.AdversarialUpdates and the obs plane can
+	// attribute ingested updates. It does not alter server behavior —
+	// defense lives in the Aggregator.
+	Adversary *fl.Adversary
+
 	// OnRound observes completed rounds.
 	OnRound func(fl.RoundStats)
 	// Obs, if non-nil, receives live observability for every completed
@@ -106,6 +121,12 @@ func (c *ServerConfig) validate() error {
 		return errors.New("flnet: round deadline must be ≥0")
 	}
 	if _, err := fl.ParseStragglerPolicy(c.Straggler.String()); err != nil {
+		return err
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	if err := c.Adversary.Validate(); err != nil {
 		return err
 	}
 	if c.ResumeFrom != nil {
@@ -222,7 +243,13 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("flnet: init global: %w", err)
 	}
 
-	eng := &roundEngine{s: s, busy: make(map[int]int)}
+	eng := &roundEngine{s: s, busy: make(map[int]int), trace: s.cfg.Trace.Generator(s.cfg.Seed)}
+	if s.cfg.Adversary != nil {
+		eng.malicious = make(map[int]bool)
+		for _, id := range s.cfg.Adversary.Malicious(s.cfg.Seed, s.cfg.NumClients) {
+			eng.malicious[id] = true
+		}
+	}
 	history := make([]fl.RoundStats, 0, s.cfg.Rounds)
 	startRound := 0
 	if st := s.cfg.ResumeFrom; st != nil {
@@ -233,7 +260,15 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		// pool sizes so the master RNG is exactly where the checkpointed
 		// run left it; then continue from the snapshot's state.
 		for r := 0; r < st.Round; r++ {
-			fl.UniformSampler{}.Sample(rng, st.EligibleCounts[r], s.cfg.ClientsPerRound)
+			picks := fl.UniformSampler{}.Sample(rng, st.EligibleCounts[r], s.cfg.ClientsPerRound)
+			// A traced round burned exactly one availability draw per
+			// participant (no rescue draws by construction), so the replay
+			// can reconstruct the stream from the pool sizes alone.
+			if eng.trace != nil {
+				for range picks {
+					rng.Float64()
+				}
+			}
 		}
 		global = st.Global.Clone()
 		history = append(history, st.History...)
@@ -438,6 +473,10 @@ type roundEngine struct {
 	// prefix included) — the replay data a restarted server needs to
 	// reconstruct its RNG stream, carried into every checkpoint.
 	eligibleCounts []int
+	// trace is the seeded availability generator (nil without cfg.Trace).
+	trace *fl.TraceGen
+	// malicious is the accounting-only compromise set from cfg.Adversary.
+	malicious map[int]bool
 }
 
 // eligible returns the sorted roster IDs with no in-flight request.
@@ -486,22 +525,53 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		return stats, nil, fmt.Errorf("flnet: round %d: only %d eligible participants for quorum %d: %w",
 			round, len(participants), s.cfg.Quorum, fl.ErrQuorumNotMet)
 	}
+	// Trace pre-dispatch drops: exactly one seeded draw per participant in
+	// slot order, never a rescue draw, so a resumed server can burn the
+	// identical stream knowing only the recorded pool sizes. A dropped
+	// participant becomes a straggler without ever seeing the request
+	// (evicted under StragglerDrop); a round left below max(1, Quorum)
+	// available clients fails rather than clamping.
+	skipped := make([]bool, len(participants)) // straggler or failed slots
+	nTraceDrops := 0
+	if e.trace != nil {
+		for slot, id := range participants {
+			if rng.Float64() < e.trace.DropProb(round, id) {
+				skipped[slot] = true
+				nTraceDrops++
+				stats.Stragglers = append(stats.Stragglers, id)
+				if s.cfg.Straggler == fl.StragglerDrop {
+					s.evict(id)
+				}
+			}
+		}
+		floor := s.cfg.Quorum
+		if floor < 1 {
+			floor = 1
+		}
+		if len(participants)-nTraceDrops < floor {
+			return stats, nil, fmt.Errorf("flnet: round %d: availability trace dropped %d of %d participants; need %d: %w",
+				round, nTraceDrops, len(participants), floor, fl.ErrQuorumNotMet)
+		}
+	}
 	quorum := s.cfg.Quorum
 	if quorum == 0 {
-		quorum = len(participants)
+		quorum = len(participants) - nTraceDrops
 	}
 
 	// Dispatch. Workers are idle (we only sample non-busy clients), so the
 	// 1-slot request channels never block.
 	slotOf := make(map[int]int, len(participants))
 	for slot, id := range participants {
+		slotOf[id] = slot
+		if skipped[slot] {
+			continue
+		}
 		h := s.handle(id)
 		if h == nil {
 			return stats, nil, fmt.Errorf("flnet: round %d: client %d vanished before dispatch", round, id)
 		}
 		h.req <- &Envelope{Type: MsgTrain, Round: round, Global: global, ClientID: id}
 		e.busy[id] = round
-		slotOf[id] = slot
 	}
 
 	// Collect.
@@ -509,10 +579,9 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 	var (
 		pending   = make(map[int]*fl.Update) // slot → update awaiting its turn
 		arrived   = make([]bool, len(participants))
-		skipped   = make([]bool, len(participants)) // straggler or failed slots
 		cursor    = 0
 		nArrived  = 0
-		nSkipped  = 0
+		nSkipped  = nTraceDrops
 		lossSum   float64
 		nIngested = 0
 	)
@@ -671,23 +740,33 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		stats.Responders = responders
 		sort.Ints(stats.Stragglers)
 	}
+	for slot, id := range participants {
+		if arrived[slot] && e.malicious[id] {
+			stats.AdversarialUpdates++
+		}
+	}
+	if ra, ok := s.cfg.Aggregator.(fl.RobustAggregator); ok {
+		stats.RejectedUpdates = ra.Rejected(nIngested)
+	}
 	if reg := s.cfg.Obs; reg != nil {
 		respIDs := participants
 		if nSkipped > 0 {
 			respIDs = stats.Responders
 		}
 		reg.ObserveRound(obs.RoundSample{
-			Runtime:          "server",
-			Round:            round,
-			Participants:     len(participants),
-			Responders:       nArrived,
-			Stragglers:       nSkipped,
-			LateUpdates:      stats.LateUpdates,
-			DeadlineExpired:  stats.DeadlineExpired,
-			MeanLoss:         stats.MeanLoss,
-			UplinkWireBytes:  wireBytes,
-			UplinkDenseBytes: denseBytes,
-			DurationMS:       time.Since(roundStart).Milliseconds(),
+			Runtime:            "server",
+			Round:              round,
+			Participants:       len(participants),
+			Responders:         nArrived,
+			Stragglers:         nSkipped,
+			LateUpdates:        stats.LateUpdates,
+			DeadlineExpired:    stats.DeadlineExpired,
+			AdversarialUpdates: stats.AdversarialUpdates,
+			RejectedUpdates:    stats.RejectedUpdates,
+			MeanLoss:           stats.MeanLoss,
+			UplinkWireBytes:    wireBytes,
+			UplinkDenseBytes:   denseBytes,
+			DurationMS:         time.Since(roundStart).Milliseconds(),
 		})
 		reg.AddParticipation(respIDs)
 	}

@@ -28,6 +28,12 @@ const (
 	// CounterUplinkWireBytes is the actual uplink payload cost: delta
 	// bytes for delta-encoded updates, 8 bytes/element for dense ones.
 	CounterUplinkWireBytes = "uplink_wire_bytes_total"
+	// CounterAdversarialUpdates counts aggregated updates that came from
+	// clients under adversarial control (the seeded compromise trace).
+	CounterAdversarialUpdates = "adversarial_updates_total"
+	// CounterRejectedUpdates counts updates a robust aggregator excluded
+	// from the aggregate by construction (fl.RobustAggregator.Rejected).
+	CounterRejectedUpdates = "aggregator_rejected_updates_total"
 	// CounterUplinkDenseBytes is what the same updates would have cost
 	// shipped dense — the baseline the delta wire is saving against.
 	CounterUplinkDenseBytes = "uplink_dense_bytes_total"
@@ -118,6 +124,11 @@ type RoundSample struct {
 	LateUpdates int `json:"late_updates,omitempty"`
 	// DeadlineExpired reports a round closed by its deadline with quorum.
 	DeadlineExpired bool `json:"deadline_expired,omitempty"`
+	// AdversarialUpdates counts aggregated updates from compromised
+	// clients; RejectedUpdates counts updates the round's robust
+	// aggregator excluded by construction.
+	AdversarialUpdates int `json:"adversarial_updates,omitempty"`
+	RejectedUpdates    int `json:"rejected_updates,omitempty"`
 	// MeanLoss is the round's mean local training loss.
 	MeanLoss float64 `json:"mean_loss"`
 	// UplinkWireBytes is the actual uplink payload cost of the round;
@@ -205,6 +216,8 @@ func (r *Registry) ObserveRound(s RoundSample) {
 		expired = 1
 	}
 	r.counterLocked(CounterDeadlineExpired).Add(expired)
+	r.counterLocked(CounterAdversarialUpdates).Add(int64(s.AdversarialUpdates))
+	r.counterLocked(CounterRejectedUpdates).Add(int64(s.RejectedUpdates))
 	r.counterLocked(CounterUplinkWireBytes).Add(s.UplinkWireBytes)
 	r.counterLocked(CounterUplinkDenseBytes).Add(s.UplinkDenseBytes)
 	r.gaugeLocked(GaugeRound).Set(int64(s.Round))

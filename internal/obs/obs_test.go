@@ -117,7 +117,11 @@ func TestPromGolden(t *testing.T) {
 	if err := r.Snapshot().WriteProm(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := `# TYPE calibre_deadline_expired_total counter
+	want := `# TYPE calibre_adversarial_updates_total counter
+calibre_adversarial_updates_total 0
+# TYPE calibre_aggregator_rejected_updates_total counter
+calibre_aggregator_rejected_updates_total 0
+# TYPE calibre_deadline_expired_total counter
 calibre_deadline_expired_total 0
 # TYPE calibre_late_updates_total counter
 calibre_late_updates_total 0

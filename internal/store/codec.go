@@ -26,8 +26,9 @@ const (
 	Magic = "CLBS"
 	// Version is the codec version this build reads and writes. Bump it
 	// on any incompatible layout change; the decoder rejects others with
-	// ErrVersion.
-	Version = 1
+	// ErrVersion. v2 added the adversarial/rejected-update counts to
+	// history entries.
+	Version = 2
 
 	headerSize    = 12
 	trailerSize   = 4

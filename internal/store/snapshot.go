@@ -50,7 +50,7 @@ func encodeSnapshotWith(s *Snapshot, extra int, writeState func(e *encoder)) ([]
 	st := &s.State
 	capacity := len(meta) + 8 + extra + 8 + 8*len(st.EligibleCounts) + 64
 	for _, h := range st.History {
-		capacity += 40 + 8*(len(h.Participants)+len(h.Responders)+len(h.Stragglers))
+		capacity += 56 + 8*(len(h.Participants)+len(h.Responders)+len(h.Stragglers))
 	}
 	e := newEncoder(capacity)
 
@@ -66,6 +66,8 @@ func encodeSnapshotWith(s *Snapshot, extra int, writeState func(e *encoder)) ([]
 		e.i64(int64(h.Round))
 		e.f64(h.MeanLoss)
 		e.i64(int64(h.LateUpdates))
+		e.i64(int64(h.AdversarialUpdates))
+		e.i64(int64(h.RejectedUpdates))
 		var flags byte
 		if h.DeadlineExpired {
 			flags |= histDeadlineExpired
@@ -131,9 +133,10 @@ func readHistoryPayload(p []byte) ([]fl.RoundStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Each entry needs ≥ 28 bytes (round, loss, late updates, flags, three
-	// presence bytes); reject counts the payload cannot possibly hold.
-	if uint64(n)*28 > uint64(r.remaining()) {
+	// Each entry needs ≥ 44 bytes (round, loss, late/adversarial/rejected
+	// updates, flags, three presence bytes); reject counts the payload
+	// cannot possibly hold.
+	if uint64(n)*44 > uint64(r.remaining()) {
 		return nil, fmt.Errorf("%w: history declares %d rounds in %d bytes", ErrMalformed, n, r.remaining())
 	}
 	if n == 0 {
@@ -158,6 +161,16 @@ func readHistoryPayload(p []byte) ([]fl.RoundStats, error) {
 			return nil, err
 		}
 		h.LateUpdates = int(late)
+		adv, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		h.AdversarialUpdates = int(adv)
+		rej, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		h.RejectedUpdates = int(rej)
 		flags, err := r.u8()
 		if err != nil {
 			return nil, err

@@ -28,6 +28,6 @@ func ExampleGrid_Expand() {
 	fmt.Println("methods share the federation world:", sameWorld)
 	// Output:
 	// cells: 4
-	// method=fedavg-ft|setting=cifar10-q(2,500)|scale=smoke|seed=1|delta=false|quorum=0|dropout=0|straggler=requeue
+	// method=fedavg-ft|setting=cifar10-q(2,500)|scale=smoke|seed=1|delta=false|quorum=0|dropout=0|straggler=requeue|agg=mean|adv=|advfrac=0|avail=
 	// methods share the federation world: true
 }

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// FuzzParseGrid hardens the grid decoder against arbitrary JSON: no input
+// may panic, and any grid that parses must expand within the cell cap with
+// every cell key unique — the invariant the manifest relies on. Discovered
+// seeds live in testdata/fuzz/FuzzParseGrid.
+func FuzzParseGrid(f *testing.F) {
+	for _, src := range []string{
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1]}`,
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1,2],
+		  "aggregators":["mean","trimmed(0.2)","krum(1)"],
+		  "adversary":["","sign-flip(3)"],"adversary_frac":[0,0.2],
+		  "availability":["","diurnal(0.1,0.6,8)"]}`,
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1],
+		  "aggregators":["trimmed(.2)","trimmed(0.2)"]}`,
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1],
+		  "adversary":["ddos"]}`,
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1],
+		  "availability":["markov(0,0.3,0.5)"],"dropout_rates":[0.2]}`,
+		`{"methods":[],"settings":[],"seeds":[]}`,
+		`{"unknown_axis":[1]}`,
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1]}{"trailing":true}`,
+		`[]`, `null`, `{`, ``,
+		`{"methods":["fedavg-ft"],"settings":["cifar10-q(2,500)"],"seeds":[1],"quorums":[2],"aggregators":["krum(3)"]}`,
+	} {
+		f.Add([]byte(src))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseGrid(data)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("error with non-nil grid: %+v", g)
+			}
+			return
+		}
+		cells, err := g.Expand()
+		if err != nil {
+			// Validate passed but Expand failed: Validate is supposed to be
+			// the stricter gate, so this would let a bad grid into a manifest.
+			t.Fatalf("validated grid fails to expand: %v", err)
+		}
+		if len(cells) == 0 || len(cells) > maxCells {
+			t.Fatalf("expansion size %d out of (0, %d]", len(cells), maxCells)
+		}
+		seen := make(map[string]bool, len(cells))
+		for _, c := range cells {
+			k := c.Key()
+			if seen[k] {
+				t.Fatalf("duplicate cell key %q", k)
+			}
+			seen[k] = true
+		}
+		// The fingerprint — the manifest's identity — must be derivable from
+		// any grid that validates.
+		if _, err := g.Fingerprint(); err != nil {
+			t.Fatalf("validated grid has no fingerprint: %v", err)
+		}
+	})
+}

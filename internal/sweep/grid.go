@@ -48,6 +48,27 @@ type Grid struct {
 	// Stragglers are straggler policies ("requeue" or "drop"); empty
 	// defaults to ["requeue"].
 	Stragglers []string `json:"stragglers,omitempty"`
+	// Aggregators are aggregator override specs (fl.ParseAggregator:
+	// "mean", "median", "trimmed(0.2)", "krum(1)") replacing each method's
+	// own aggregator; empty defaults to ["mean"], which — like the spec
+	// "mean" itself — leaves each method's own aggregator in place. Specs
+	// are canonicalized, so "trimmed(.2)" and "trimmed(0.2)" are the same
+	// axis value.
+	Aggregators []string `json:"aggregators,omitempty"`
+	// Adversaries are attack specs (fl.ParseAdversary: "sign-flip",
+	// "noise(0.5)", "collude", "label-flip"; "" means honest); empty
+	// defaults to [""].
+	Adversaries []string `json:"adversary,omitempty"`
+	// AdversaryFracs are compromised-population fractions in [0,1]; empty
+	// defaults to [0]. Cells where either the adversary spec is "" or the
+	// fraction is 0 collapse to the single honest cell.
+	AdversaryFracs []float64 `json:"adversary_frac,omitempty"`
+	// Availability are availability-trace specs (fl.ParseTrace:
+	// "diurnal(0.1,0.6,8)", "flash(0,0.8,2,2)", "markov(0,0.3,0.5)"; ""
+	// means flat DropoutRates govern); empty defaults to [""]. A grid
+	// mixing non-"" availability with non-zero dropout_rates is rejected —
+	// the two churn models are mutually exclusive.
+	Availability []string `json:"availability,omitempty"`
 	// Baseline, when set, must be one of Methods; the report computes
 	// every method's variance reduction against it.
 	Baseline string `json:"baseline,omitempty"`
@@ -64,6 +85,16 @@ type Cell struct {
 	Quorum    int               `json:"quorum,omitempty"`
 	Dropout   float64           `json:"dropout,omitempty"`
 	Straggler string            `json:"straggler"`
+	// Aggregator is the canonical aggregator override spec ("mean",
+	// "median", "trimmed(0.2)", "krum(1)").
+	Aggregator string `json:"aggregator,omitempty"`
+	// Adversary is the canonical attack spec ("" = honest) and AdvFrac the
+	// compromised fraction; either being inert zeroes both.
+	Adversary string  `json:"adversary,omitempty"`
+	AdvFrac   float64 `json:"adversary_frac,omitempty"`
+	// Availability is the canonical availability-trace spec ("" = flat
+	// Dropout governs).
+	Availability string `json:"availability,omitempty"`
 }
 
 // Key is the cell's canonical identity: a fixed-order rendering of every
@@ -80,7 +111,12 @@ func (c Cell) scenarioAndEnv() string {
 }
 
 func (c Cell) knobs() string {
-	return fmt.Sprintf("delta=%t|quorum=%d|dropout=%g|straggler=%s", c.Delta, c.Quorum, c.Dropout, c.Straggler)
+	agg := c.Aggregator
+	if agg == "" {
+		agg = "mean"
+	}
+	return fmt.Sprintf("delta=%t|quorum=%d|dropout=%g|straggler=%s|agg=%s|adv=%s|advfrac=%g|avail=%s",
+		c.Delta, c.Quorum, c.Dropout, c.Straggler, agg, c.Adversary, c.AdvFrac, c.Availability)
 }
 
 // EnvKey identifies the federation world the cell runs in: setting, scale
@@ -133,7 +169,71 @@ func (g *Grid) normalized() Grid {
 	if len(out.Stragglers) == 0 {
 		out.Stragglers = []string{fl.StragglerRequeue.String()}
 	}
+	if len(out.Aggregators) == 0 {
+		out.Aggregators = []string{"mean"}
+	}
+	if len(out.Adversaries) == 0 {
+		out.Adversaries = []string{""}
+	}
+	if len(out.AdversaryFracs) == 0 {
+		out.AdversaryFracs = []float64{0}
+	}
+	if len(out.Availability) == 0 {
+		out.Availability = []string{""}
+	}
 	return out
+}
+
+// canonicalSpecs parses every spec with parse and re-renders it with its
+// canonical String, so axis values that spell the same configuration
+// differently collapse before duplicate detection and key derivation.
+func canonicalSpecs(axis string, specs []string, parse func(string) (string, error)) ([]string, error) {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		c, err := parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", axis, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// hostileAxes canonicalizes the aggregator, adversary and availability
+// axes of a normalized grid.
+func (g *Grid) hostileAxes() (aggs, advs, avails []string, err error) {
+	n := g.normalized()
+	aggs, err = canonicalSpecs("aggregators", n.Aggregators, func(s string) (string, error) {
+		a, err := fl.ParseAggregator(s)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprint(a), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	advs, err = canonicalSpecs("adversary", n.Adversaries, func(s string) (string, error) {
+		a, err := fl.ParseAdversary(s)
+		if err != nil {
+			return "", err
+		}
+		return a.String(), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	avails, err = canonicalSpecs("availability", n.Availability, func(s string) (string, error) {
+		t, err := fl.ParseTrace(s)
+		if err != nil {
+			return "", err
+		}
+		return t.String(), nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return aggs, advs, avails, nil
 }
 
 // Validate checks every axis against the registries and presets, so a
@@ -186,6 +286,33 @@ func (g *Grid) Validate() error {
 			minClients = preset.Clients
 		}
 	}
+	aggs, advs, avails, err := g.hostileAxes()
+	if err != nil {
+		return err
+	}
+	// Krum needs F+3 updates per round so at least one scoreable
+	// neighborhood exists; catch impossible pairings at plan time.
+	for _, spec := range aggs {
+		a, _ := fl.ParseAggregator(spec)
+		if k, ok := a.(fl.Krum); ok && minPerRound < k.F+3 {
+			return fmt.Errorf("sweep: aggregator %s needs ≥ %d clients per round, smallest scale samples %d", spec, k.F+3, minPerRound)
+		}
+	}
+	for _, f := range n.AdversaryFracs {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("sweep: adversary_frac must be in [0,1], got %g", f)
+		}
+	}
+	for _, a := range avails {
+		if a == "" {
+			continue
+		}
+		for _, d := range n.DropoutRates {
+			if d > 0 {
+				return fmt.Errorf("sweep: availability traces and non-zero dropout_rates are mutually exclusive")
+			}
+		}
+	}
 	// Duplicate axis entries would expand into cells with identical keys
 	// that each get scheduled (and then collide in the manifest), so every
 	// axis rejects them.
@@ -201,6 +328,10 @@ func (g *Grid) Validate() error {
 		{"quorums", asStrings(n.Quorums)},
 		{"dropout_rates", asStrings(n.DropoutRates)},
 		{"seeds", asStrings(n.Seeds)},
+		{"aggregators", aggs},
+		{"adversary", advs},
+		{"adversary_frac", asStrings(n.AdversaryFracs)},
+		{"availability", avails},
 	} {
 		if dup := firstDuplicate(axis.values); dup != "" {
 			return fmt.Errorf("sweep: duplicate %s entry %v", axis.name, dup)
@@ -225,7 +356,8 @@ func (g *Grid) Validate() error {
 		}
 	}
 	total := len(n.Methods) * len(n.Settings) * len(n.Scales) * len(n.Seeds) *
-		len(n.DeltaUpdates) * len(n.Quorums) * len(n.DropoutRates) * len(n.Stragglers)
+		len(n.DeltaUpdates) * len(n.Quorums) * len(n.DropoutRates) * len(n.Stragglers) *
+		len(aggs) * len(advs) * len(n.AdversaryFracs) * len(avails)
 	if total > maxCells {
 		return fmt.Errorf("sweep: grid expands to %d cells, above the %d-cell cap", total, maxCells)
 	}
@@ -233,14 +365,22 @@ func (g *Grid) Validate() error {
 }
 
 // Expand validates the grid and returns its cells in canonical axis order
-// (method, setting, scale, seed, delta, quorum, dropout, straggler —
-// outermost first). The expansion is a pure function of the grid.
+// (method, setting, scale, seed, delta, quorum, dropout, straggler,
+// aggregator, adversary, adversary-frac, availability — outermost first).
+// An inert adversary pairing (empty spec or zero fraction) canonicalizes
+// to the honest cell, and the resulting duplicates collapse, so the
+// expansion is a pure, duplicate-free function of the grid.
 func (g *Grid) Expand() ([]Cell, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	n := g.normalized()
+	aggs, advs, avails, err := g.hostileAxes()
+	if err != nil {
+		return nil, err
+	}
 	var cells []Cell
+	seen := make(map[string]bool)
 	for _, m := range n.Methods {
 		for _, s := range n.Settings {
 			for _, sc := range n.Scales {
@@ -249,10 +389,28 @@ func (g *Grid) Expand() ([]Cell, error) {
 						for _, q := range n.Quorums {
 							for _, d := range n.DropoutRates {
 								for _, st := range n.Stragglers {
-									cells = append(cells, Cell{
-										Method: m, Setting: s, Scale: sc, Seed: seed,
-										Delta: delta, Quorum: q, Dropout: d, Straggler: st,
-									})
+									for _, agg := range aggs {
+										for _, adv := range advs {
+											for _, frac := range n.AdversaryFracs {
+												for _, avail := range avails {
+													c := Cell{
+														Method: m, Setting: s, Scale: sc, Seed: seed,
+														Delta: delta, Quorum: q, Dropout: d, Straggler: st,
+														Aggregator: agg, Adversary: adv, AdvFrac: frac,
+														Availability: avail,
+													}
+													if c.Adversary == "" || c.AdvFrac == 0 {
+														c.Adversary, c.AdvFrac = "", 0
+													}
+													if seen[c.Key()] {
+														continue
+													}
+													seen[c.Key()] = true
+													cells = append(cells, c)
+												}
+											}
+										}
+									}
 								}
 							}
 						}

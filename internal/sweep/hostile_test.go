@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// hostileGrid is the pinned adversarial acceptance grid: one method, one
+// setting, two seeds, a sign-flip attack over three aggregators, with the
+// honest (frac 0) twin of every hostile cell riding along for the
+// benign-baseline columns of the hostile-fairness table.
+func hostileGrid() *Grid {
+	return &Grid{
+		Name:           "hostile-acceptance",
+		Methods:        []string{"fedavg-ft"},
+		Settings:       []string{"cifar10-q(2,500)"},
+		Seeds:          []int64{1, 2},
+		Aggregators:    []string{"mean", "trimmed(0.34)", "median"},
+		Adversaries:    []string{"sign-flip(3)"},
+		AdversaryFracs: []float64{0, 0.3},
+	}
+}
+
+// TestHostileSweepRobustAggregatorsHold is the end-to-end robustness pin:
+// under a 30% sign-flip attack the robust aggregators (trimmed mean,
+// coordinate median) must keep the bottom-10% participant accuracy above
+// the plain weighted mean's, and the report must wire every hostile
+// aggregate to its honest twin.
+func TestHostileSweepRobustAggregatorsHold(t *testing.T) {
+	g := hostileGrid()
+	res, err := Run(context.Background(), g, Config{Workers: 4, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := NewReport(res)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("hostile cells failed: %+v", rep.Failures)
+	}
+	hostile := map[string]MethodAggregate{} // aggregator → attacked aggregate
+	honest := map[string]MethodAggregate{}
+	for _, a := range rep.Aggregates {
+		t.Logf("agg=%-12s adv=%-12s frac=%g b10=%.4f mean=%.4f benign=%q",
+			a.Aggregator, a.Adversary, a.AdvFrac,
+			a.Participants.MeanBottom10, a.Participants.MeanOfMeans, a.BenignScenario)
+		if a.Adversary == "" {
+			honest[a.Aggregator] = a
+			continue
+		}
+		if a.Adversary != "sign-flip(3)" || a.AdvFrac != 0.3 {
+			t.Fatalf("unexpected hostile knobs: %+v", a)
+		}
+		hostile[a.Aggregator] = a
+	}
+	for _, agg := range []string{"mean", "trimmed(0.34)", "median"} {
+		h, ok := hostile[agg]
+		if !ok {
+			t.Fatalf("no hostile aggregate for %q", agg)
+		}
+		b, ok := honest[agg]
+		if !ok {
+			t.Fatalf("no honest twin for %q", agg)
+		}
+		if h.BenignScenario != b.Scenario {
+			t.Fatalf("%q benign scenario %q does not match honest twin %q",
+				agg, h.BenignScenario, b.Scenario)
+		}
+	}
+	for _, robust := range []string{"trimmed(0.34)", "median"} {
+		if hostile[robust].Participants.MeanBottom10 <= hostile["mean"].Participants.MeanBottom10 {
+			t.Errorf("%s under attack (b10 %.4f) does not beat mean (b10 %.4f)",
+				robust, hostile[robust].Participants.MeanBottom10,
+				hostile["mean"].Participants.MeanBottom10)
+		}
+	}
+	// The attack must actually bite: the plain mean's bottom-10% degrades
+	// versus its honest twin.
+	if hostile["mean"].Participants.MeanBottom10 >= honest["mean"].Participants.MeanBottom10 {
+		t.Errorf("sign-flip did not degrade the weighted mean: hostile %.4f vs honest %.4f",
+			hostile["mean"].Participants.MeanBottom10, honest["mean"].Participants.MeanBottom10)
+	}
+	md := renderReport(t, res)
+	if !strings.Contains(md, "## Hostile fairness") {
+		t.Fatal("report lacks the hostile-fairness section")
+	}
+}
+
+// TestHostileKillResumeBitIdentical: an adversarial sweep killed mid-run
+// and resumed renders byte-identical artifacts — the attack RNG, the
+// availability trace and the scheduler all replay exactly.
+func TestHostileKillResumeBitIdentical(t *testing.T) {
+	g := hostileGrid()
+	g.Availability = []string{"diurnal(0.05,0.2,4)"}
+	dir := t.TempDir()
+
+	full, err := Run(context.Background(), g, Config{Workers: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	want := renderReport(t, full)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	_, err = Run(ctx, g, Config{
+		Workers: 2, Dir: dir,
+		OnCell: func(CellResult) {
+			if done.Add(1) == 4 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run must report an error")
+	}
+
+	resumed, err := Run(context.Background(), g, Config{Workers: 2, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := renderReport(t, resumed); got != want {
+		t.Fatal("resumed hostile sweep is not byte-identical to an uninterrupted one")
+	}
+}
+
+// TestHostileReportFixture pins the rendered hostile-fairness report to a
+// committed golden file, so any drift in the attack RNG, the robust
+// aggregators or the report layout is a visible diff. Regenerate with
+// CALIBRE_UPDATE_FIXTURES=1 go test ./internal/sweep -run HostileReportFixture.
+func TestHostileReportFixture(t *testing.T) {
+	res, err := Run(context.Background(), hostileGrid(), Config{Workers: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := NewReport(res)
+	var b strings.Builder
+	if err := rep.WriteMarkdown(&b); err != nil {
+		t.Fatalf("WriteMarkdown: %v", err)
+	}
+	golden := filepath.Join("testdata", "hostile-report.md")
+	if os.Getenv("CALIBRE_UPDATE_FIXTURES") != "" {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatalf("update fixture: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read fixture (set CALIBRE_UPDATE_FIXTURES=1 to create): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("hostile report drifted from %s;\n--- got ---\n%s", golden, b.String())
+	}
+}

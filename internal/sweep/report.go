@@ -32,6 +32,16 @@ type MethodAggregate struct {
 	// Pareto marks membership of the scenario's accuracy/fairness Pareto
 	// front (maximize mean, minimize variance).
 	Pareto bool
+	// Aggregator, Adversary, AdvFrac and Availability echo the scenario's
+	// hostile knobs (from any of its cells — knobs are part of the
+	// scenario key, so they agree); BenignScenario is the scenario with
+	// the adversary stripped — the honest twin the hostile-fairness table
+	// compares against.
+	Aggregator     string
+	Adversary      string
+	AdvFrac        float64
+	Availability   string
+	BenignScenario string
 }
 
 // Report is the fairness-first aggregation of a sweep: per-cell rows,
@@ -78,6 +88,17 @@ func NewReport(res *Result) *Report {
 	}
 	for k, cells := range groups {
 		agg := MethodAggregate{Scenario: k.scenario, Method: k.method}
+		cell := cells[0].Cell
+		agg.Aggregator = cell.Aggregator
+		if agg.Aggregator == "" {
+			agg.Aggregator = "mean"
+		}
+		agg.Adversary = cell.Adversary
+		agg.AdvFrac = cell.AdvFrac
+		agg.Availability = cell.Availability
+		benign := cell
+		benign.Adversary, benign.AdvFrac = "", 0
+		agg.BenignScenario = benign.Scenario()
 		var parts, novel []eval.Summary
 		for _, c := range cells {
 			parts = append(parts, c.Participants)
@@ -144,7 +165,8 @@ func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 // ReadCellsCSV (and calibre-compare -diff).
 var cellsHeader = []string{
 	"key", "method", "setting", "scale", "seed", "delta_updates", "quorum",
-	"dropout", "straggler", "status", "rounds", "final_loss",
+	"dropout", "straggler", "aggregator", "adversary", "adversary_frac",
+	"availability", "status", "rounds", "final_loss",
 	"mean", "variance", "std", "bottom10",
 	"novel_n", "novel_mean", "novel_variance", "novel_bottom10", "error",
 }
@@ -156,10 +178,15 @@ func (r *Report) WriteCellsCSV(w io.Writer) error {
 		return err
 	}
 	for _, c := range r.Cells {
+		agg := c.Cell.Aggregator
+		if agg == "" {
+			agg = "mean"
+		}
 		row := []string{
 			c.Key, c.Cell.Method, c.Cell.Setting, string(c.Cell.Scale),
 			strconv.FormatInt(c.Cell.Seed, 10), strconv.FormatBool(c.Cell.Delta),
 			strconv.Itoa(c.Cell.Quorum), f(c.Cell.Dropout), c.Cell.Straggler,
+			agg, c.Cell.Adversary, f(c.Cell.AdvFrac), c.Cell.Availability,
 			c.Status, strconv.Itoa(c.Rounds), f(c.FinalLoss),
 			f(c.Participants.Mean), f(c.Participants.Variance), f(c.Participants.Std), f(c.Participants.Bottom10),
 			strconv.Itoa(c.Novel.N), f(c.Novel.Mean), f(c.Novel.Variance), f(c.Novel.Bottom10),
@@ -271,6 +298,43 @@ func (r *Report) WriteMarkdown(w io.Writer) error {
 			}
 		}
 		fmt.Fprintf(&b, "\nPareto front (mean vs variance): %s\n", strings.Join(front, "; "))
+	}
+	// Hostile fairness: every attacked (scenario, method) against its
+	// honest twin — the same scenario with the adversary stripped — so the
+	// table answers which method × aggregator pairs hold bottom-10%
+	// accuracy under attack.
+	type benignKey struct{ scenario, method string }
+	benignAggs := make(map[benignKey]MethodAggregate)
+	hostile := false
+	for _, a := range r.Aggregates {
+		if a.Adversary == "" {
+			benignAggs[benignKey{a.Scenario, a.Method}] = a
+		} else {
+			hostile = true
+		}
+	}
+	if hostile {
+		b.WriteString("\n## Hostile fairness\n\n")
+		b.WriteString("Bottom-10% client accuracy under attack vs the honest twin scenario (Δ = hostile − benign; closer to zero = more robust).\n\n")
+		b.WriteString("| method | aggregator | adversary | frac | availability | mean | bottom10 | benign bottom10 | Δ bottom10 |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+		for _, a := range r.Aggregates {
+			if a.Adversary == "" {
+				continue
+			}
+			avail := a.Availability
+			if avail == "" {
+				avail = "—"
+			}
+			benignB10, delta := "—", "—"
+			if ba, ok := benignAggs[benignKey{a.BenignScenario, a.Method}]; ok {
+				benignB10 = fmt.Sprintf("%.4f", ba.Participants.MeanBottom10)
+				delta = fmt.Sprintf("%+.4f", a.Participants.MeanBottom10-ba.Participants.MeanBottom10)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %g | %s | %.4f | %.4f | %s | %s |\n",
+				a.Method, a.Aggregator, a.Adversary, a.AdvFrac, avail,
+				a.Participants.MeanOfMeans, a.Participants.MeanBottom10, benignB10, delta)
+		}
 	}
 	if len(r.Failures) > 0 {
 		b.WriteString("\n## Failures\n\n| cell | error |\n|---|---|\n")

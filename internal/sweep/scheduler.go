@@ -402,6 +402,30 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 		res.Error = err.Error()
 		return res
 	}
+	// Hostile knobs: the aggregator override replaces the method's own
+	// aggregator (the method is built per cell, so no sharing hazard); the
+	// adversary and availability trace thread into the simulator config.
+	if c.Aggregator != "" && c.Aggregator != "mean" {
+		agg, err := fl.ParseAggregator(c.Aggregator)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		m.Aggregator = agg
+	}
+	adversary, err := fl.ParseAdversary(c.Adversary)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	if adversary != nil {
+		adversary.Frac = c.AdvFrac
+	}
+	trace, err := fl.ParseTrace(c.Availability)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
 
 	var resumeFrom *fl.SimState
 	var onCheckpoint func(*fl.SimState) error
@@ -441,6 +465,8 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 		cfg.Quorum = c.Quorum
 		cfg.DropoutRate = c.Dropout
 		cfg.Straggler = straggler
+		cfg.Adversary = adversary
+		cfg.Trace = trace
 		// One registry across all cells: round/uplink counters accumulate
 		// sweep-wide, which is the live view `calibre-sweep watch` polls.
 		cfg.Obs = s.cfg.Obs

@@ -1,0 +1,127 @@
+// Command hostilesmoke is the CI gate for the hostile-federation path,
+// run by ci.sh. It builds the real calibre-sweep binary, runs a 4-cell
+// adversarial grid (sign-flip attackers over mean and median aggregation)
+// to completion, then runs the same grid again, interrupts it with SIGINT
+// as soon as the plan is printed, and resumes. The resumed sweep must
+// exit clean and its three report artifacts (sweep-report.md,
+// sweep-cells.csv, sweep-methods.csv) must be byte-identical to the
+// uninterrupted run's — the attack RNG and the scheduler replay exactly.
+// The report must also carry the hostile-fairness table.
+//
+//	go run ./tools/hostilesmoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+const grid = `{
+  "name": "hostile-smoke",
+  "methods": ["fedavg-ft"],
+  "settings": ["cifar10-q(2,500)"],
+  "scales": ["smoke"],
+  "seeds": [1],
+  "aggregators": ["mean", "median"],
+  "adversary": ["sign-flip(3)"],
+  "adversary_frac": [0, 0.3]
+}`
+
+var artifacts = []string{"sweep-report.md", "sweep-cells.csv", "sweep-methods.csv"}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hostilesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("hostilesmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "calibre-hostilesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(grid), 0o644); err != nil {
+		return err
+	}
+
+	// Build the real binary: SIGINT must land on the sweep itself, not on
+	// a `go run` wrapper.
+	bin := filepath.Join(dir, "calibre-sweep")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/calibre-sweep").CombinedOutput(); err != nil {
+		return fmt.Errorf("build calibre-sweep: %v\n%s", err, out)
+	}
+
+	// Reference: the grid uninterrupted.
+	fullDir := filepath.Join(dir, "full")
+	if out, err := exec.Command(bin, "run", "-grid", gridPath, "-out", fullDir, "-quiet").CombinedOutput(); err != nil {
+		return fmt.Errorf("uninterrupted run: %v\n%s", err, out)
+	}
+	want := make(map[string][]byte, len(artifacts))
+	for _, name := range artifacts {
+		b, err := os.ReadFile(filepath.Join(fullDir, name))
+		if err != nil {
+			return fmt.Errorf("uninterrupted run left no %s: %v", name, err)
+		}
+		want[name] = b
+	}
+	if !bytes.Contains(want["sweep-report.md"], []byte("## Hostile fairness")) {
+		return fmt.Errorf("sweep-report.md lacks the hostile-fairness table:\n%s", want["sweep-report.md"])
+	}
+
+	// Kill: same grid, SIGINT the moment the plan is printed, before the
+	// first cell can finish.
+	killDir := filepath.Join(dir, "killed")
+	cmd := exec.Command(bin, "run", "-grid", gridPath, "-out", killDir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	planned := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		once := false
+		for sc.Scan() {
+			if !once && strings.HasPrefix(sc.Text(), "plan:") {
+				once = true
+				close(planned)
+			}
+		}
+	}()
+	<-planned
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		return fmt.Errorf("signal sweep: %v", err)
+	}
+	if err := cmd.Wait(); err == nil {
+		return fmt.Errorf("interrupted sweep exited zero; the kill never landed")
+	}
+
+	// Resume: must complete and reproduce the reference bytes.
+	if out, err := exec.Command(bin, "resume", "-grid", gridPath, "-out", killDir, "-quiet").CombinedOutput(); err != nil {
+		return fmt.Errorf("resume: %v\n%s", err, out)
+	}
+	for _, name := range artifacts {
+		got, err := os.ReadFile(filepath.Join(killDir, name))
+		if err != nil {
+			return fmt.Errorf("resume left no %s: %v", name, err)
+		}
+		if !bytes.Equal(got, want[name]) {
+			return fmt.Errorf("%s differs between the uninterrupted and the killed-and-resumed sweep", name)
+		}
+	}
+	fmt.Printf("hostilesmoke: 4 hostile cells, kill+resume byte-identical across %d artifacts\n", len(artifacts))
+	return nil
+}
