@@ -11,6 +11,7 @@
 #   go run ./cmd/calibre-bench -exp codec -out .
 #   go run ./cmd/calibre-bench -exp delta -out .
 #   go run ./cmd/calibre-bench -exp sweep -out .
+#   go run ./cmd/calibre-bench -exp trace -out .
 # (see README.md "Benchmark harness").
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -45,6 +46,9 @@ go run ./tools/metricssmoke
 echo "== hostile smoke =="
 go run ./tools/hostilesmoke
 
+echo "== trace smoke =="
+go run ./tools/tracesmoke
+
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 
@@ -56,5 +60,8 @@ go run ./cmd/calibre-bench -exp delta -quick -out "$(mktemp -d)"
 
 echo "== sweep bench (quick) =="
 go run ./cmd/calibre-bench -exp sweep -quick -out "$(mktemp -d)"
+
+echo "== trace bench (quick) =="
+go run ./cmd/calibre-bench -exp trace -quick -out "$(mktemp -d)"
 
 echo "CI gate passed."

@@ -272,6 +272,68 @@ func TestCodecHarnessEmitsGoldenSchema(t *testing.T) {
 	warnEnvMismatch(t, filepath.Join(dir, "BENCH_codec.json"), filepath.Join("..", "..", "BENCH_codec.json"))
 }
 
+// TestTraceHarnessEmitsGoldenSchema runs the flight-recorder harness at
+// quick scale and validates BENCH_trace.json structurally and against the
+// committed golden file. Throughput and overhead are host-dependent and
+// only sanity-checked (the per-round overhead may legitimately be
+// negative: at smoke scale the recorder's cost sits below scheduler
+// jitter); the no-perturbation contract itself is pinned by the
+// bit-identity tests in internal/fl and internal/flnet.
+func TestTraceHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "trace", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "trace bench:") || !strings.Contains(out, "events/sec") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	check := func(file TraceBenchFile, where string) {
+		t.Helper()
+		if file.Schema != TraceBenchSchema {
+			t.Fatalf("%s schema = %q, want %q", where, file.Schema, TraceBenchSchema)
+		}
+		if file.GOOS == "" || file.GOARCH == "" || file.GOMaxProcs < 1 {
+			t.Fatalf("%s host metadata incomplete: %+v", where, file)
+		}
+		e := file.Emit
+		if e.Events <= 0 || e.EventsPerSec <= 0 || e.NsPerEvent <= 0 {
+			t.Errorf("%s emit section has non-positive measurements: %+v", where, e)
+		}
+		if e.BytesWritten <= 0 || e.BytesPerEvent <= 0 {
+			t.Errorf("%s emit section wrote no bytes: %+v", where, e)
+		}
+		r := file.Round
+		if r.Reps <= 0 || r.RoundsPerRun <= 0 || r.EventsPerRun <= 0 {
+			t.Errorf("%s round section measured nothing: %+v", where, r)
+		}
+		if r.BareMS < 0 || r.TracedMS <= 0 {
+			t.Errorf("%s round section has bad timings: %+v", where, r)
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_trace.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got TraceBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	check(got, "emitted")
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_trace.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_trace.json: %v", err)
+	}
+	var golden TraceBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	check(golden, "golden")
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_trace.json"), filepath.Join("..", "..", "BENCH_trace.json"))
+}
+
 // TestSweepHarnessEmitsGoldenSchema runs the sweep-scheduler harness at
 // quick scale and validates BENCH_sweep.json structurally and against
 // the committed golden file: same schema version and the same worker

@@ -1,0 +1,196 @@
+package main
+
+// The trace harness (-exp trace) is the reproducible perf gate for the
+// flight recorder: it measures raw event throughput through the
+// ring+encode+sink path, and the end-to-end overhead a live recorder adds
+// to an instrumented federation versus a bare one, emitting
+// BENCH_trace.json. The recorder's no-perturbation contract (traced runs
+// are bit-identical to bare ones) is pinned by tests in internal/fl and
+// internal/flnet; this harness only measures time.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"calibre/internal/experiments"
+	"calibre/internal/fl"
+	"calibre/internal/trace"
+)
+
+// TraceBenchSchema identifies the BENCH_trace.json layout.
+const TraceBenchSchema = "calibre/bench-trace/v1"
+
+// TraceBenchFile is the top-level layout of BENCH_trace.json.
+type TraceBenchFile struct {
+	Schema     string          `json:"schema"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMaxProcs int             `json:"gomaxprocs"`
+	Emit       TraceBenchEmit  `json:"emit"`
+	Round      TraceBenchRound `json:"round"`
+}
+
+// TraceBenchEmit measures the hot path in isolation: Emit through the
+// ring, batch-encoded into a byte-counting sink.
+type TraceBenchEmit struct {
+	Events        int     `json:"events"`
+	WallMS        int64   `json:"wall_ms"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	BytesWritten  int64   `json:"bytes_written"`
+	BytesPerEvent float64 `json:"bytes_per_event"`
+}
+
+// TraceBenchRound measures a fully instrumented federation against a bare
+// one: the same smoke-scale fedavg simulation with and without a live
+// recorder. OverheadNsPerRound may be slightly negative on a noisy host —
+// the recorder's cost is below scheduler jitter at smoke scale.
+type TraceBenchRound struct {
+	Reps               int   `json:"reps"`
+	RoundsPerRun       int   `json:"rounds_per_run"`
+	BareMS             int64 `json:"bare_ms"`
+	TracedMS           int64 `json:"traced_ms"`
+	EventsPerRun       int   `json:"events_per_run"`
+	OverheadNsPerRound int64 `json:"overhead_ns_per_round"`
+}
+
+// countSink counts bytes and records (one trailing newline per record; the
+// JSON bodies escape interior newlines, so the count is exact).
+type countSink struct {
+	bytes   int64
+	records int64
+}
+
+func (s *countSink) Write(p []byte) (int, error) {
+	s.bytes += int64(len(p))
+	s.records += int64(bytes.Count(p, []byte{'\n'}))
+	return len(p), nil
+}
+
+// runTraceBench measures the flight recorder and writes BENCH_trace.json
+// into outDir.
+func runTraceBench(outDir string, quick bool) error {
+	file := TraceBenchFile{
+		Schema:     TraceBenchSchema,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("trace bench: %s/%s gomaxprocs=%d\n", file.GOOS, file.GOARCH, file.GOMaxProcs)
+
+	// Stage 1: raw Emit throughput. A representative client_update event
+	// (the most field-heavy producer) through a defaulted ring into a
+	// counting sink.
+	events := 2_000_000
+	if quick {
+		events = 250_000
+	}
+	sink := &countSink{}
+	rec := trace.New(sink, trace.Config{})
+	ev := trace.Event{
+		Kind: trace.KindClientUpdate, Runtime: "sim", Round: 3, Client: 17,
+		Wire: "delta", Bytes: 4096, Dur: 1_500_000, Loss: 0.4375,
+	}
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		ev.TS = int64(i)
+		rec.Emit(ev)
+	}
+	if err := rec.Close(); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	file.Emit = TraceBenchEmit{
+		Events:        events,
+		WallMS:        wall.Milliseconds(),
+		EventsPerSec:  float64(events) / wall.Seconds(),
+		NsPerEvent:    float64(wall.Nanoseconds()) / float64(events),
+		BytesWritten:  sink.bytes,
+		BytesPerEvent: float64(sink.bytes) / float64(events),
+	}
+	fmt.Printf("emit: %d events in %s — %.0f events/sec, %.0f ns/event, %.1f bytes/event\n",
+		events, wall.Round(time.Millisecond), file.Emit.EventsPerSec, file.Emit.NsPerEvent, file.Emit.BytesPerEvent)
+
+	// Stage 2: instrumented federation overhead. The same smoke fedavg
+	// simulation, bare then traced, alternating to spread thermal and
+	// cache drift across both sides.
+	reps := 6
+	if quick {
+		reps = 2
+	}
+	setting, ok := experiments.Settings()["cifar10-q(2,500)"]
+	if !ok {
+		return fmt.Errorf("trace bench: setting cifar10-q(2,500) missing")
+	}
+	runOnce := func(rec *trace.Recorder) (int, error) {
+		env, err := experiments.BuildEnvironment(setting, experiments.ScaleSmoke, 1)
+		if err != nil {
+			return 0, err
+		}
+		m, err := experiments.BuildMethod(env, "fedavg")
+		if err != nil {
+			return 0, err
+		}
+		out, err := experiments.RunBuiltMethodWith(context.Background(), env, m, func(cfg *fl.SimConfig) {
+			cfg.Recorder = rec
+		})
+		if err != nil {
+			return 0, err
+		}
+		return len(out.History), nil
+	}
+	var bare, traced time.Duration
+	rounds, eventsPerRun := 0, 0
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		r, err := runOnce(nil)
+		if err != nil {
+			return fmt.Errorf("trace bench bare run: %w", err)
+		}
+		bare += time.Since(t0)
+		rounds = r
+
+		simSink := &countSink{}
+		simRec := trace.New(simSink, trace.Config{})
+		t1 := time.Now()
+		if _, err := runOnce(simRec); err != nil {
+			return fmt.Errorf("trace bench traced run: %w", err)
+		}
+		if err := simRec.Close(); err != nil {
+			return err
+		}
+		traced += time.Since(t1)
+		eventsPerRun = int(simSink.records)
+	}
+	totalRounds := rounds * reps
+	file.Round = TraceBenchRound{
+		Reps:               reps,
+		RoundsPerRun:       rounds,
+		BareMS:             bare.Milliseconds(),
+		TracedMS:           traced.Milliseconds(),
+		EventsPerRun:       eventsPerRun,
+		OverheadNsPerRound: (traced - bare).Nanoseconds() / int64(totalRounds),
+	}
+	fmt.Printf("round: %d reps × %d rounds — bare %dms, traced %dms, %d events/run, overhead %dns/round\n",
+		reps, rounds, file.Round.BareMS, file.Round.TracedMS, eventsPerRun, file.Round.OverheadNsPerRound)
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	path := filepath.Join(outDir, "BENCH_trace.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}

@@ -39,6 +39,7 @@ import (
 	"calibre/internal/flnet"
 	"calibre/internal/obs"
 	"calibre/internal/store"
+	"calibre/internal/trace"
 )
 
 func main() {
@@ -70,6 +71,9 @@ func run(args []string) error {
 		aggSpec   = fs.String("aggregator", "", "robust aggregator override: mean | median | trimmed(frac) | krum(f); empty keeps the method's own")
 		traceSpec = fs.String("trace", "", "seeded availability trace, e.g. diurnal(0.1,0.6,8) | flash(0,0.8,2,2) | markov(0,0.3,0.5); empty means always available")
 		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
+		traceOut  = fs.String("trace-out", "", "append flight-recorder events (length-prefixed JSONL) to this file; inspect with calibre-trace")
+		traceRot  = fs.Int64("trace-rotate-bytes", 0, "rotate the -trace-out file when it would exceed this size (keeps 3 generations); 0 disables rotation")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this host:port; port 0 picks a free one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,7 +108,7 @@ func run(args []string) error {
 		}
 		m.Aggregator = agg
 	}
-	trace, err := fl.ParseTrace(*traceSpec)
+	avail, err := fl.ParseTrace(*traceSpec)
 	if err != nil {
 		return err
 	}
@@ -120,7 +124,7 @@ func run(args []string) error {
 		RoundDeadline:   *deadline,
 		Straggler:       policy,
 		UpdateWire:      updateWire,
-		Trace:           trace,
+		Trace:           avail,
 		OnRound: func(stats fl.RoundStats) {
 			fmt.Println(stats)
 		},
@@ -148,7 +152,7 @@ func run(args []string) error {
 		fp := store.Fingerprint("server", *method, *setting, *scale,
 			fmt.Sprint(*seed), fmt.Sprint(*clients), fmt.Sprint(*perRound),
 			fmt.Sprint(*quorum), deadline.String(), policy.String(),
-			fmt.Sprint(m.Aggregator), trace.String())
+			fmt.Sprint(m.Aggregator), avail.String())
 		cfg.CheckpointEvery = *ckptEvery
 		cfg.OnCheckpoint = ckpt.SaveHook(
 			store.Meta{Seed: *seed, Fingerprint: fp, Runtime: "server"},
@@ -170,6 +174,35 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *traceOut != "" {
+		sink, err := trace.OpenFile(*traceOut, trace.FileOptions{RotateBytes: *traceRot})
+		if err != nil {
+			return err
+		}
+		rec := trace.New(sink, trace.Config{})
+		cfg.Recorder = rec
+		// Close flushes the ring; a sink error (full disk, rotation
+		// failure) is sticky and surfaces here without having failed the
+		// federation itself.
+		defer func() {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			}
+		}()
+		fmt.Printf("trace: recording to %s\n", *traceOut)
+	}
+	if *pprofAddr != "" {
+		psrv, paddr, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("pprof: listening on http://%s/debug/pprof/\n", paddr)
+		defer func() {
+			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = psrv.Shutdown(shCtx)
+		}()
+	}
 	if *metrics != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs = reg

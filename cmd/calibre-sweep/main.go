@@ -40,6 +40,7 @@ import (
 
 	"calibre/internal/obs"
 	"calibre/internal/sweep"
+	"calibre/internal/trace"
 )
 
 func main() {
@@ -70,6 +71,9 @@ func run(args []string) error {
 		kernels   = fs.Int("kernel-workers", 0, "resize the process-wide tensor kernel pool; 0 = leave as is")
 		quiet     = fs.Bool("quiet", false, "suppress per-cell progress lines")
 		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
+		traceOut  = fs.String("trace-out", "", "append flight-recorder events (length-prefixed JSONL) to this file; inspect with calibre-trace")
+		traceRot  = fs.Int64("trace-rotate-bytes", 0, "rotate the -trace-out file when it would exceed this size (keeps 3 generations); 0 disables rotation")
+		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this host:port; port 0 picks a free one")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -122,6 +126,32 @@ func run(args []string) error {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		if *traceOut != "" {
+			sink, err := trace.OpenFile(*traceOut, trace.FileOptions{RotateBytes: *traceRot})
+			if err != nil {
+				return err
+			}
+			rec := trace.New(sink, trace.Config{})
+			cfg.Recorder = rec
+			defer func() {
+				if err := rec.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				}
+			}()
+			fmt.Printf("trace: recording to %s\n", *traceOut)
+		}
+		if *pprofAddr != "" {
+			psrv, paddr, err := obs.ServePprof(*pprofAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("pprof: listening on http://%s/debug/pprof/\n", paddr)
+			defer func() {
+				shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = psrv.Shutdown(shCtx)
+			}()
+		}
 		if *metrics != "" {
 			reg := obs.NewRegistry()
 			cfg.Obs = reg

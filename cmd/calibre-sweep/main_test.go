@@ -182,6 +182,8 @@ func TestWatchSmoke(t *testing.T) {
 	reg.Gauge(obs.GaugeSweepCellsPending).Set(3)
 	reg.Gauge(obs.GaugeSweepCellsInFlight).Set(2)
 	reg.Counter(obs.CounterSweepCellsDone).Add(3)
+	reg.Counter(obs.CounterAdversarialUpdates).Add(5)
+	reg.Counter(obs.CounterRejectedUpdates).Add(2)
 	reg.ObserveRound(obs.RoundSample{
 		Runtime: "sim", Round: 7, Participants: 4, Responders: 4,
 		MeanLoss: 0.5, UplinkWireBytes: 1 << 11, UplinkDenseBytes: 1 << 13,
@@ -198,6 +200,7 @@ func TestWatchSmoke(t *testing.T) {
 	for _, needle := range []string{
 		"cells 3/6 done", "2 in flight", "3 pending", "rounds 1",
 		"2.0KiB wire", "8.0KiB dense", "sim round 7: 4/4 responded, loss 0.5000",
+		"hostile: 5 adversarial, 2 rejected",
 	} {
 		if !strings.Contains(out, needle) {
 			t.Errorf("watch line missing %q:\n%s", needle, out)

@@ -97,6 +97,11 @@ func renderWatchLine(s obs.Snapshot) string {
 	}
 	line += fmt.Sprintf(" · uplink %s wire / %s dense",
 		humanBytes(c[obs.CounterUplinkWireBytes]), humanBytes(c[obs.CounterUplinkDenseBytes]))
+	// Hostile-federation signal: only shown once an attack (or a robust
+	// aggregator rejection) actually fires, so benign sweeps stay terse.
+	if adv, rej := c[obs.CounterAdversarialUpdates], c[obs.CounterRejectedUpdates]; adv > 0 || rej > 0 {
+		line += fmt.Sprintf(" · hostile: %d adversarial, %d rejected", adv, rej)
+	}
 	if last, ok := s.LastRound(); ok {
 		line += fmt.Sprintf(" · %s round %d: %d/%d responded, loss %.4f",
 			last.Runtime, last.Round, last.Responders, last.Participants, last.MeanLoss)

@@ -1,0 +1,105 @@
+// Command calibre-trace reads flight-recorder traces written by
+// calibre-server -trace, calibre-sweep -trace and the fl simulator
+// (internal/trace length-prefixed JSONL) and renders them offline:
+// aggregate summaries, an ASCII per-round timeline, and an event grep.
+//
+// Usage:
+//
+//	calibre-trace summary  FILE
+//	calibre-trace timeline FILE [-round N] [-cell KEY] [-width N]
+//	calibre-trace grep     FILE [-kind K] [-round N] [-client N] [-reason R] [-cell KEY] [-count]
+//
+// FILE may be "-" for stdin. A torn trailing record (a crash mid-write)
+// is tolerated everywhere: the decoded prefix is used and the truncation
+// is reported on stderr-adjacent summary lines, never as a hard error.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"calibre/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calibre-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: calibre-trace <summary|timeline|grep> FILE [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "summary":
+		return runSummary(rest, w)
+	case "timeline":
+		return runTimeline(rest, w)
+	case "grep":
+		return runGrep(rest, w)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want summary, timeline or grep)", cmd)
+	}
+}
+
+// loadTrace decodes FILE (or stdin for "-"), tolerating a torn tail.
+// truncated reports whether the trace ended mid-record.
+func loadTrace(path string) (events []trace.Event, truncated bool, err error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err = trace.ReadAll(r)
+	if errors.Is(err, trace.ErrTruncated) {
+		return events, true, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, false, nil
+}
+
+// traceFile pops the positional FILE argument off the front of args,
+// leaving the flags for the subcommand's FlagSet.
+func traceFile(args []string) (string, []string, error) {
+	if len(args) < 1 || args[0] == "" {
+		return "", nil, fmt.Errorf("missing trace file (or - for stdin)")
+	}
+	return args[0], args[1:], nil
+}
+
+// formatNS renders a nanosecond duration compactly for tables.
+func formatNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// formatBytes renders a byte count compactly.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

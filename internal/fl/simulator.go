@@ -13,6 +13,7 @@ import (
 	"calibre/internal/param"
 	"calibre/internal/partition"
 	"calibre/internal/tensor"
+	"calibre/internal/trace"
 )
 
 // SimConfig controls a federated training simulation.
@@ -84,6 +85,16 @@ type SimConfig struct {
 	// one never perturbs training — instrumented runs are bit-identical to
 	// uninstrumented ones (pinned by TestObsRegistryDoesNotPerturbRun).
 	Obs *obs.Registry
+	// Recorder, if non-nil, receives the flight-recorder event stream:
+	// round spans, per-client dispatch/update/drop events (with wire
+	// encoding and turnaround), checkpoint and resume marks. Like Obs it
+	// is purely observational — a traced run is bit-identical to a bare
+	// one (pinned by TestTraceDoesNotPerturbRun), and with an injected
+	// trace.Clock the emitted bytes are deterministic too. All events are
+	// emitted from the round loop in canonical order; workers only record
+	// timestamps, so a non-thread-safe injected clock requires
+	// Parallelism 1 (real-clock runs may parallelize freely).
+	Recorder *trace.Recorder
 
 	// OnCheckpoint, if set, receives a deep-copied SimState after every
 	// CheckpointEvery-th completed round and after the final round. It
@@ -245,6 +256,19 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 	}
 	masterRNG := rand.New(rand.NewSource(s.Config.Seed))
 	s.trace = s.Config.Trace.Generator(s.Config.Seed)
+	rec, reg := s.Config.Recorder, s.Config.Obs
+	// measure gates every clock read: a bare run draws no timestamps at
+	// all. Span timestamps come from the recorder's clock when one is
+	// attached (injected clocks make the trace bytes deterministic) and
+	// from the wall clock when only the metrics registry wants durations.
+	measure := rec != nil || reg != nil
+	now := func() int64 { return 0 }
+	if rec != nil {
+		now = rec.Now
+	} else if reg != nil {
+		clockStart := time.Now()
+		now = func() int64 { return time.Since(clockStart).Nanoseconds() }
+	}
 	// The adversary wraps the trainer rather than mutating the method, so a
 	// hostile run never leaks attack state into a shared Method value. The
 	// compromised set is fixed for the whole run.
@@ -265,6 +289,12 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 	}
 	history := make([]RoundStats, 0, s.Config.Rounds)
 	var eligibleCounts []int
+	var histRound, histTurn, histEncode *obs.Histogram
+	if reg != nil {
+		histRound = reg.Histogram(obs.HistRoundLatency)
+		histTurn = reg.Histogram(obs.HistClientTurnaround)
+		histEncode = reg.Histogram(obs.HistUplinkEncode)
+	}
 	startRound := 0
 	if st := s.Config.ResumeFrom; st != nil {
 		if len(st.Global) != len(global) {
@@ -285,6 +315,8 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		history = append(history, st.History...)
 		eligibleCounts = append(eligibleCounts, st.EligibleCounts...)
 		startRound = st.Round
+		rec.Emit(trace.Event{Kind: trace.KindResume, TS: now(), Runtime: "sim",
+			Round: startRound, Client: -1, N: len(alive)})
 	}
 	for round := startRound; round < s.Config.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -307,8 +339,51 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		}
 		round := round
 		roundStart := time.Now()
+		// Span bookkeeping. Workers never Emit — they record timestamps
+		// into slot-indexed arrays and the round loop emits every event in
+		// canonical order afterwards, so the trace file's record order is
+		// independent of goroutine scheduling.
+		var tsRound int64
+		var spanEnd, spanDur, encodeNS, wireEach []int64
+		var wireDelta []bool
+		var slot map[int]int
+		if measure {
+			tsRound = now()
+			spanEnd = make([]int64, len(ids))
+			spanDur = make([]int64, len(ids))
+			encodeNS = make([]int64, len(ids))
+			wireEach = make([]int64, len(ids))
+			wireDelta = make([]bool, len(ids))
+			slot = make(map[int]int, len(ids))
+			for i, id := range ids {
+				slot[id] = i
+			}
+		}
+		if rec != nil {
+			rec.Emit(trace.Event{Kind: trace.KindRoundStart, TS: tsRound, Runtime: "sim",
+				Round: round, Client: -1, N: len(sampled)})
+			for _, id := range ids {
+				rec.Emit(trace.Event{Kind: trace.KindClientDispatch, TS: now(), Runtime: "sim",
+					Round: round, Client: id})
+			}
+			if dropped := diffSorted(sampled, ids); len(dropped) > 0 {
+				reason := trace.DropStraggler
+				if s.trace != nil {
+					reason = trace.DropTrace
+				}
+				for _, id := range dropped {
+					rec.Emit(trace.Event{Kind: trace.KindClientDrop, TS: now(), Runtime: "sim",
+						Round: round, Client: id, Reason: reason})
+				}
+			}
+		}
 		var wireBytes, denseBytes atomic.Int64
 		updates, err := runParallel(roundCtx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
+			ix, t0 := 0, int64(0)
+			if measure {
+				ix = slot[id]
+				t0 = now()
+			}
 			rng := clientRNG(s.Config.Seed, round, id)
 			u, err := trainer.Train(ctx, rng, s.Clients[id], global, round)
 			if err != nil {
@@ -321,7 +396,14 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			// as the typed ErrUpdateSize from Resolve, exactly like the
 			// dense path.
 			if s.Config.DeltaUpdates && u.Delta == nil && len(u.Params) == len(global) {
+				var e0 int64
+				if measure {
+					e0 = now()
+				}
 				d, derr := param.Diff(global, u.Params)
+				if measure {
+					encodeNS[ix] = now() - e0
+				}
 				if derr != nil {
 					return nil, fmt.Errorf("fl: client %d round %d: %w", id, round, derr)
 				}
@@ -334,17 +416,29 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			// (flnet's wireUpdate fallback), so the wire cost is capped at
 			// the dense size.
 			if u.Delta != nil {
-				wireBytes.Add(int64(min(u.Delta.Size(), u.Delta.DenseSize())))
+				w := int64(min(u.Delta.Size(), u.Delta.DenseSize()))
+				wireBytes.Add(w)
 				denseBytes.Add(int64(u.Delta.DenseSize()))
+				if measure {
+					wireEach[ix], wireDelta[ix] = w, true
+				}
 			} else {
-				wireBytes.Add(int64(8 * len(u.Params)))
-				denseBytes.Add(int64(8 * len(u.Params)))
+				w := int64(8 * len(u.Params))
+				wireBytes.Add(w)
+				denseBytes.Add(w)
+				if measure {
+					wireEach[ix] = w
+				}
 			}
 			// Ingress validation: a wrong-sized payload from an in-process
 			// trainer is a bug, surfaced as a typed ErrUpdateSize instead of
 			// an index panic inside the aggregator.
 			if err := u.Resolve(global); err != nil {
 				return nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			if measure {
+				spanEnd[ix] = now()
+				spanDur[ix] = spanEnd[ix] - t0
 			}
 			return u, nil
 		})
@@ -382,6 +476,25 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		stats.MeanLoss /= float64(len(updates))
 		history = append(history, stats)
 		eligibleCounts = append(eligibleCounts, eligibleCount)
+		if measure {
+			for i, id := range ids {
+				wire := "dense"
+				if wireDelta[i] {
+					wire = "delta"
+				}
+				rec.Emit(trace.Event{Kind: trace.KindClientUpdate, TS: spanEnd[i], Runtime: "sim",
+					Round: round, Client: id, Wire: wire, Bytes: wireEach[i],
+					Dur: spanDur[i], Loss: updates[i].TrainLoss})
+				histTurn.Observe(spanDur[i])
+				if wireDelta[i] {
+					histEncode.Observe(encodeNS[i])
+				}
+			}
+			tsEnd := now()
+			histRound.Observe(tsEnd - tsRound)
+			rec.Emit(trace.Event{Kind: trace.KindRoundEnd, TS: tsEnd, Runtime: "sim",
+				Round: round, Client: -1, N: len(ids), Dur: tsEnd - tsRound, Loss: stats.MeanLoss})
+		}
 		if reg := s.Config.Obs; reg != nil {
 			reg.ObserveRound(obs.RoundSample{
 				Runtime:            "sim",
@@ -403,6 +516,8 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			if err := s.Config.OnCheckpoint(st.Clone()); err != nil {
 				return nil, nil, fmt.Errorf("fl: checkpoint after round %d: %w", round, err)
 			}
+			rec.Emit(trace.Event{Kind: trace.KindCheckpointSave, TS: now(), Runtime: "sim",
+				Round: round, Client: -1})
 		}
 		if s.Config.OnRound != nil {
 			s.Config.OnRound(stats)

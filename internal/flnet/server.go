@@ -13,6 +13,7 @@ import (
 	"calibre/internal/fl"
 	"calibre/internal/obs"
 	"calibre/internal/param"
+	"calibre/internal/trace"
 )
 
 // ServerConfig configures a federated server.
@@ -76,6 +77,15 @@ type ServerConfig struct {
 	// the dense baseline), and per-client participation. Nil-safe and
 	// side-effect-free on training.
 	Obs *obs.Registry
+	// Recorder, if non-nil, receives the flight-recorder event stream:
+	// round spans, per-client dispatch/update/drop events carrying client
+	// IDs, wire encoding (dense/delta) and payload bytes, checkpoint and
+	// resume marks. Every event is emitted from the single-goroutine
+	// round engine in state-machine order, so even an injected
+	// (non-thread-safe) trace.Clock is safe here. Purely observational:
+	// a traced federation is bit-identical to a bare one (pinned by
+	// TestTraceDoesNotPerturbNetRun).
+	Recorder *trace.Recorder
 
 	// OnCheckpoint, if set, receives a deep-copied fl.SimState after every
 	// CheckpointEvery-th completed round and after the final round, before
@@ -244,6 +254,19 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 	}
 
 	eng := &roundEngine{s: s, busy: make(map[int]int), trace: s.cfg.Trace.Generator(s.cfg.Seed)}
+	eng.rec = s.cfg.Recorder
+	eng.now = func() int64 { return 0 }
+	switch {
+	case eng.rec != nil:
+		eng.now = eng.rec.Now
+	case s.cfg.Obs != nil:
+		clockStart := time.Now()
+		eng.now = func() int64 { return time.Since(clockStart).Nanoseconds() }
+	}
+	if reg := s.cfg.Obs; reg != nil {
+		eng.histRound = reg.Histogram(obs.HistRoundLatency)
+		eng.histTurn = reg.Histogram(obs.HistClientTurnaround)
+	}
 	if s.cfg.Adversary != nil {
 		eng.malicious = make(map[int]bool)
 		for _, id := range s.cfg.Adversary.Malicious(s.cfg.Seed, s.cfg.NumClients) {
@@ -274,6 +297,8 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		history = append(history, st.History...)
 		eng.eligibleCounts = append(eng.eligibleCounts, st.EligibleCounts...)
 		startRound = st.Round
+		eng.rec.Emit(trace.Event{Kind: trace.KindResume, TS: eng.now(), Runtime: "server",
+			Round: startRound, Client: -1, N: len(s.Joined())})
 	}
 	for round := startRound; round < s.cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -290,6 +315,8 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 			if err := s.cfg.OnCheckpoint(st.Clone()); err != nil {
 				return nil, fmt.Errorf("flnet: checkpoint after round %d: %w", round, err)
 			}
+			eng.rec.Emit(trace.Event{Kind: trace.KindCheckpointSave, TS: eng.now(), Runtime: "server",
+				Round: round, Client: -1})
 		}
 		if s.cfg.OnRound != nil {
 			s.cfg.OnRound(stats)
@@ -477,6 +504,13 @@ type roundEngine struct {
 	trace *fl.TraceGen
 	// malicious is the accounting-only compromise set from cfg.Adversary.
 	malicious map[int]bool
+	// rec and now are the flight-recorder handle and span clock (see
+	// ServerConfig.Recorder); histRound/histTurn the latency histograms.
+	// The engine is single-goroutine, so emission order is state-machine
+	// order by construction.
+	rec                 *trace.Recorder
+	now                 func() int64
+	histRound, histTurn *obs.Histogram
 }
 
 // eligible returns the sorted roster IDs with no in-flight request.
@@ -515,6 +549,12 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		participants[i] = eligible[p]
 	}
 	stats.Participants = participants
+	if e.now == nil {
+		e.now = func() int64 { return 0 }
+	}
+	tsRound := e.now()
+	e.rec.Emit(trace.Event{Kind: trace.KindRoundStart, TS: tsRound, Runtime: "server",
+		Round: round, Client: -1, N: len(participants)})
 
 	// Guard the K-of-N contract: a round that cannot possibly reach the
 	// configured quorum must fail rather than silently aggregate fewer
@@ -539,6 +579,8 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 				skipped[slot] = true
 				nTraceDrops++
 				stats.Stragglers = append(stats.Stragglers, id)
+				e.rec.Emit(trace.Event{Kind: trace.KindClientDrop, TS: e.now(), Runtime: "server",
+					Round: round, Client: id, Reason: trace.DropTrace})
 				if s.cfg.Straggler == fl.StragglerDrop {
 					s.evict(id)
 				}
@@ -561,6 +603,7 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 	// Dispatch. Workers are idle (we only sample non-busy clients), so the
 	// 1-slot request channels never block.
 	slotOf := make(map[int]int, len(participants))
+	dispatchTS := make([]int64, len(participants))
 	for slot, id := range participants {
 		slotOf[id] = slot
 		if skipped[slot] {
@@ -570,6 +613,9 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		if h == nil {
 			return stats, nil, fmt.Errorf("flnet: round %d: client %d vanished before dispatch", round, id)
 		}
+		dispatchTS[slot] = e.now()
+		e.rec.Emit(trace.Event{Kind: trace.KindClientDispatch, TS: dispatchTS[slot], Runtime: "server",
+			Round: round, Client: id})
 		h.req <- &Envelope{Type: MsgTrain, Round: round, Global: global, ClientID: id}
 		e.busy[id] = round
 	}
@@ -628,6 +674,14 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		skipped[slot] = true
 		nSkipped++
 		stats.Stragglers = append(stats.Stragglers, id)
+		// Attribute the drop: an ingress rejection from a client in the
+		// seeded compromise set is the attack surfacing, not an accident.
+		reason := trace.DropRejected
+		if e.malicious[id] {
+			reason = trace.DropAdversarial
+		}
+		e.rec.Emit(trace.Event{Kind: trace.KindClientDrop, TS: e.now(), Runtime: "server",
+			Round: round, Client: id, Reason: reason, Note: cause})
 		if len(participants)-nSkipped < quorum {
 			return fmt.Errorf("flnet: round %d: client %d %s; need %d of %d participants: %w",
 				round, id, cause, quorum, len(participants), fl.ErrQuorumNotMet)
@@ -664,12 +718,14 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 				}
 				// Account wire bytes before Resolve clears the delta; the
 				// payload did cross the uplink whether or not it validates.
+				wire, wireCost := "dense", int64(8*len(u.Params))
 				if u.Delta != nil {
-					wireBytes += int64(u.Delta.Size())
+					wire, wireCost = "delta", int64(u.Delta.Size())
+					wireBytes += wireCost
 					denseBytes += int64(u.Delta.DenseSize())
 				} else {
-					wireBytes += int64(8 * len(u.Params))
-					denseBytes += int64(8 * len(u.Params))
+					wireBytes += wireCost
+					denseBytes += wireCost
 				}
 				// Ingress validation: materialize a delta payload against
 				// this round's global and length-check everything before the
@@ -686,6 +742,11 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 				pending[slot] = u
 				arrived[slot] = true
 				nArrived++
+				tsDone := e.now()
+				e.histTurn.Observe(tsDone - dispatchTS[slot])
+				e.rec.Emit(trace.Event{Kind: trace.KindClientUpdate, TS: tsDone, Runtime: "server",
+					Round: round, Client: ev.id, Wire: wire, Bytes: wireCost,
+					Dur: tsDone - dispatchTS[slot], Loss: u.TrainLoss})
 				err = ingest()
 			case ev.env.Type == MsgError:
 				err = skipParticipant(ev.id, reqRound, fmt.Sprintf("reported %q", ev.env.Err))
@@ -710,6 +771,8 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 				skipped[slot] = true
 				nSkipped++
 				stats.Stragglers = append(stats.Stragglers, id)
+				e.rec.Emit(trace.Event{Kind: trace.KindClientDrop, TS: e.now(), Runtime: "server",
+					Round: round, Client: id, Reason: trace.DropStraggler})
 				if s.cfg.Straggler == fl.StragglerDrop {
 					delete(e.busy, id)
 					s.evict(id)
@@ -770,6 +833,10 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		})
 		reg.AddParticipation(respIDs)
 	}
+	tsEnd := e.now()
+	e.histRound.Observe(tsEnd - tsRound)
+	e.rec.Emit(trace.Event{Kind: trace.KindRoundEnd, TS: tsEnd, Runtime: "server",
+		Round: round, Client: -1, N: nArrived, Dur: tsEnd - tsRound, Loss: stats.MeanLoss})
 	return stats, next, nil
 }
 

@@ -10,9 +10,18 @@
 //
 //   - named monotonic counters (rounds_total, uplink_wire_bytes_total, …)
 //   - named gauges (round, sweep_cells_in_flight, …)
+//   - named fixed-bucket latency histograms (round_latency_ns,
+//     client_turnaround_ns, uplink_encode_ns) with nine shared
+//     nanosecond buckets from 10µs to 100s plus +Inf
 //   - a bounded ring of per-round samples (RoundSample: straggler/quorum
 //     accounting from fl.RoundStats, uplink bytes dense-vs-delta, round
 //     wall-clock), plus a per-client participation table
+//
+// The round ring keeps the most recent 256 samples by default — enough
+// recent history for a scraper while a million-round run holds live
+// memory constant. NewRegistryWithRing(n) widens or narrows the window;
+// counters, histograms and the participation table are unbounded-by-name
+// and unaffected by the ring size.
 //
 // Counter and Gauge handles are lock-free atomics once obtained, so the
 // training hot path never blocks on a scraper: instrumentation costs one
@@ -40,5 +49,7 @@
 // Serve binds a listener and serves Handler in the background; the
 // calibre-server and calibre-sweep binaries expose it behind their
 // -metrics-addr flags, and `calibre-sweep watch` polls the JSON view to
-// render live cell/round progress.
+// render live cell/round progress. ServePprof serves the net/http/pprof
+// profiling suite on a separate listener (-pprof-addr on the same
+// binaries), kept apart from the metrics surface on purpose.
 package obs

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler serves the registry's two read-only views:
@@ -39,6 +40,29 @@ func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
 		return nil, nil, err
 	}
 	srv := &http.Server{Handler: Handler(reg)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}
+
+// ServePprof binds addr and serves the net/http/pprof profiling suite
+// (/debug/pprof/ index, profile, heap, goroutine, trace, …) in a
+// background goroutine. It registers the handlers on a private mux — the
+// pprof import's http.DefaultServeMux side effect is not relied on — so
+// the profiling surface only exists on this listener, never on the
+// metrics one. The calibre-server and calibre-sweep binaries expose it
+// behind -pprof-addr.
+func ServePprof(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
 }

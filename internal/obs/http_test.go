@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHandlerUnknownRoute404(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/", "/metrics/unknown/deeper", "/debug/pprof/"} {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHandlerHead(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveRound(RoundSample{Runtime: "sim", Round: 1, Responders: 2})
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/metrics/prom"} {
+		resp, err := http.Head("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("HEAD %s = %d, want 200", path, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("HEAD %s returned a body (%d bytes)", path, len(body))
+		}
+	}
+}
+
+// TestHandlerUnderHammer scrapes both endpoints while writers pound
+// counters, rounds and histograms — run under -race in CI, this is the
+// HTTP half of the concurrency contract.
+func TestHandlerUnderHammer(t *testing.T) {
+	r := NewRegistry()
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter(CounterResponders).Add(1)
+				r.ObserveRound(RoundSample{Runtime: "sim", Round: i, Responders: w})
+				r.Histogram(HistRoundLatency).Observe(int64(i))
+				r.AddParticipation([]int{w, i % 5})
+				i++
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		for _, path := range []string{"/metrics", "/metrics/prom"} {
+			resp, err := http.Get("http://" + addr.String() + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				t.Fatalf("read %s under hammer: %v", path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d under hammer", path, resp.StatusCode)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServeDoubleShutdown(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown must be a clean no-op: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	srv, addr, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+	resp, err = http.Get("http://" + addr.String() + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof heap = %d, want 200", resp.StatusCode)
+	}
+	// The metrics surface must not exist on the profiling listener.
+	resp, err = http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof listener served /metrics: %d", resp.StatusCode)
+	}
+}

@@ -58,9 +58,31 @@ const (
 	GaugeSweepCellsInFlight = "sweep_cells_in_flight"
 )
 
-// roundWindow bounds the per-round sample ring: a million-round run keeps
-// live memory constant while the scraper still sees recent history.
+// Canonical histogram names. All three record nanoseconds into the fixed
+// latency buckets (see histBounds).
+const (
+	// HistRoundLatency is wall-clock per completed round.
+	HistRoundLatency = "round_latency_ns"
+	// HistClientTurnaround is dispatch→accepted-update per client span.
+	HistClientTurnaround = "client_turnaround_ns"
+	// HistUplinkEncode is the cost of encoding one client's uplink update
+	// (delta diff or dense fallback).
+	HistUplinkEncode = "uplink_encode_ns"
+)
+
+// roundWindow is the default bound on the per-round sample ring: a
+// million-round run keeps live memory constant while the scraper still
+// sees recent history. NewRegistryWithRing overrides it.
 const roundWindow = 256
+
+// histBounds are the shared fixed latency bucket upper bounds in
+// nanoseconds: 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s, 100s, then +Inf.
+// Fixed buckets keep Observe allocation-free and make scrapes from
+// different processes directly comparable.
+var histBounds = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+
+// histBuckets is len(histBounds)+1: the finite buckets plus +Inf.
+const histBuckets = 9
 
 // Counter is a monotonically increasing metric. The zero value is usable;
 // handles obtained from a Registry are shared and lock-free.
@@ -106,6 +128,54 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// Histogram is a fixed-bucket latency histogram. Observations land in
+// lock-free atomic buckets, so recording costs one linear scan over nine
+// buckets plus three atomic adds — safe on the training hot path. The
+// zero value is usable; handles from a Registry are shared.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64 // finite buckets then +Inf
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value (nanoseconds by convention); no-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(histBounds) && v > histBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a Histogram copied at one instant. Counts holds
+// one entry per bucket (non-cumulative), the last being the +Inf bucket;
+// Bounds holds the finite upper bounds.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// snapshot copies the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: histBounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
 // RoundSample is one completed round as the metrics plane sees it — the
 // fl.RoundStats straggler accounting plus the wire-byte and wall-clock
 // facts the runtimes know at round close.
@@ -149,15 +219,31 @@ type Registry struct {
 	mu            sync.Mutex
 	counters      map[string]*Counter
 	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
 	rounds        []RoundSample
+	ringCap       int
 	participation map[int]int64
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default 256-sample
+// round ring.
 func NewRegistry() *Registry {
+	return NewRegistryWithRing(roundWindow)
+}
+
+// NewRegistryWithRing returns an empty registry whose round-sample ring
+// keeps the last n samples (n < 1 falls back to the 256 default). Larger
+// rings give scrapers deeper history at proportional memory cost; the
+// counters and participation table are unaffected.
+func NewRegistryWithRing(n int) *Registry {
+	if n < 1 {
+		n = roundWindow
+	}
 	return &Registry{
 		counters:      make(map[string]*Counter),
 		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		ringCap:       n,
 		participation: make(map[int]int64),
 	}
 }
@@ -193,6 +279,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram handle, creating it on first
+// use. Returns nil (a usable no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // ObserveRound records one completed round: it appends the sample to the
 // bounded ring and folds its facts into the aggregate counters and the
 // round gauge, all under one lock so a concurrent Snapshot never sees a
@@ -203,9 +305,13 @@ func (r *Registry) ObserveRound(s RoundSample) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	window := r.ringCap
+	if window < 1 {
+		window = roundWindow
+	}
 	r.rounds = append(r.rounds, s)
-	if len(r.rounds) > roundWindow {
-		r.rounds = r.rounds[len(r.rounds)-roundWindow:]
+	if len(r.rounds) > window {
+		r.rounds = r.rounds[len(r.rounds)-window:]
 	}
 	r.counterLocked(CounterRounds).Add(1)
 	r.counterLocked(CounterResponders).Add(int64(s.Responders))
@@ -262,6 +368,8 @@ func (r *Registry) gaugeLocked(name string) *Gauge {
 type Snapshot struct {
 	Counters map[string]int64 `json:"counters"`
 	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	// Histograms maps histogram name to its bucketed state.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	// Rounds is the recent-round ring in chronological order.
 	Rounds []RoundSample `json:"rounds,omitempty"`
 	// Participation maps client ID (stringified for JSON) to the number
@@ -285,6 +393,12 @@ func (r *Registry) Snapshot() Snapshot {
 		snap.Gauges = make(map[string]int64, len(r.gauges))
 		for name, g := range r.gauges {
 			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			snap.Histograms[name] = h.snapshot()
 		}
 	}
 	if len(r.rounds) > 0 {

@@ -12,11 +12,12 @@ import (
 const promPrefix = "calibre_"
 
 // WriteProm renders the snapshot in the Prometheus text exposition format
-// (version 0.0.4): counters first, then gauges, then the per-client
-// participation as one labeled counter family, then the latest round's
-// mean loss as a float gauge. Ordering is fully deterministic (names
-// sorted, clients numeric-sorted), so the output is golden-testable and
-// scrape diffs are meaningful.
+// (version 0.0.4): counters first, then gauges, then latency histograms
+// (cumulative le-labeled buckets), then the per-client participation as
+// one labeled counter family, then the latest round's mean loss as a
+// float gauge. Ordering is fully deterministic (names sorted, clients
+// numeric-sorted), so the output is golden-testable and scrape diffs are
+// meaningful.
 func (s Snapshot) WriteProm(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
 		if _, err := fmt.Fprintf(w, "# TYPE %s%s counter\n%s%s %d\n", promPrefix, name, promPrefix, name, s.Counters[name]); err != nil {
@@ -26,6 +27,18 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	for _, name := range sortedKeys(s.Gauges) {
 		if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n%s%s %d\n", promPrefix, name, promPrefix, name, s.Gauges[name]); err != nil {
 			return err
+		}
+	}
+	if len(s.Histograms) > 0 {
+		names := make([]string, 0, len(s.Histograms))
+		for name := range s.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := writePromHistogram(w, name, s.Histograms[name]); err != nil {
+				return err
+			}
 		}
 	}
 	if len(s.Participation) > 0 {
@@ -54,6 +67,30 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			promPrefix, promPrefix, strconv.FormatFloat(last.MeanLoss, 'g', -1, 64)); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram family: cumulative le-labeled
+// buckets ending at +Inf, then _sum and _count, per the text format.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s%s histogram\n", promPrefix, name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, n := range h.Counts {
+		cum += n
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatInt(h.Bounds[i], 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s%s_bucket{le=\"%s\"} %d\n", promPrefix, name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s%s_sum %d\n%s%s_count %d\n",
+		promPrefix, name, h.Sum, promPrefix, name, h.Count); err != nil {
+		return err
 	}
 	return nil
 }

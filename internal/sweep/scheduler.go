@@ -18,6 +18,7 @@ import (
 	"calibre/internal/obs"
 	"calibre/internal/store"
 	"calibre/internal/tensor"
+	"calibre/internal/trace"
 )
 
 // Cell outcome statuses recorded in manifests and reports.
@@ -84,6 +85,13 @@ type Config struct {
 	// and uplink counters accumulating across cells. This is what
 	// `calibre-sweep watch` renders.
 	Obs *obs.Registry
+	// Recorder, if non-nil, receives flight-recorder events: each cell is
+	// bracketed by cell_start/cell_end spans, and the cell's simulation
+	// emits its round and client spans through a per-cell view
+	// (Recorder.WithCell), so every event carries the cell key and cell
+	// spans nest round spans unambiguously even with concurrent cells.
+	// Nil disables tracing at zero cost.
+	Recorder *trace.Recorder
 
 	// buildEnv stubs environment construction in tests; nil means
 	// experiments.BuildEnvironment.
@@ -365,6 +373,9 @@ func Load(g *Grid, dir string) (*Result, error) {
 func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 	start := time.Now()
 	res = CellResult{Key: c.Key(), Cell: c, Status: StatusFailed}
+	rec := s.cfg.Recorder.WithCell(c.Key())
+	tsCell := rec.Now()
+	rec.Emit(trace.Event{Kind: trace.KindCellStart, TS: tsCell, Runtime: "sweep", Round: -1, Client: -1})
 	defer func() {
 		if r := recover(); r != nil {
 			res.Status = StatusFailed
@@ -372,6 +383,9 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 			res.Panicked = true
 		}
 		res.DurationMS = time.Since(start).Milliseconds()
+		tsEnd := rec.Now()
+		rec.Emit(trace.Event{Kind: trace.KindCellEnd, TS: tsEnd, Runtime: "sweep",
+			Round: -1, Client: -1, Dur: tsEnd - tsCell, N: res.Rounds, Note: res.Status})
 	}()
 	if s.cfg.CellTimeout > 0 {
 		var cancel context.CancelFunc
@@ -421,7 +435,7 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 	if adversary != nil {
 		adversary.Frac = c.AdvFrac
 	}
-	trace, err := fl.ParseTrace(c.Availability)
+	avail, err := fl.ParseTrace(c.Availability)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -466,10 +480,13 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 		cfg.DropoutRate = c.Dropout
 		cfg.Straggler = straggler
 		cfg.Adversary = adversary
-		cfg.Trace = trace
+		cfg.Trace = avail
 		// One registry across all cells: round/uplink counters accumulate
 		// sweep-wide, which is the live view `calibre-sweep watch` polls.
 		cfg.Obs = s.cfg.Obs
+		// The cell-scoped view stamps the cell key onto the simulator's
+		// round and client spans.
+		cfg.Recorder = rec
 		if onCheckpoint != nil {
 			cfg.OnCheckpoint = onCheckpoint
 			cfg.CheckpointEvery = s.cfg.CheckpointEvery

@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"calibre/internal/trace"
+)
+
+// TestSweepCellSpansNestRoundSpans pins the sweep-level trace contract:
+// every cell is bracketed by cell_start/cell_end, every round and client
+// event a cell's simulation emits carries that cell's key, and with
+// concurrent workers no event escapes attribution.
+func TestSweepCellSpansNestRoundSpans(t *testing.T) {
+	g := testGrid()
+	var sink bytes.Buffer
+	rec := trace.New(&sink, trace.Config{})
+	if _, err := Run(context.Background(), g, Config{Workers: 3, Recorder: rec}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("close recorder: %v", err)
+	}
+
+	events, err := trace.ReadAll(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		planned[c.Key()] = true
+	}
+
+	starts := map[string]int{}
+	ends := map[string]int{}
+	rounds := map[string]int{}
+	for _, e := range events {
+		if e.Cell == "" || !planned[e.Cell] {
+			t.Fatalf("event without a planned cell key: %+v", e)
+		}
+		switch e.Kind {
+		case trace.KindCellStart:
+			if e.Runtime != "sweep" {
+				t.Fatalf("cell_start with runtime %q", e.Runtime)
+			}
+			starts[e.Cell]++
+		case trace.KindCellEnd:
+			ends[e.Cell]++
+			if e.Note != StatusOK {
+				t.Fatalf("cell_end status %q for %s", e.Note, e.Cell)
+			}
+			if e.N == 0 {
+				t.Fatalf("cell_end with 0 rounds for %s", e.Cell)
+			}
+		case trace.KindRoundStart:
+			if e.Runtime != "sim" {
+				t.Fatalf("round_start with runtime %q", e.Runtime)
+			}
+			rounds[e.Cell]++
+		}
+	}
+	for key := range planned {
+		if starts[key] != 1 || ends[key] != 1 {
+			t.Errorf("cell %s spans = %d start / %d end, want 1/1", key, starts[key], ends[key])
+		}
+		if rounds[key] == 0 {
+			t.Errorf("cell %s has no nested round spans", key)
+		}
+	}
+}

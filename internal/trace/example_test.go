@@ -1,0 +1,48 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"calibre/internal/trace"
+)
+
+// ExampleRecorder records one round's span with an injected clock — the
+// deterministic regime the byte-identity tests pin — and reads it back.
+func ExampleRecorder() {
+	var buf bytes.Buffer
+	rec := trace.New(&buf, trace.Config{Clock: trace.StepClock(100)})
+	rec.Emit(trace.Event{Kind: trace.KindRoundStart, TS: rec.Now(), Runtime: "sim", Round: 0, Client: -1, N: 2})
+	rec.Emit(trace.Event{Kind: trace.KindClientUpdate, TS: rec.Now(), Runtime: "sim", Round: 0, Client: 1,
+		Wire: "delta", Bytes: 96, Dur: 40})
+	rec.Emit(trace.Event{Kind: trace.KindClientDrop, TS: rec.Now(), Runtime: "sim", Round: 0, Client: 3,
+		Reason: trace.DropStraggler})
+	rec.Close()
+
+	events, _ := trace.ReadAll(&buf)
+	for _, e := range events {
+		fmt.Printf("%-14s ts=%d client=%d\n", e.Kind, e.TS, e.Client)
+	}
+	// Output:
+	// round_start    ts=0 client=-1
+	// client_update  ts=100 client=1
+	// client_drop    ts=200 client=3
+}
+
+// ExampleReadAll shows the crash-tolerance contract: a trace cut mid-record
+// still yields every complete record, flagged with ErrTruncated.
+func ExampleReadAll() {
+	var buf bytes.Buffer
+	rec := trace.New(&buf, trace.Config{Clock: trace.StepClock(1)})
+	rec.Emit(trace.Event{Kind: trace.KindRoundStart, TS: rec.Now(), Round: 0, Client: -1})
+	rec.Emit(trace.Event{Kind: trace.KindRoundEnd, TS: rec.Now(), Round: 0, Client: -1})
+	rec.Close()
+	torn := buf.Bytes()[:buf.Len()-4] // a crash tears the tail
+
+	events, err := trace.ReadAll(bytes.NewReader(torn))
+	fmt.Println("decoded:", len(events))
+	fmt.Println("torn tail:", err != nil)
+	// Output:
+	// decoded: 1
+	// torn tail: true
+}

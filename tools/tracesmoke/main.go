@@ -1,0 +1,191 @@
+// Command tracesmoke is the CI gate for the flight-recorder path, run by
+// ci.sh. It builds the real calibre-sweep and calibre-trace binaries,
+// runs a traced 2-cell sweep to completion, then runs the same grid
+// again, interrupts it with SIGINT as soon as the plan is printed, and
+// resumes with tracing still on. calibre-trace summary must parse both
+// traces (the interrupted one may legitimately end mid-record), and the
+// uninterrupted trace's round-span and cell-span counts must match what
+// the sweep manifest says actually ran.
+//
+//	go run ./tools/tracesmoke
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"calibre/internal/sweep"
+)
+
+// Six cheap cells: enough runway that the SIGINT deterministically lands
+// while the sweep is still executing.
+const grid = `{
+  "name": "trace-smoke",
+  "methods": ["fedavg", "fedavg-ft"],
+  "settings": ["cifar10-q(2,500)"],
+  "scales": ["smoke"],
+  "seeds": [1, 2, 3]
+}`
+
+const gridCells = 6
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("tracesmoke: ok")
+}
+
+// grepCount runs `calibre-trace grep ... -count` and parses the number.
+func grepCount(traceBin, tracePath string, filters ...string) (int, error) {
+	args := append([]string{"grep", tracePath}, filters...)
+	args = append(args, "-count")
+	out, err := exec.Command(traceBin, args...).CombinedOutput()
+	if err != nil {
+		return 0, fmt.Errorf("calibre-trace grep %v: %v\n%s", filters, err, out)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(out)))
+	if err != nil {
+		return 0, fmt.Errorf("calibre-trace grep %v printed %q, not a count", filters, out)
+	}
+	return n, nil
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "calibre-tracesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	gridPath := filepath.Join(dir, "grid.json")
+	if err := os.WriteFile(gridPath, []byte(grid), 0o644); err != nil {
+		return err
+	}
+
+	// Real binaries: SIGINT must land on the sweep itself, and the trace
+	// CLI is part of what this gate verifies.
+	sweepBin := filepath.Join(dir, "calibre-sweep")
+	if out, err := exec.Command("go", "build", "-o", sweepBin, "./cmd/calibre-sweep").CombinedOutput(); err != nil {
+		return fmt.Errorf("build calibre-sweep: %v\n%s", err, out)
+	}
+	traceBin := filepath.Join(dir, "calibre-trace")
+	if out, err := exec.Command("go", "build", "-o", traceBin, "./cmd/calibre-trace").CombinedOutput(); err != nil {
+		return fmt.Errorf("build calibre-trace: %v\n%s", err, out)
+	}
+
+	// Reference: the traced grid, uninterrupted.
+	fullDir := filepath.Join(dir, "full")
+	fullTrace := filepath.Join(dir, "full.jsonl")
+	if out, err := exec.Command(sweepBin, "run", "-grid", gridPath, "-out", fullDir,
+		"-trace-out", fullTrace, "-quiet").CombinedOutput(); err != nil {
+		return fmt.Errorf("uninterrupted run: %v\n%s", err, out)
+	}
+
+	// The trace must agree with the manifest: one cell span per cell, and
+	// exactly as many round spans as the manifest says completed.
+	var man struct {
+		Cells map[string]sweep.CellResult `json:"cells"`
+	}
+	raw, err := os.ReadFile(filepath.Join(fullDir, sweep.ManifestName))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("decode manifest: %v", err)
+	}
+	wantRounds := 0
+	for key, c := range man.Cells {
+		if c.Status != sweep.StatusOK {
+			return fmt.Errorf("cell %s failed: %s", key, c.Error)
+		}
+		wantRounds += c.Rounds
+	}
+	if len(man.Cells) != gridCells {
+		return fmt.Errorf("manifest holds %d cells, want %d", len(man.Cells), gridCells)
+	}
+	cellSpans, err := grepCount(traceBin, fullTrace, "-kind", "cell_start")
+	if err != nil {
+		return err
+	}
+	if cellSpans != len(man.Cells) {
+		return fmt.Errorf("trace holds %d cell spans, manifest %d cells", cellSpans, len(man.Cells))
+	}
+	roundSpans, err := grepCount(traceBin, fullTrace, "-kind", "round_end")
+	if err != nil {
+		return err
+	}
+	if roundSpans != wantRounds {
+		return fmt.Errorf("trace holds %d round spans, manifest ran %d rounds", roundSpans, wantRounds)
+	}
+	sumOut, err := exec.Command(traceBin, "summary", fullTrace).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("summary on the full trace: %v\n%s", err, sumOut)
+	}
+	if !strings.Contains(string(sumOut), "rounds:") {
+		return fmt.Errorf("summary output unparseable:\n%s", sumOut)
+	}
+
+	// Kill: same grid traced into a fresh file, SIGINT as soon as the plan
+	// is printed.
+	killDir := filepath.Join(dir, "killed")
+	killTrace := filepath.Join(dir, "killed.jsonl")
+	cmd := exec.Command(sweepBin, "run", "-grid", gridPath, "-out", killDir, "-trace-out", killTrace)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	planned := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		once := false
+		for sc.Scan() {
+			if !once && strings.HasPrefix(sc.Text(), "plan:") {
+				once = true
+				close(planned)
+			}
+		}
+	}()
+	<-planned
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		return fmt.Errorf("signal sweep: %v", err)
+	}
+	if err := cmd.Wait(); err == nil {
+		return fmt.Errorf("interrupted sweep exited zero; the kill never landed")
+	}
+
+	// Resume with tracing still on (appending to the same file), then
+	// summarize: the combined interrupted+resumed trace must parse.
+	if out, err := exec.Command(sweepBin, "resume", "-grid", gridPath, "-out", killDir,
+		"-trace-out", killTrace, "-quiet").CombinedOutput(); err != nil {
+		return fmt.Errorf("resume: %v\n%s", err, out)
+	}
+	killSum, err := exec.Command(traceBin, "summary", killTrace).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("summary on the killed+resumed trace: %v\n%s", err, killSum)
+	}
+	// The resumed sweep re-runs whatever the interrupt abandoned, so its
+	// trace holds at least the manifest's rounds.
+	resumedRounds, err := grepCount(traceBin, killTrace, "-kind", "round_end")
+	if err != nil {
+		return err
+	}
+	if resumedRounds < wantRounds {
+		return fmt.Errorf("killed+resumed trace holds %d round spans, want at least %d", resumedRounds, wantRounds)
+	}
+
+	fmt.Printf("tracesmoke: %d cells / %d rounds traced and matched against the manifest; kill+resume trace parses (%d round spans)\n",
+		cellSpans, roundSpans, resumedRounds)
+	return nil
+}
