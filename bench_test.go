@@ -18,6 +18,7 @@ import (
 
 func benchmarkExperiment(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		report, err := experiments.Run(context.Background(), id, experiments.ScaleSmoke, 42)
 		if err != nil {

@@ -12,6 +12,7 @@
 #   go run ./cmd/calibre-bench -exp delta -out .
 #   go run ./cmd/calibre-bench -exp sweep -out .
 #   go run ./cmd/calibre-bench -exp trace -out .
+#   go run ./cmd/calibre-bench -exp hotpath -out .
 # (see README.md "Benchmark harness").
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -49,6 +50,9 @@ go run ./tools/hostilesmoke
 echo "== trace smoke =="
 go run ./tools/tracesmoke
 
+echo "== alloc smoke =="
+go run ./tools/allocsmoke
+
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 
@@ -63,5 +67,8 @@ go run ./cmd/calibre-bench -exp sweep -quick -out "$(mktemp -d)"
 
 echo "== trace bench (quick) =="
 go run ./cmd/calibre-bench -exp trace -quick -out "$(mktemp -d)"
+
+echo "== hotpath bench (quick) =="
+go run ./cmd/calibre-bench -exp hotpath -quick -out "$(mktemp -d)"
 
 echo "CI gate passed."

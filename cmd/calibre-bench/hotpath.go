@@ -1,0 +1,193 @@
+package main
+
+// The hotpath harness (-exp hotpath) is the reproducible perf gate for the
+// allocation-free training path: it runs a real calibre-simclr federation
+// round loop (delta wire enabled, exactly what `-exp delta` meters for
+// bytes) under three configurations — the unfused/arena-free baseline, the
+// fused kernels alone, and fused kernels plus the per-trainable buffer
+// arena — and records heap allocations, allocated bytes and wall time per
+// round via runtime.ReadMemStats. All three configurations are
+// bit-identical in results (pinned by internal/nn and internal/ssl tests);
+// this harness tracks only what they cost. It emits BENCH_hotpath.json,
+// validated against the committed golden by the cmd smoke tests.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"calibre/internal/core"
+	"calibre/internal/experiments"
+	"calibre/internal/fl"
+	"calibre/internal/nn"
+	"calibre/internal/tensor"
+)
+
+// HotpathBenchSchema identifies the BENCH_hotpath.json layout.
+const HotpathBenchSchema = "calibre/bench-hotpath/v1"
+
+// HotpathBenchFile is the top-level layout of BENCH_hotpath.json.
+type HotpathBenchFile struct {
+	Schema     string          `json:"schema"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMaxProcs int             `json:"gomaxprocs"`
+	Workers    int             `json:"workers"`
+	Note       string          `json:"note,omitempty"`
+	Method     string          `json:"method"`
+	Rounds     int             `json:"rounds"`
+	Clients    int             `json:"clients_per_round"`
+	Configs    []HotpathRecord `json:"configs"`
+}
+
+// HotpathRecord is one configuration's per-round cost on the same
+// federation workload. The reduction ratios compare against the first
+// (baseline) record in the file.
+type HotpathRecord struct {
+	Config         string  `json:"config"`
+	Fused          bool    `json:"fused_kernels"`
+	Arena          bool    `json:"buffer_arena"`
+	AllocsPerRound int64   `json:"allocs_per_round"`
+	BytesPerRound  int64   `json:"bytes_per_round"`
+	NsPerRound     int64   `json:"ns_per_round"`
+	AllocsVsBase   float64 `json:"baseline_allocs_over_this"`
+	BytesVsBase    float64 `json:"baseline_bytes_over_this"`
+}
+
+// hotpathConfigs are the three measured configurations, baseline first.
+var hotpathConfigs = []struct {
+	name         string
+	fused, arena bool
+}{
+	{"baseline-unfused-noarena", false, false},
+	{"fused", true, false},
+	{"fused-arena", true, true},
+}
+
+// runHotpathConfig measures one configuration: a smoke-scale
+// calibre-simclr federation with the delta wire on, warmed by one full
+// simulation (populating client states and, when enabled, their arenas)
+// and then measured over a second simulation against the same method
+// instance. Mallocs/TotalAlloc are monotonic counters, so intervening GCs
+// do not perturb the numbers.
+func runHotpathConfig(seed int64, rounds, perRound int, fused, arena bool) (*HotpathRecord, error) {
+	const methodName = "calibre-simclr"
+	defer nn.SetFused(nn.SetFused(fused))
+
+	s, ok := experiments.Settings()["cifar10-q(2,500)"]
+	if !ok {
+		return nil, fmt.Errorf("setting cifar10-q(2,500) missing")
+	}
+	env, err := experiments.BuildEnvironment(s, experiments.Scale("smoke"), seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := experiments.BuildMethod(env, methodName)
+	if err != nil {
+		return nil, err
+	}
+	trainer, ok := m.Trainer.(*core.SSLTrainer)
+	if !ok {
+		return nil, fmt.Errorf("%s trainer is %T, want *core.SSLTrainer", methodName, m.Trainer)
+	}
+	trainer.Cfg.NoArena = !arena
+	if perRound > len(env.Participants) {
+		perRound = len(env.Participants)
+	}
+
+	runSim := func() error {
+		sim, err := fl.NewSimulator(fl.SimConfig{
+			Rounds: rounds, ClientsPerRound: perRound, Seed: seed, DeltaUpdates: true,
+		}, m, env.Participants)
+		if err != nil {
+			return err
+		}
+		_, _, err = sim.Run(context.Background())
+		return err
+	}
+	if err := runSim(); err != nil { // warm-up: client states, arena free lists
+		return nil, err
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := runSim(); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	return &HotpathRecord{
+		Config:         "",
+		Fused:          fused,
+		Arena:          arena,
+		AllocsPerRound: int64(after.Mallocs-before.Mallocs) / int64(rounds),
+		BytesPerRound:  int64(after.TotalAlloc-before.TotalAlloc) / int64(rounds),
+		NsPerRound:     elapsed.Nanoseconds() / int64(rounds),
+	}, nil
+}
+
+// runHotpathBench runs the hot-path harness and writes BENCH_hotpath.json
+// into outDir. quick shrinks the round count so the harness fits in CI.
+func runHotpathBench(outDir string, quick bool) error {
+	rounds, perRound := 3, 4
+	if quick {
+		rounds = 2
+	}
+	file := HotpathBenchFile{
+		Schema:     HotpathBenchSchema,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    tensor.Workers(),
+		Method:     "calibre-simclr",
+		Rounds:     rounds,
+		Clients:    perRound,
+	}
+	if file.GOMaxProcs == 1 {
+		file.Note = "recorded on a single-core host: ns/round excludes any parallel speedup; allocation counts are core-count independent"
+	}
+	for _, cfg := range hotpathConfigs {
+		rec, err := runHotpathConfig(42, rounds, perRound, cfg.fused, cfg.arena)
+		if err != nil {
+			return fmt.Errorf("hotpath config %s: %w", cfg.name, err)
+		}
+		rec.Config = cfg.name
+		if len(file.Configs) > 0 {
+			base := file.Configs[0]
+			rec.AllocsVsBase = float64(base.AllocsPerRound) / float64(rec.AllocsPerRound)
+			rec.BytesVsBase = float64(base.BytesPerRound) / float64(rec.BytesPerRound)
+		} else {
+			rec.AllocsVsBase, rec.BytesVsBase = 1, 1
+		}
+		file.Configs = append(file.Configs, *rec)
+	}
+
+	fmt.Printf("hotpath bench: %s/%s gomaxprocs=%d workers=%d (%s, %d rounds × %d clients, delta wire)\n",
+		file.GOOS, file.GOARCH, file.GOMaxProcs, file.Workers, file.Method, file.Rounds, file.Clients)
+	fmt.Printf("%-26s %16s %16s %14s %9s %9s\n", "config", "allocs/round", "bytes/round", "ns/round", "allocs×", "bytes×")
+	for _, r := range file.Configs {
+		fmt.Printf("%-26s %16d %16d %14d %8.2fx %8.2fx\n",
+			r.Config, r.AllocsPerRound, r.BytesPerRound, r.NsPerRound, r.AllocsVsBase, r.BytesVsBase)
+	}
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	path := filepath.Join(outDir, "BENCH_hotpath.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}

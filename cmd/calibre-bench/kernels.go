@@ -38,6 +38,7 @@ type KernelBenchFile struct {
 	GOARCH     string              `json:"goarch"`
 	GOMaxProcs int                 `json:"gomaxprocs"`
 	Workers    int                 `json:"workers"`
+	Note       string              `json:"note,omitempty"`
 	Records    []KernelBenchRecord `json:"records"`
 }
 
@@ -193,6 +194,9 @@ func runKernelBench(outDir string, quick bool) error {
 		GOARCH:     runtime.GOARCH,
 		GOMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    workers,
+	}
+	if file.GOMaxProcs == 1 {
+		file.Note = "recorded on a single-core host: pool workers time-slice one core, so speedup_vs_serial reflects overhead, not parallelism"
 	}
 	file.Records = benchKernels(minTime, []int{64, 128, 256})
 	file.Records = append(file.Records,

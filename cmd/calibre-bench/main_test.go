@@ -34,7 +34,7 @@ func warnEnvMismatch(t *testing.T, emitted, golden string) {
 
 func TestListPrintsExperimentsAndKernels(t *testing.T) {
 	out := climain.CaptureStdout(t, func() error { return run([]string{"-list"}) })
-	for _, needle := range []string{"experiments:", "kernels", "codec", "delta", "sweep"} {
+	for _, needle := range []string{"experiments:", "kernels", "codec", "delta", "sweep", "hotpath"} {
 		if !strings.Contains(out, needle) {
 			t.Fatalf("-list output missing %q:\n%s", needle, out)
 		}
@@ -399,4 +399,79 @@ func TestSweepHarnessEmitsGoldenSchema(t *testing.T) {
 		t.Error("golden file recorded on a single core must carry the caveat note")
 	}
 	warnEnvMismatch(t, filepath.Join(dir, "BENCH_sweep.json"), filepath.Join("..", "..", "BENCH_sweep.json"))
+}
+
+// TestHotpathHarnessEmitsGoldenSchema runs the hot-path harness at quick
+// scale and validates BENCH_hotpath.json structurally, against the
+// committed golden file, and against the acceptance criterion the
+// allocation-free path ships under: fused kernels plus the buffer arena
+// must at least halve heap allocations per federation round relative to
+// the unfused/arena-free baseline in the same file. The emitted quick run
+// checks structure and configs only (timings and exact counts are
+// host-dependent); the ≥2× gate applies to both files' own ratios.
+func TestHotpathHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "hotpath", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "hotpath bench:") || !strings.Contains(out, "fused-arena") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	check := func(file HotpathBenchFile, where string) {
+		t.Helper()
+		if file.Schema != HotpathBenchSchema {
+			t.Fatalf("%s schema = %q, want %q", where, file.Schema, HotpathBenchSchema)
+		}
+		if file.GOOS == "" || file.GOARCH == "" || file.GOMaxProcs < 1 || file.Workers < 1 {
+			t.Fatalf("%s host metadata incomplete: %+v", where, file)
+		}
+		if file.Method == "" || file.Rounds < 1 || file.Clients < 1 {
+			t.Fatalf("%s workload metadata incomplete: %+v", where, file)
+		}
+		if len(file.Configs) != len(hotpathConfigs) {
+			t.Fatalf("%s has %d configs, want %d", where, len(file.Configs), len(hotpathConfigs))
+		}
+		for i, r := range file.Configs {
+			if r.Config != hotpathConfigs[i].name || r.Fused != hotpathConfigs[i].fused || r.Arena != hotpathConfigs[i].arena {
+				t.Fatalf("%s config %d = %+v, want %+v", where, i, r, hotpathConfigs[i])
+			}
+			if r.AllocsPerRound <= 0 || r.BytesPerRound <= 0 || r.NsPerRound <= 0 {
+				t.Fatalf("%s record has non-positive measurements: %+v", where, r)
+			}
+			if r.AllocsVsBase <= 0 || r.BytesVsBase <= 0 {
+				t.Fatalf("%s record has non-positive reduction ratios: %+v", where, r)
+			}
+		}
+		// The shipping acceptance criterion: the full hot path at least
+		// halves allocations per round vs the baseline measured alongside it.
+		final := file.Configs[len(file.Configs)-1]
+		if final.AllocsVsBase < 2 {
+			t.Errorf("%s fused-arena allocation reduction %.2fx < 2x acceptance floor", where, final.AllocsVsBase)
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_hotpath.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got HotpathBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	check(got, "emitted")
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_hotpath.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_hotpath.json: %v", err)
+	}
+	var golden HotpathBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	check(golden, "golden")
+	if golden.GOMaxProcs == 1 && golden.Note == "" {
+		t.Error("golden file recorded on a single core must carry the caveat note")
+	}
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_hotpath.json"), filepath.Join("..", "..", "BENCH_hotpath.json"))
 }

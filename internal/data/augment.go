@@ -40,6 +40,14 @@ func DefaultAugmenter() Augmenter {
 // View returns one augmented copy of x.
 func (a Augmenter) View(rng *rand.Rand, x []float64) []float64 {
 	out := make([]float64, len(x))
+	a.viewInto(rng, x, out)
+	return out
+}
+
+// viewInto is View writing into caller-owned storage (every element of out
+// is overwritten), so the per-step TwoViews path allocates no row buffers.
+// It draws from rng in exactly View's order.
+func (a Augmenter) viewInto(rng *rand.Rand, x, out []float64) {
 	scale := 1.0
 	if a.ScaleJitter > 0 {
 		scale = 1 + (rng.Float64()*2-1)*a.ScaleJitter
@@ -64,7 +72,6 @@ func (a Augmenter) View(rng *rand.Rand, x []float64) []float64 {
 			}
 		}
 	}
-	return out
 }
 
 // TwoViews returns two independently augmented view matrices for the given
@@ -77,8 +84,8 @@ func (a Augmenter) TwoViews(rng *rand.Rand, rows [][]float64) (v1, v2 *tensor.Te
 	v1 = tensor.New(len(rows), dim)
 	v2 = tensor.New(len(rows), dim)
 	for i, x := range rows {
-		v1.SetRow(i, a.View(rng, x))
-		v2.SetRow(i, a.View(rng, x))
+		a.viewInto(rng, x, v1.Row(i))
+		a.viewInto(rng, x, v2.Row(i))
 	}
 	return v1, v2
 }

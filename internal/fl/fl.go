@@ -125,11 +125,21 @@ type Update struct {
 // (both forms set), wrong length, corrupt delta — wraps ErrUpdateSize, so
 // ingress layers can reject the sender with one typed check.
 func (u *Update) Resolve(global param.Vector) error {
+	return u.ResolveInto(global, nil)
+}
+
+// ResolveInto is Resolve decoding a delta payload into scratch (see
+// param.Delta.ApplyInto) so ingress loops can reuse one decode buffer per
+// client slot. The reuse contract is the aggregation plane's read-only
+// guarantee (see aggregate.go): nothing downstream mutates or retains
+// u.Params past the round, so the buffer may be handed back to the same
+// slot next round. scratch may be nil (allocate fresh, exactly Resolve).
+func (u *Update) ResolveInto(global, scratch param.Vector) error {
 	switch {
 	case u.Delta != nil && u.Params != nil:
 		return fmt.Errorf("%w: client %d sent both dense params and a delta", ErrUpdateSize, u.ClientID)
 	case u.Delta != nil:
-		v, err := u.Delta.Apply(global)
+		v, err := u.Delta.ApplyInto(scratch, global)
 		if err != nil {
 			return fmt.Errorf("%w: client %d delta: %v", ErrUpdateSize, u.ClientID, err)
 		}

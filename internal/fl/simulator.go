@@ -295,6 +295,14 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		histTurn = reg.Histogram(obs.HistClientTurnaround)
 		histEncode = reg.Histogram(obs.HistUplinkEncode)
 	}
+	// Per-slot wire-path scratch, reused across rounds: each responding
+	// client slot owns one Delta (encoder output, DiffInto reuses its Bits)
+	// and one decode buffer (ResolveInto reuses it; the aggregation plane's
+	// read-only contract guarantees nothing retains the decoded vector past
+	// the round). Slots are worker-exclusive within a round and rounds are
+	// sequential, so the reuse is race-free.
+	var deltaScratch []*param.Delta
+	var decodeScratch []param.Vector
 	startRound := 0
 	if st := s.Config.ResumeFrom; st != nil {
 		if len(st.Global) != len(global) {
@@ -354,9 +362,17 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			encodeNS = make([]int64, len(ids))
 			wireEach = make([]int64, len(ids))
 			wireDelta = make([]bool, len(ids))
+		}
+		if measure || s.Config.DeltaUpdates {
 			slot = make(map[int]int, len(ids))
 			for i, id := range ids {
 				slot[id] = i
+			}
+		}
+		if s.Config.DeltaUpdates {
+			for len(deltaScratch) < len(ids) {
+				deltaScratch = append(deltaScratch, &param.Delta{})
+				decodeScratch = append(decodeScratch, nil)
 			}
 		}
 		if rec != nil {
@@ -380,8 +396,10 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		var wireBytes, denseBytes atomic.Int64
 		updates, err := runParallel(roundCtx, s.Config.parallelism(), ids, func(ctx context.Context, id int) (*Update, error) {
 			ix, t0 := 0, int64(0)
-			if measure {
+			if slot != nil {
 				ix = slot[id]
+			}
+			if measure {
 				t0 = now()
 			}
 			rng := clientRNG(s.Config.Seed, round, id)
@@ -400,7 +418,8 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 				if measure {
 					e0 = now()
 				}
-				d, derr := param.Diff(global, u.Params)
+				d := deltaScratch[ix]
+				derr := param.DiffInto(d, global, u.Params)
 				if measure {
 					encodeNS[ix] = now() - e0
 				}
@@ -432,9 +451,19 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			}
 			// Ingress validation: a wrong-sized payload from an in-process
 			// trainer is a bug, surfaced as a typed ErrUpdateSize instead of
-			// an index panic inside the aggregator.
-			if err := u.Resolve(global); err != nil {
+			// an index panic inside the aggregator. Delta decodes land in the
+			// slot's scratch buffer, which the slot adopts for the next round
+			// once the decode hands it to u.Params.
+			wasDelta := u.Delta != nil
+			var scratch param.Vector
+			if wasDelta && deltaScratch != nil {
+				scratch = decodeScratch[ix]
+			}
+			if err := u.ResolveInto(global, scratch); err != nil {
 				return nil, fmt.Errorf("fl: round %d: %w", round, err)
+			}
+			if wasDelta && deltaScratch != nil {
+				decodeScratch[ix] = u.Params
 			}
 			if measure {
 				spanEnd[ix] = now()

@@ -64,17 +64,23 @@ func (c *ClientConfig) validate() error {
 // dense form goes out: compression is an optimization, and the v2
 // protocol accepts either on every train-result. The trainer's update is
 // never mutated; a delta send uses a shallow copy.
-func wireUpdate(u *fl.Update, global param.Vector, useDelta bool) *fl.Update {
+//
+// scratch, when non-nil, receives the encoding (reusing its Bits buffer
+// across rounds). Safe because conn.send gob-serializes the envelope before
+// returning, so the buffer is free again by the next round's encode.
+func wireUpdate(u *fl.Update, global param.Vector, useDelta bool, scratch *param.Delta) *fl.Update {
 	if !useDelta || u.Params == nil || u.Delta != nil {
 		return u
 	}
-	d, err := param.Diff(global, u.Params)
-	if err != nil || d.Size() >= d.DenseSize() {
+	if scratch == nil {
+		scratch = &param.Delta{}
+	}
+	if err := param.DiffInto(scratch, global, u.Params); err != nil || scratch.Size() >= scratch.DenseSize() {
 		return u
 	}
 	wu := *u
 	wu.Params = nil
-	wu.Delta = d
+	wu.Delta = scratch
 	return &wu
 }
 
@@ -127,6 +133,7 @@ func RunClient(ctx context.Context, cfg ClientConfig) error {
 	// delta compression additionally needs the trainer to produce dense
 	// params to diff (all in-tree trainers do).
 	useDelta := ack.Updates == WireDelta && !cfg.DenseUpdates
+	encScratch := &param.Delta{} // uplink encoder buffer, reused every round
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -153,7 +160,7 @@ func RunClient(ctx context.Context, cfg ClientConfig) error {
 				_ = c.send(&Envelope{Type: MsgError, ClientID: cfg.ClientID, Err: terr.Error()})
 				return fmt.Errorf("flnet: client %d train: %w", cfg.ClientID, terr)
 			}
-			if err := c.send(&Envelope{Type: MsgTrainResult, ClientID: cfg.ClientID, Round: env.Round, Update: wireUpdate(update, env.Global, useDelta)}); err != nil {
+			if err := c.send(&Envelope{Type: MsgTrainResult, ClientID: cfg.ClientID, Round: env.Round, Update: wireUpdate(update, env.Global, useDelta, encScratch)}); err != nil {
 				return err
 			}
 		case MsgPersonalize:

@@ -170,7 +170,7 @@ func TestWireUpdateFallsBackToDense(t *testing.T) {
 		random[i] = math.Float64frombits(rng.Uint64() | 1) // high-entropy, never equal
 	}
 	u := &fl.Update{ClientID: 0, Params: random, NumSamples: 1}
-	if w := wireUpdate(u, global, true); w.Delta != nil {
+	if w := wireUpdate(u, global, true, nil); w.Delta != nil {
 		t.Fatalf("high-entropy update was delta-encoded to %d bytes (dense %d)", w.Delta.Size(), 8*len(random))
 	}
 	// An SGD-like update compresses and therefore ships as a delta.
@@ -179,7 +179,7 @@ func TestWireUpdateFallsBackToDense(t *testing.T) {
 		closeBy[i] += 1e-9 * closeBy[i]
 	}
 	u = &fl.Update{ClientID: 0, Params: closeBy, NumSamples: 1}
-	w := wireUpdate(u, global, true)
+	w := wireUpdate(u, global, true, &param.Delta{})
 	if w.Delta == nil {
 		t.Fatal("compressible update was not delta-encoded")
 	}

@@ -253,7 +253,7 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("flnet: init global: %w", err)
 	}
 
-	eng := &roundEngine{s: s, busy: make(map[int]int), trace: s.cfg.Trace.Generator(s.cfg.Seed)}
+	eng := &roundEngine{s: s, busy: make(map[int]int), decodeBuf: make(map[int]param.Vector), trace: s.cfg.Trace.Generator(s.cfg.Seed)}
 	eng.rec = s.cfg.Recorder
 	eng.now = func() int64 { return 0 }
 	switch {
@@ -496,6 +496,12 @@ type roundEngine struct {
 	// Busy clients are not eligible for sampling; a requeued straggler
 	// stays busy until its stale reply drains.
 	busy map[int]int
+	// decodeBuf holds one delta-decode buffer per client, reused across
+	// rounds. Safe because a client has at most one in-flight update, its
+	// previous decode is fully aggregated before the client is dispatched
+	// again, and the aggregation plane neither mutates nor retains update
+	// payloads (see fl/aggregate.go).
+	decodeBuf map[int]param.Vector
 	// eligibleCounts records each round's sampling-pool size (resume-
 	// prefix included) — the replay data a restarted server needs to
 	// reconstruct its RNG stream, carried into every checkpoint.
@@ -666,6 +672,7 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 	// fatal to the federation.
 	skipParticipant := func(id, reqRound int, cause string) error {
 		delete(e.busy, id)
+		delete(e.decodeBuf, id)
 		s.evict(id)
 		slot, inRound := slotOf[id]
 		if !inRound || reqRound != round || arrived[slot] || skipped[slot] {
@@ -734,9 +741,15 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 				// failed participant (typed fl.ErrUpdateSize in the cause)
 				// instead of panicking the aggregator; the round survives
 				// whenever the configured quorum still can.
-				if rerr := u.Resolve(global); rerr != nil {
+				wasDelta := u.Delta != nil
+				if rerr := u.ResolveInto(global, e.decodeBuf[ev.id]); rerr != nil {
 					err = skipParticipant(ev.id, reqRound, fmt.Sprintf("rejected (%v)", rerr))
 					break
+				}
+				if wasDelta {
+					// Adopt the decoded vector as the client's buffer for its
+					// next round (first decode allocates, later ones reuse).
+					e.decodeBuf[ev.id] = u.Params
 				}
 				slot := slotOf[ev.id]
 				pending[slot] = u

@@ -57,12 +57,13 @@ func Run(rng *rand.Rand, x *tensor.Tensor, cfg Config) (*Result, error) {
 
 	centers := seedPlusPlus(rng, x, k)
 	assign := make([]int, n)
+	counts := make([]int, k) // reused across Lloyd iterations
 	prev := math.Inf(1)
 	var inertia float64
 	var iters int
 	for iters = 1; iters <= maxIters; iters++ {
 		inertia = assignPoints(x, centers, assign)
-		updateCenters(rng, x, centers, assign)
+		updateCenters(rng, x, centers, assign, counts)
 		if prev-inertia <= tol*math.Max(prev, 1) {
 			break
 		}
@@ -70,12 +71,33 @@ func Run(rng *rand.Rand, x *tensor.Tensor, cfg Config) (*Result, error) {
 	}
 	// Final assignment against the last centers.
 	inertia = assignPoints(x, centers, assign)
+	_ = d
+	return &Result{Centers: centers, Assign: assign, Groups: groupMembers(assign, k, counts), Inertia: inertia, Iters: iters}, nil
+}
+
+// groupMembers inverts an assignment into per-cluster member lists, all
+// sub-slices of one backing array (this runs inside training steps, so it
+// avoids the per-append allocations of the naive construction). counts is
+// scratch of length ≥ k and is overwritten.
+func groupMembers(assign []int, k int, counts []int) [][]int {
+	counts = counts[:k]
+	for c := range counts {
+		counts[c] = 0
+	}
+	for _, a := range assign {
+		counts[a]++
+	}
+	backing := make([]int, len(assign))
 	groups := make([][]int, k)
+	off := 0
+	for c := 0; c < k; c++ {
+		groups[c] = backing[off : off : off+counts[c]]
+		off += counts[c]
+	}
 	for i, a := range assign {
 		groups[a] = append(groups[a], i)
 	}
-	_ = d
-	return &Result{Centers: centers, Assign: assign, Groups: groups, Inertia: inertia, Iters: iters}, nil
+	return groups
 }
 
 // seedPlusPlus picks k initial centers with the k-means++ D² weighting.
@@ -136,11 +158,14 @@ func assignPoints(x, centers *tensor.Tensor, assign []int) float64 {
 }
 
 // updateCenters recomputes centroids; an empty cluster is reseeded to a
-// random point so K stays constant.
-func updateCenters(rng *rand.Rand, x, centers *tensor.Tensor, assign []int) {
+// random point so K stays constant. counts is caller-owned scratch of
+// length k, overwritten on every call.
+func updateCenters(rng *rand.Rand, x, centers *tensor.Tensor, assign []int, counts []int) {
 	n, d := x.Rows(), x.Cols()
 	k := centers.Rows()
-	counts := make([]int, k)
+	for c := 0; c < k; c++ {
+		counts[c] = 0
+	}
 	centers.Zero()
 	for i := 0; i < n; i++ {
 		c := assign[i]
@@ -175,16 +200,52 @@ func Silhouette(x *tensor.Tensor, labels []int) float64 {
 	if n == 0 {
 		return 0
 	}
-	groups := make(map[int][]int)
-	for i, l := range labels {
-		groups[l] = append(groups[l], i)
+	// Remap labels to dense group indices [0,g). This runs inside Calibre's
+	// per-step regularizer, so the common case (small non-negative labels)
+	// uses a lookup table and one backing array instead of a map of
+	// growing slices; arbitrary label values fall back to a map.
+	minL, maxL := labels[0], labels[0]
+	for _, l := range labels {
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
 	}
-	if len(groups) < 2 {
+	idx := make([]int, n)
+	g := 0
+	if span := maxL - minL + 1; span <= 4*n+16 {
+		lut := make([]int, span)
+		for i := range lut {
+			lut[i] = -1
+		}
+		for i, l := range labels {
+			if lut[l-minL] < 0 {
+				lut[l-minL] = g
+				g++
+			}
+			idx[i] = lut[l-minL]
+		}
+	} else {
+		lut := make(map[int]int, n)
+		for i, l := range labels {
+			j, ok := lut[l]
+			if !ok {
+				j = g
+				lut[l] = j
+				g++
+			}
+			idx[i] = j
+		}
+	}
+	if g < 2 {
 		return 0
 	}
+	groups := groupMembers(idx, g, make([]int, g))
 	var total float64
 	for i := 0; i < n; i++ {
-		li := labels[i]
+		li := idx[i]
 		var a float64
 		own := groups[li]
 		if len(own) <= 1 {

@@ -31,6 +31,7 @@ type Node struct {
 	grad         *tensor.Tensor
 	parents      []*Node
 	back         func(grad *tensor.Tensor)
+	tape         *Tape
 	requiresGrad bool
 }
 
@@ -40,10 +41,24 @@ func Input(t *tensor.Tensor) *Node {
 	return &Node{Value: t}
 }
 
+// InputOn is Input with an allocation tape attached: every op derived from
+// the returned leaf draws its output, gradient and scratch buffers from the
+// tape's arena, and Tape.Reset reclaims them all when the step is done. A
+// nil tape makes this identical to Input.
+func InputOn(tp *Tape, t *tensor.Tensor) *Node {
+	n := tp.node()
+	n.Value = t
+	n.tape = tp
+	return n
+}
+
 // Detach returns a constant node holding n's value, cutting the gradient
-// path (stop-gradient).
+// path (stop-gradient). The allocation tape, if any, carries over.
 func Detach(n *Node) *Node {
-	return &Node{Value: n.Value}
+	d := n.tape.node()
+	d.Value = n.Value
+	d.tape = n.tape
+	return d
 }
 
 // RequiresGrad reports whether gradients flow through this node.
@@ -53,7 +68,7 @@ func (n *Node) RequiresGrad() bool { return n.requiresGrad }
 // first use. For param nodes this aliases the Param's gradient.
 func (n *Node) Grad() *tensor.Tensor {
 	if n.grad == nil {
-		n.grad = tensor.New(n.Value.Shape()...)
+		n.grad = n.tape.allocLike(n.Value)
 	}
 	return n.grad
 }
@@ -67,12 +82,25 @@ func anyRequiresGrad(nodes ...*Node) bool {
 	return false
 }
 
-func newOp(value *tensor.Tensor, back func(g *tensor.Tensor), parents ...*Node) *Node {
-	n := &Node{
-		Value:        value,
-		parents:      parents,
-		requiresGrad: anyRequiresGrad(parents...),
+// tapeOf returns the first allocation tape found among nodes. Graphs are
+// built per step from a single taped input set, so mixing tapes is not a
+// supported configuration.
+func tapeOf(nodes ...*Node) *Tape {
+	for _, n := range nodes {
+		if n != nil && n.tape != nil {
+			return n.tape
+		}
 	}
+	return nil
+}
+
+func newOp(value *tensor.Tensor, back func(g *tensor.Tensor), parents ...*Node) *Node {
+	tp := tapeOf(parents...)
+	n := tp.node()
+	n.Value = value
+	n.parents = parents
+	n.tape = tp
+	n.requiresGrad = anyRequiresGrad(parents...)
 	if n.requiresGrad {
 		n.back = back
 	}
@@ -103,15 +131,32 @@ func Backward(loss *Node) error {
 	return nil
 }
 
+// sortFrame is an explicit DFS stack frame for topoSort (iterative to avoid
+// goroutine-stack overflow on deep graphs).
+type sortFrame struct {
+	n    *Node
+	next int
+}
+
 func topoSort(root *Node) []*Node {
-	visited := make(map[*Node]bool)
+	// On a taped graph the visited map and the order/stack slices are tape
+	// scratch, reused across steps; untaped graphs allocate fresh.
+	tp := root.tape
+	var visited map[*Node]bool
 	var order []*Node
-	// Iterative DFS to avoid stack overflow on deep graphs.
-	type frame struct {
-		n    *Node
-		next int
+	var stack []sortFrame
+	if tp != nil {
+		if tp.visited == nil {
+			tp.visited = make(map[*Node]bool)
+		} else {
+			clear(tp.visited)
+		}
+		visited = tp.visited
+		order, stack = tp.order[:0], tp.stack[:0]
+	} else {
+		visited = make(map[*Node]bool)
 	}
-	stack := []frame{{n: root}}
+	stack = append(stack, sortFrame{n: root})
 	visited[root] = true
 	for len(stack) > 0 {
 		top := &stack[len(stack)-1]
@@ -120,12 +165,17 @@ func topoSort(root *Node) []*Node {
 			top.next++
 			if !visited[p] && p.requiresGrad {
 				visited[p] = true
-				stack = append(stack, frame{n: p})
+				stack = append(stack, sortFrame{n: p})
 			}
 			continue
 		}
 		order = append(order, top.n)
 		stack = stack[:len(stack)-1]
+	}
+	if tp != nil {
+		// Keep the grown capacity for the next Backward. order is handed to
+		// the caller, but Backward finishes with it before the next step.
+		tp.order, tp.stack = order, stack[:0]
 	}
 	return order
 }
@@ -134,8 +184,8 @@ func topoSort(root *Node) []*Node {
 
 // Add returns a + b (same shapes).
 func Add(a, b *Node) *Node {
-	v, err := tensor.Add(a.Value, b.Value)
-	if err != nil {
+	v := tapeOf(a, b).allocLike(a.Value)
+	if err := tensor.AddInto(v, a.Value, b.Value); err != nil {
 		panic(err) // shape bugs are programming errors inside the engine
 	}
 	return newOp(v, func(g *tensor.Tensor) {
@@ -150,8 +200,8 @@ func Add(a, b *Node) *Node {
 
 // Sub returns a - b.
 func Sub(a, b *Node) *Node {
-	v, err := tensor.Sub(a.Value, b.Value)
-	if err != nil {
+	v := tapeOf(a, b).allocLike(a.Value)
+	if err := tensor.SubInto(v, a.Value, b.Value); err != nil {
 		panic(err)
 	}
 	return newOp(v, func(g *tensor.Tensor) {
@@ -166,7 +216,11 @@ func Sub(a, b *Node) *Node {
 
 // Scale returns a*c for scalar constant c.
 func Scale(a *Node, c float64) *Node {
-	return newOp(tensor.Scale(a.Value, c), func(g *tensor.Tensor) {
+	v := a.tape.allocLike(a.Value)
+	if err := tensor.ScaleInto(v, a.Value, c); err != nil {
+		panic(err)
+	}
+	return newOp(v, func(g *tensor.Tensor) {
 		if a.requiresGrad {
 			mustAddScaled(a.Grad(), g, c)
 		}
@@ -175,8 +229,8 @@ func Scale(a *Node, c float64) *Node {
 
 // MulElem returns the Hadamard product a∘b.
 func MulElem(a, b *Node) *Node {
-	v, err := tensor.Mul(a.Value, b.Value)
-	if err != nil {
+	v := tapeOf(a, b).allocLike(a.Value)
+	if err := tensor.MulInto(v, a.Value, b.Value); err != nil {
 		panic(err)
 	}
 	return newOp(v, func(g *tensor.Tensor) {
@@ -197,18 +251,20 @@ func MulElem(a, b *Node) *Node {
 
 // MatMul returns a·b for 2-D nodes.
 func MatMul(a, b *Node) *Node {
-	v, err := tensor.MatMul(a.Value, b.Value)
-	if err != nil {
-		panic(err)
+	if a.Value.Dims() != 2 || b.Value.Dims() != 2 || a.Value.Cols() != b.Value.Rows() {
+		panic(fmt.Sprintf("nn: MatMul shape %v · %v", a.Value.Shape(), b.Value.Shape()))
 	}
+	tp := tapeOf(a, b)
+	v := tp.alloc(a.Value.Rows(), b.Value.Cols())
+	tensor.MatMulInto(v, a.Value, b.Value)
 	return newOp(v, func(g *tensor.Tensor) {
 		if a.requiresGrad {
-			tmp := tensor.New(a.Value.Shape()...)
+			tmp := tp.allocLike(a.Value)
 			tensor.MatMulTransBInto(tmp, g, b.Value) // g·bᵀ
 			mustAddScaled(a.Grad(), tmp, 1)
 		}
 		if b.requiresGrad {
-			tmp := tensor.New(b.Value.Shape()...)
+			tmp := tp.allocLike(b.Value)
 			tensor.MatMulTransAInto(tmp, a.Value, g) // aᵀ·g
 			mustAddScaled(b.Grad(), tmp, 1)
 		}
@@ -223,16 +279,17 @@ func MatMulTransB(a, b *Node) *Node {
 	if a.Value.Cols() != b.Value.Cols() {
 		panic(fmt.Sprintf("nn: MatMulTransB inner dims %d vs %d", a.Value.Cols(), b.Value.Cols()))
 	}
-	v := tensor.New(m, n)
+	tp := tapeOf(a, b)
+	v := tp.alloc(m, n)
 	tensor.MatMulTransBInto(v, a.Value, b.Value)
 	return newOp(v, func(g *tensor.Tensor) {
 		if a.requiresGrad {
-			tmp := tensor.New(a.Value.Shape()...)
+			tmp := tp.allocLike(a.Value)
 			tensor.MatMulInto(tmp, g, b.Value) // g·b
 			mustAddScaled(a.Grad(), tmp, 1)
 		}
 		if b.requiresGrad {
-			tmp := tensor.New(b.Value.Shape()...)
+			tmp := tp.allocLike(b.Value)
 			tensor.MatMulTransAInto(tmp, g, a.Value) // gᵀ·a
 			mustAddScaled(b.Grad(), tmp, 1)
 		}
@@ -243,8 +300,8 @@ func MatMulTransB(a, b *Node) *Node {
 // (m×n).
 func AddBias(x, bias *Node) *Node {
 	bv := bias.Value.Data()
-	v, err := tensor.AddRowVec(x.Value, bv)
-	if err != nil {
+	v := tapeOf(x, bias).allocLike(x.Value)
+	if err := tensor.AddRowVecInto(v, x.Value, bv); err != nil {
 		panic(err)
 	}
 	return newOp(v, func(g *tensor.Tensor) {
@@ -269,7 +326,8 @@ func AddBias(x, bias *Node) *Node {
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(x *Node) *Node {
-	v := tensor.Apply(x.Value, func(f float64) float64 {
+	v := x.tape.allocLike(x.Value)
+	mustApplyInto(v, x.Value, func(f float64) float64 {
 		if f > 0 {
 			return f
 		}
@@ -290,7 +348,8 @@ func ReLU(x *Node) *Node {
 
 // Tanh applies tanh elementwise.
 func Tanh(x *Node) *Node {
-	v := tensor.Apply(x.Value, math.Tanh)
+	v := x.tape.allocLike(x.Value)
+	mustApplyInto(v, x.Value, math.Tanh)
 	return newOp(v, func(g *tensor.Tensor) {
 		if !x.requiresGrad {
 			return
@@ -309,7 +368,10 @@ const normEps = 1e-12
 // L2NormalizeRows scales each row of x to unit Euclidean norm (rows with
 // norm < 1e-12 pass through unchanged).
 func L2NormalizeRows(x *Node) *Node {
-	v := tensor.L2NormalizeRows(x.Value, normEps)
+	v := x.tape.allocLike(x.Value)
+	if err := tensor.L2NormalizeRowsInto(v, x.Value, normEps); err != nil {
+		panic(err)
+	}
 	return newOp(v, func(g *tensor.Tensor) {
 		if !x.requiresGrad {
 			return
@@ -345,7 +407,7 @@ func ConcatRows(a, b *Node) *Node {
 		panic(fmt.Sprintf("nn: ConcatRows col mismatch %d vs %d", a.Value.Cols(), b.Value.Cols()))
 	}
 	ma, mb, n := a.Value.Rows(), b.Value.Rows(), a.Value.Cols()
-	v := tensor.New(ma+mb, n)
+	v := tapeOf(a, b).alloc(ma+mb, n)
 	copy(v.Data()[:ma*n], a.Value.Data())
 	copy(v.Data()[ma*n:], b.Value.Data())
 	return newOp(v, func(g *tensor.Tensor) {
@@ -372,7 +434,7 @@ func ConcatCols(a, b *Node) *Node {
 		panic(fmt.Sprintf("nn: ConcatCols row mismatch %d vs %d", a.Value.Rows(), b.Value.Rows()))
 	}
 	m, na, nb := a.Value.Rows(), a.Value.Cols(), b.Value.Cols()
-	v := tensor.New(m, na+nb)
+	v := tapeOf(a, b).alloc(m, na+nb)
 	for i := 0; i < m; i++ {
 		copy(v.Row(i)[:na], a.Value.Row(i))
 		copy(v.Row(i)[na:], b.Value.Row(i))
@@ -400,7 +462,7 @@ func ConcatCols(a, b *Node) *Node {
 // Duplicate indices are allowed; gradients accumulate.
 func GatherRows(x *Node, idx []int) *Node {
 	n := x.Value.Cols()
-	v := tensor.New(len(idx), n)
+	v := x.tape.alloc(len(idx), n)
 	for i, r := range idx {
 		copy(v.Row(i), x.Value.Row(r))
 	}
@@ -426,7 +488,7 @@ func GatherRows(x *Node, idx []int) *Node {
 // member encodings.
 func GroupMean(x *Node, groups [][]int) *Node {
 	n := x.Value.Cols()
-	v := tensor.New(len(groups), n)
+	v := x.tape.alloc(len(groups), n)
 	for k, grp := range groups {
 		if len(grp) == 0 {
 			continue
@@ -475,7 +537,7 @@ func RowDotConst(x *Node, c *tensor.Tensor) *Node {
 		panic(fmt.Sprintf("nn: RowDotConst shape %v vs %v", x.Value.Shape(), c.Shape()))
 	}
 	m := x.Value.Rows()
-	v := tensor.New(m, 1)
+	v := x.tape.alloc(m, 1)
 	for i := 0; i < m; i++ {
 		v.Set(i, 0, tensor.Dot(x.Value.Row(i), c.Row(i)))
 	}
@@ -498,7 +560,7 @@ func RowDotConst(x *Node, c *tensor.Tensor) *Node {
 
 // Mean reduces all elements of x to their arithmetic mean (1×1 node).
 func Mean(x *Node) *Node {
-	v := tensor.New(1, 1)
+	v := x.tape.alloc(1, 1)
 	v.Set(0, 0, x.Value.Mean())
 	cnt := float64(x.Value.Len())
 	return newOp(v, func(g *tensor.Tensor) {
@@ -519,7 +581,7 @@ func SumSquares(x *Node) *Node {
 	for _, f := range x.Value.Data() {
 		s += f * f
 	}
-	v := tensor.New(1, 1)
+	v := x.tape.alloc(1, 1)
 	v.Set(0, 0, s)
 	return newOp(v, func(g *tensor.Tensor) {
 		if !x.requiresGrad {
@@ -535,6 +597,12 @@ func SumSquares(x *Node) *Node {
 
 func mustAddScaled(dst, src *tensor.Tensor, s float64) {
 	if err := tensor.AddScaled(dst, src, s); err != nil {
+		panic(err)
+	}
+}
+
+func mustApplyInto(dst, a *tensor.Tensor, f func(float64) float64) {
+	if err := tensor.ApplyInto(dst, a, f); err != nil {
 		panic(err)
 	}
 }

@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calibre/internal/tensor"
+)
+
+// fusedTestNet builds a Sequential exercising all three fusion shapes:
+// Linear+ReLU, Linear+Tanh, and a trailing Linear with no activation.
+func fusedTestNet(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return &Sequential{Layers: []Layer{
+		NewLinear(rng, 8, 16, "f.l0"),
+		&Activation{Kind: ActReLU},
+		NewLinear(rng, 16, 12, "f.l1"),
+		&Activation{Kind: ActTanh},
+		NewLinear(rng, 12, 4, "f.l2"),
+	}}
+}
+
+func runNet(t *testing.T, net *Sequential, x *tensor.Tensor) (loss float64, value, grads []float64) {
+	t.Helper()
+	for _, p := range net.Params() {
+		p.ZeroGrad()
+	}
+	out := net.Forward(Input(x))
+	l := SumSquares(out)
+	if err := Backward(l); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	return l.Value.At(0, 0), append([]float64(nil), out.Value.Data()...), FlattenGrads(net)
+}
+
+// TestFusedBitIdenticalToUnfused is the determinism pin for the fused
+// LinearAct kernels: with identical parameters and input, the fused and
+// unfused (MatMul+AddBias+activation) paths produce bit-identical forward
+// values, loss, and parameter gradients — 0 ULP, at every kernel worker
+// count.
+func TestFusedBitIdenticalToUnfused(t *testing.T) {
+	defer SetFused(SetFused(true))
+	defer tensor.SetWorkers(tensor.Workers())
+
+	net := fusedTestNet(41)
+	x := tensor.RandN(rand.New(rand.NewSource(42)), 1, 7, 8)
+
+	for _, workers := range []int{1, 2, 4} {
+		tensor.SetWorkers(workers)
+
+		SetFused(false)
+		wantLoss, wantVal, wantGrads := runNet(t, net, x)
+		SetFused(true)
+		gotLoss, gotVal, gotGrads := runNet(t, net, x)
+
+		if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+			t.Fatalf("workers=%d: fused loss %v, unfused %v", workers, gotLoss, wantLoss)
+		}
+		for i := range wantVal {
+			if math.Float64bits(gotVal[i]) != math.Float64bits(wantVal[i]) {
+				t.Fatalf("workers=%d: forward value %d differs: %v vs %v", workers, i, gotVal[i], wantVal[i])
+			}
+		}
+		for i := range wantGrads {
+			if math.Float64bits(gotGrads[i]) != math.Float64bits(wantGrads[i]) {
+				t.Fatalf("workers=%d: gradient %d differs: %v vs %v", workers, i, gotGrads[i], wantGrads[i])
+			}
+		}
+	}
+}
+
+// TestLinearActMatchesUnfusedChain checks the kernel directly (not through
+// Sequential's peephole) for each activation kind, including the gradient
+// flowing to a taped input node.
+func TestLinearActMatchesUnfusedChain(t *testing.T) {
+	defer SetFused(SetFused(true))
+	rng := rand.New(rand.NewSource(5))
+	w := randParam(rng, "w", 6, 3)
+	b := randParam(rng, "b", 1, 3)
+	x := tensor.RandN(rng, 1, 4, 6)
+
+	unfused := func(xn *Node, act ActKind) *Node {
+		pre := AddBias(MatMul(xn, w.Node()), b.Node())
+		switch act {
+		case ActReLU:
+			return ReLU(pre)
+		case ActTanh:
+			return Tanh(pre)
+		default:
+			return pre
+		}
+	}
+	for _, act := range []ActKind{ActNone, ActReLU, ActTanh} {
+		w.ZeroGrad()
+		b.ZeroGrad()
+		ref := unfused(Input(x), act)
+		if err := Backward(SumSquares(ref)); err != nil {
+			t.Fatalf("unfused backward: %v", err)
+		}
+		wantW := append([]float64(nil), w.Grad.Data()...)
+		wantB := append([]float64(nil), b.Grad.Data()...)
+
+		w.ZeroGrad()
+		b.ZeroGrad()
+		got := LinearAct(Input(x), w.Node(), b.Node(), act)
+		if err := Backward(SumSquares(got)); err != nil {
+			t.Fatalf("fused backward: %v", err)
+		}
+		for i := range ref.Value.Data() {
+			if math.Float64bits(got.Value.Data()[i]) != math.Float64bits(ref.Value.Data()[i]) {
+				t.Fatalf("act=%d: value %d differs", act, i)
+			}
+		}
+		for i := range wantW {
+			if math.Float64bits(w.Grad.Data()[i]) != math.Float64bits(wantW[i]) {
+				t.Fatalf("act=%d: W grad %d differs", act, i)
+			}
+		}
+		for i := range wantB {
+			if math.Float64bits(b.Grad.Data()[i]) != math.Float64bits(wantB[i]) {
+				t.Fatalf("act=%d: B grad %d differs", act, i)
+			}
+		}
+	}
+}
+
+func TestLinearActShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := randParam(rng, "w", 6, 3)
+	b := randParam(rng, "b", 1, 3)
+	x := Input(tensor.RandN(rng, 1, 4, 5)) // 5 != 6
+	assertPanics := func(what string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", what)
+			}
+		}()
+		f()
+	}
+	assertPanics("mismatched input", func() { LinearAct(x, w.Node(), b.Node(), ActNone) })
+	x6 := Input(tensor.RandN(rng, 1, 4, 6))
+	bad := randParam(rng, "bad", 1, 2)
+	assertPanics("mismatched bias", func() { LinearAct(x6, w.Node(), bad.Node(), ActNone) })
+	assertPanics("unknown activation", func() { LinearAct(x6, w.Node(), b.Node(), ActKind(99)) })
+}
+
+// TestTapeLifecycle pins the tape/arena contract the training loop relies
+// on: every buffer a taped graph allocates is tracked, Reset returns them
+// all, and the next step's graph is served from the free list.
+func TestTapeLifecycle(t *testing.T) {
+	defer SetFused(SetFused(true))
+	arena := tensor.NewArena()
+	tp := NewTape(arena)
+	net := fusedTestNet(51)
+	x := tensor.RandN(rand.New(rand.NewSource(52)), 1, 5, 8)
+
+	step := func() float64 {
+		for _, p := range net.Params() {
+			p.ZeroGrad()
+		}
+		loss := SumSquares(net.Forward(InputOn(tp, x)))
+		if err := Backward(loss); err != nil {
+			t.Fatalf("Backward: %v", err)
+		}
+		return loss.Value.At(0, 0)
+	}
+
+	l1 := step()
+	if tp.Live() == 0 {
+		t.Fatal("taped graph tracked no tensors")
+	}
+	if arena.Stats().Outstanding == 0 {
+		t.Fatal("taped graph borrowed nothing from the arena")
+	}
+	tp.Reset()
+	if tp.Live() != 0 {
+		t.Fatalf("Live() = %d after Reset", tp.Live())
+	}
+	if out := arena.Stats().Outstanding; out != 0 {
+		t.Fatalf("arena outstanding = %d after Reset", out)
+	}
+
+	before := arena.Stats()
+	l2 := step()
+	tp.Reset()
+	after := arena.Stats()
+	if after.Hits == before.Hits {
+		t.Fatal("second step hit the free list zero times")
+	}
+	// Params were not stepped between the two passes, so the loss must be
+	// bit-identical — recycled buffers behave exactly like fresh ones.
+	if math.Float64bits(l1) != math.Float64bits(l2) {
+		t.Fatalf("arena-recycled step loss %v differs from first step %v", l2, l1)
+	}
+
+	// Nil tapes and tapes over nil arenas degrade to plain allocation.
+	var nilTape *Tape
+	nilTape.Reset()
+	if nilTape.Live() != 0 {
+		t.Fatal("nil tape Live() != 0")
+	}
+	heapTape := NewTape(nil)
+	loss := SumSquares(net.Forward(InputOn(heapTape, x)))
+	if loss == nil || heapTape.Live() != 0 {
+		t.Fatalf("heap tape tracked %d tensors, want 0", heapTape.Live())
+	}
+	heapTape.Reset()
+}
+
+func TestSetFusedToggle(t *testing.T) {
+	orig := Fused()
+	defer SetFused(orig)
+	if prev := SetFused(false); prev != orig {
+		t.Fatalf("SetFused returned %v, want %v", prev, orig)
+	}
+	if Fused() {
+		t.Fatal("Fused() true after SetFused(false)")
+	}
+	if prev := SetFused(true); prev {
+		t.Fatal("SetFused returned true, want false")
+	}
+}

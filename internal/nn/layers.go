@@ -32,8 +32,13 @@ func NewLinear(rng *rand.Rand, in, out int, name string) *Linear {
 	return l
 }
 
-// Forward applies the affine map to a (batch×in) node.
+// Forward applies the affine map to a (batch×in) node. With the fused
+// kernels enabled (the default) this records a single LinearAct node;
+// otherwise the reference MatMul+AddBias pair. Both paths are bit-identical.
 func (l *Linear) Forward(x *Node) *Node {
+	if Fused() {
+		return LinearAct(x, l.W.Node(), l.B.Node(), ActNone)
+	}
 	return AddBias(MatMul(x, l.W.Node()), l.B.Node())
 }
 
@@ -54,9 +59,11 @@ type Activation struct {
 // ActKind selects an activation function.
 type ActKind int
 
-// Supported activation kinds.
+// Supported activation kinds. ActNone (the zero value) is accepted only by
+// the fused LinearAct kernel, where it means "affine map, no nonlinearity".
 const (
-	ActReLU ActKind = iota + 1
+	ActNone ActKind = iota
+	ActReLU
 	ActTanh
 )
 
@@ -84,10 +91,24 @@ type Sequential struct {
 
 var _ Layer = (*Sequential)(nil)
 
-// Forward applies each layer in order.
+// Forward applies each layer in order. With the fused kernels enabled, a
+// Linear layer immediately followed by an Activation is peephole-fused into
+// one LinearAct node — bit-identical to the layer-by-layer pass, but with
+// one node and one output buffer instead of three.
 func (s *Sequential) Forward(x *Node) *Node {
-	for _, l := range s.Layers {
-		x = l.Forward(x)
+	for i := 0; i < len(s.Layers); i++ {
+		if lin, ok := s.Layers[i].(*Linear); ok && Fused() {
+			act := ActNone
+			if i+1 < len(s.Layers) {
+				if a, ok := s.Layers[i+1].(*Activation); ok {
+					act = a.Kind
+					i++
+				}
+			}
+			x = LinearAct(x, lin.W.Node(), lin.B.Node(), act)
+			continue
+		}
+		x = s.Layers[i].Forward(x)
 	}
 	return x
 }

@@ -26,7 +26,7 @@ func MaskedCrossEntropy(logits *Node, targets []int, exclude [][]int) *Node {
 	}
 	// Forward: per-row masked log-softmax; store softmax probabilities for
 	// the backward pass.
-	probs := tensor.New(m, n)
+	probs := logits.tape.alloc(m, n)
 	var loss float64
 	excluded := func(i int) []int {
 		if exclude == nil || i >= len(exclude) {
@@ -34,30 +34,30 @@ func MaskedCrossEntropy(logits *Node, targets []int, exclude [][]int) *Node {
 		}
 		return exclude[i]
 	}
-	scratch := make([]float64, n)
 	for i := 0; i < m; i++ {
-		row := logits.Value.Row(i)
-		copy(scratch, row)
+		// The probs row doubles as the masked-logits scratch: mask in place,
+		// take the log-sum-exp, then overwrite with the softmax.
+		prow := probs.Row(i)
+		copy(prow, logits.Value.Row(i))
 		for _, j := range excluded(i) {
-			scratch[j] = math.Inf(-1)
+			prow[j] = math.Inf(-1)
 		}
-		lse := tensor.LogSumExp(scratch)
+		lse := tensor.LogSumExp(prow)
 		t := targets[i]
 		if t < 0 || t >= n {
 			panic(fmt.Sprintf("nn: CrossEntropy target %d out of range [0,%d)", t, n))
 		}
-		loss += lse - scratch[t]
-		prow := probs.Row(i)
+		loss += lse - prow[t]
 		for j := 0; j < n; j++ {
-			if math.IsInf(scratch[j], -1) {
+			if math.IsInf(prow[j], -1) {
 				prow[j] = 0
 				continue
 			}
-			prow[j] = math.Exp(scratch[j] - lse)
+			prow[j] = math.Exp(prow[j] - lse)
 		}
 	}
 	loss /= float64(m)
-	v := tensor.New(1, 1)
+	v := logits.tape.alloc(1, 1)
 	v.Set(0, 0, loss)
 	tgt := append([]int(nil), targets...)
 	return newOp(v, func(g *tensor.Tensor) {
@@ -85,7 +85,7 @@ func SoftCrossEntropy(logits *Node, q *tensor.Tensor) *Node {
 	if q.Rows() != m || q.Cols() != n {
 		panic(fmt.Sprintf("nn: SoftCrossEntropy q shape %v vs logits %v", q.Shape(), logits.Value.Shape()))
 	}
-	probs := tensor.New(m, n)
+	probs := logits.tape.alloc(m, n)
 	var loss float64
 	for i := 0; i < m; i++ {
 		row := logits.Value.Row(i)
@@ -98,7 +98,7 @@ func SoftCrossEntropy(logits *Node, q *tensor.Tensor) *Node {
 		}
 	}
 	loss /= float64(m)
-	v := tensor.New(1, 1)
+	v := logits.tape.alloc(1, 1)
 	v.Set(0, 0, loss)
 	return newOp(v, func(g *tensor.Tensor) {
 		if !logits.requiresGrad {
@@ -137,7 +137,7 @@ func NegCosineConst(x *Node, t *tensor.Tensor) *Node {
 		loss += 1 - coss[i]
 	}
 	loss /= float64(m)
-	v := tensor.New(1, 1)
+	v := x.tape.alloc(1, 1)
 	v.Set(0, 0, loss)
 	return newOp(v, func(g *tensor.Tensor) {
 		if !x.requiresGrad {
@@ -177,9 +177,11 @@ func NTXent(h *Node, tau float64) *Node {
 	sim := Scale(MatMulTransB(z, z), 1/tau)
 	targets := make([]int, total)
 	exclude := make([][]int, total)
+	selfIdx := make([]int, total) // shared backing for the per-row masks
 	for i := 0; i < total; i++ {
 		targets[i] = (i + n) % total
-		exclude[i] = []int{i} // mask self-similarity
+		selfIdx[i] = i
+		exclude[i] = selfIdx[i : i+1] // mask self-similarity
 	}
 	return MaskedCrossEntropy(sim, targets, exclude)
 }

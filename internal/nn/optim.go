@@ -29,7 +29,7 @@ func NewSGD(m Module, lr, momentum, weightDecay float64) *SGD {
 	if momentum != 0 {
 		s.velocity = make([]*tensor.Tensor, len(params))
 		for i, p := range params {
-			s.velocity[i] = tensor.New(p.Value.Shape()...)
+			s.velocity[i] = tensor.NewLike(p.Value)
 		}
 	}
 	return s

@@ -13,28 +13,36 @@ type Param struct {
 	Name  string
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
+
+	node *Node // cached leaf, rebuilt if Value/Grad are rebound
 }
 
 // NewParam allocates a parameter with the given shape, zero-valued.
 func NewParam(name string, shape ...int) *Param {
+	v := tensor.New(shape...)
 	return &Param{
 		Name:  name,
-		Value: tensor.New(shape...),
-		Grad:  tensor.New(shape...),
+		Value: v,
+		Grad:  tensor.NewLike(v),
 	}
 }
 
 // NewParamFrom wraps an existing tensor as a parameter.
 func NewParamFrom(name string, t *tensor.Tensor) *Param {
-	return &Param{Name: name, Value: t, Grad: tensor.New(t.Shape()...)}
+	return &Param{Name: name, Value: t, Grad: tensor.NewLike(t)}
 }
 
 // Node returns a graph leaf bound to the parameter: gradients reaching the
 // node accumulate directly into p.Grad. Calling Node multiple times within
 // one graph (e.g. an encoder applied to two augmented views) is supported —
-// all uses share the same gradient sink.
+// all uses share the same gradient sink. The leaf is cached across calls
+// (leaves are immutable, so graphs may share it); it is rebuilt if the
+// Value or Grad tensors are ever rebound.
 func (p *Param) Node() *Node {
-	return &Node{Value: p.Value, grad: p.Grad, requiresGrad: true}
+	if p.node == nil || p.node.Value != p.Value || p.node.grad != p.Grad {
+		p.node = &Node{Value: p.Value, grad: p.Grad, requiresGrad: true}
+	}
+	return p.node
 }
 
 // ZeroGrad clears the accumulated gradient.

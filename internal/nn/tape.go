@@ -1,0 +1,107 @@
+package nn
+
+import "calibre/internal/tensor"
+
+// Tape tracks every tensor a computation graph allocates — op outputs,
+// lazily-created gradients, and backward scratch — so they can all be
+// returned to a tensor.Arena in one call when the step is over.
+//
+// A tape enters a graph through InputOn: every op output derived (directly
+// or transitively) from a taped input draws its buffers from the tape's
+// arena instead of the Go heap. Reset returns them all; after Reset no node
+// of the step's graph may be used again. Values that must outlive the step
+// (the scalar loss, momentum-encoder keys, …) must be read or deep-copied
+// before Reset — see internal/ssl for the one call site that manages this
+// lifecycle.
+//
+// A nil *Tape is valid everywhere and degrades to plain heap allocation, as
+// does a Tape over a nil arena. A Tape is NOT safe for concurrent use; use
+// one per training worker (the arena underneath is mutex-guarded, so workers
+// may share an arena but never a tape).
+type Tape struct {
+	arena *tensor.Arena
+	taken []*tensor.Tensor
+
+	// nodes is a recycled Node slab: ops on a taped graph draw their Node
+	// headers from here instead of the heap, and Reset reclaims the slots.
+	// Like taped tensors, slab nodes must not be used after Reset.
+	nodes []Node
+
+	// Backward scratch, reused across steps by topoSort.
+	visited map[*Node]bool
+	order   []*Node
+	stack   []sortFrame
+}
+
+// NewTape returns a tape drawing from arena (which may be nil for plain
+// heap allocation).
+func NewTape(arena *tensor.Arena) *Tape { return &Tape{arena: arena} }
+
+// node returns a zeroed *Node drawn from the tape's slab, recycling slots
+// freed by the last Reset. After the first step has grown the slab, a
+// steady-state step allocates no Node headers at all. Nil-safe: a nil tape
+// heap-allocates.
+func (tp *Tape) node() *Node {
+	if tp == nil {
+		return &Node{}
+	}
+	if len(tp.nodes) < cap(tp.nodes) {
+		tp.nodes = tp.nodes[:len(tp.nodes)+1]
+	} else {
+		tp.nodes = append(tp.nodes, Node{})
+	}
+	n := &tp.nodes[len(tp.nodes)-1]
+	*n = Node{}
+	return n
+}
+
+// alloc borrows a zeroed tensor of the given shape, tracked for Reset.
+func (tp *Tape) alloc(shape ...int) *tensor.Tensor {
+	if tp == nil {
+		return tensor.New(shape...)
+	}
+	t := tp.arena.GetTensor(shape...)
+	if tp.arena != nil {
+		tp.taken = append(tp.taken, t)
+	}
+	return t
+}
+
+// allocLike borrows a zeroed tensor with t's shape, tracked for Reset.
+func (tp *Tape) allocLike(t *tensor.Tensor) *tensor.Tensor {
+	if tp == nil {
+		return tensor.NewLike(t)
+	}
+	out := tp.arena.GetTensorLike(t)
+	if tp.arena != nil {
+		tp.taken = append(tp.taken, out)
+	}
+	return out
+}
+
+// Reset returns every tensor allocated through this tape to the arena and
+// empties the tape for the next step. Nil-safe.
+func (tp *Tape) Reset() {
+	if tp == nil {
+		return
+	}
+	for i, t := range tp.taken {
+		tp.arena.PutTensor(t)
+		tp.taken[i] = nil
+	}
+	tp.taken = tp.taken[:0]
+	// Zero the slab so recycled Nodes hold no references to dead tensors or
+	// closures, then make every slot reusable by the next step.
+	for i := range tp.nodes {
+		tp.nodes[i] = Node{}
+	}
+	tp.nodes = tp.nodes[:0]
+}
+
+// Live returns the number of tensors currently tracked by the tape.
+func (tp *Tape) Live() int {
+	if tp == nil {
+		return 0
+	}
+	return len(tp.taken)
+}

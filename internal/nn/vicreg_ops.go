@@ -15,7 +15,7 @@ func VarianceHinge(x *Node, gamma, eps float64) *Node {
 	if n < 2 {
 		// Variance undefined; return a constant zero that still links x so
 		// callers can Add it unconditionally.
-		return newOp(zeroScalar(), func(*tensor.Tensor) {}, x)
+		return newOp(x.tape.alloc(1, 1), func(*tensor.Tensor) {}, x)
 	}
 	means := x.Value.ColMeans()
 	stds := make([]float64, d)
@@ -33,7 +33,7 @@ func VarianceHinge(x *Node, gamma, eps float64) *Node {
 		}
 	}
 	loss /= float64(d)
-	v := tensor.New(1, 1)
+	v := x.tape.alloc(1, 1)
 	v.Set(0, 0, loss)
 	return newOp(v, func(g *tensor.Tensor) {
 		if !x.requiresGrad {
@@ -59,10 +59,10 @@ func VarianceHinge(x *Node, gamma, eps float64) *Node {
 func CovariancePenalty(x *Node) *Node {
 	n, d := x.Value.Rows(), x.Value.Cols()
 	if n < 2 {
-		return newOp(zeroScalar(), func(*tensor.Tensor) {}, x)
+		return newOp(x.tape.alloc(1, 1), func(*tensor.Tensor) {}, x)
 	}
 	means := x.Value.ColMeans()
-	centered := tensor.New(n, d)
+	centered := x.tape.alloc(n, d)
 	for i := 0; i < n; i++ {
 		row := x.Value.Row(i)
 		crow := centered.Row(i)
@@ -71,7 +71,7 @@ func CovariancePenalty(x *Node) *Node {
 		}
 	}
 	inv := 1 / float64(n-1)
-	cov := tensor.New(d, d)
+	cov := x.tape.alloc(d, d)
 	tensor.MatMulTransAInto(cov, centered, centered) // centeredᵀ·centered
 	var loss float64
 	for i := 0; i < d; i++ {
@@ -84,7 +84,7 @@ func CovariancePenalty(x *Node) *Node {
 		}
 	}
 	loss /= float64(d)
-	v := tensor.New(1, 1)
+	v := x.tape.alloc(1, 1)
 	v.Set(0, 0, loss)
 	return newOp(v, func(g *tensor.Tensor) {
 		if !x.requiresGrad {
@@ -96,7 +96,7 @@ func CovariancePenalty(x *Node) *Node {
 		// dL/dA = (2/(n-1))·A·G with symmetric off-diagonal G, and the
 		// centering projector removes each column's mean gradient — which
 		// is already zero here because G is applied to centered columns.
-		gc := tensor.New(d, d)
+		gc := x.tape.alloc(d, d)
 		for i := 0; i < d; i++ {
 			for j := 0; j < d; j++ {
 				if i != j {
@@ -105,7 +105,7 @@ func CovariancePenalty(x *Node) *Node {
 			}
 		}
 		// dL/dA = (2/(n-1)) A·G  (factor 2 from G + Gᵀ with G symmetric).
-		dA := tensor.New(n, d)
+		dA := x.tape.alloc(n, d)
 		tensor.MatMulInto(dA, centered, gc)
 		scale := gv * 2 * inv
 		gx := x.Grad()
@@ -122,5 +122,3 @@ func CovariancePenalty(x *Node) *Node {
 		}
 	}, x)
 }
-
-func zeroScalar() *tensor.Tensor { return tensor.New(1, 1) }

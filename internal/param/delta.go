@@ -68,10 +68,26 @@ func (d *Delta) Changed() (int, error) {
 // Diff encodes v against ref. The two vectors must have the same length;
 // reconstruction via Apply(ref) is bit-identical to v.
 func Diff(ref, v Vector) (*Delta, error) {
-	if len(ref) != len(v) {
-		return nil, fmt.Errorf("%w: reference has %d elements, vector has %d", ErrLenMismatch, len(ref), len(v))
+	d := &Delta{}
+	if err := DiffInto(d, ref, v); err != nil {
+		return nil, err
 	}
-	d := &Delta{Len: len(v), Bits: make([]byte, 0, 16+len(v))}
+	return d, nil
+}
+
+// DiffInto is Diff writing into a caller-owned Delta, reusing dst.Bits'
+// capacity so steady-state round loops encode without allocating. dst's
+// previous contents are discarded; on error dst is left unusable and must
+// not be applied.
+func DiffInto(dst *Delta, ref, v Vector) error {
+	if len(ref) != len(v) {
+		return fmt.Errorf("%w: reference has %d elements, vector has %d", ErrLenMismatch, len(ref), len(v))
+	}
+	bits := dst.Bits[:0]
+	if cap(bits) == 0 {
+		bits = make([]byte, 0, 16+len(v))
+	}
+	dst.Len = len(v)
 	i := 0
 	for i < len(v) {
 		zeros := i
@@ -83,13 +99,14 @@ func Diff(ref, v Vector) (*Delta, error) {
 		for i < len(v) && math.Float64bits(v[i]) != math.Float64bits(ref[i]) {
 			i++
 		}
-		d.Bits = binary.AppendUvarint(d.Bits, uint64(zeroRun))
-		d.Bits = binary.AppendUvarint(d.Bits, uint64(i-lits))
+		bits = binary.AppendUvarint(bits, uint64(zeroRun))
+		bits = binary.AppendUvarint(bits, uint64(i-lits))
 		for j := lits; j < i; j++ {
-			d.Bits = binary.AppendUvarint(d.Bits, math.Float64bits(v[j])^math.Float64bits(ref[j]))
+			bits = binary.AppendUvarint(bits, math.Float64bits(v[j])^math.Float64bits(ref[j]))
 		}
 	}
-	return d, nil
+	dst.Bits = bits
+	return nil
 }
 
 // deltaDecoder is a bounds-checked cursor over a delta payload that
@@ -182,10 +199,22 @@ func (dec *deltaDecoder) finish() error {
 // mismatches yield ErrLenMismatch; any non-canonical payload yields
 // ErrCorrupt.
 func (d *Delta) Apply(ref Vector) (Vector, error) {
+	return d.ApplyInto(nil, ref)
+}
+
+// ApplyInto is Apply decoding into scratch when it has exactly d.Len
+// elements (any other length — including nil — allocates fresh), so round
+// loops can reuse one decode buffer per client slot. Every element of the
+// result is overwritten on success; on error the scratch contents are
+// unspecified and the returned vector is nil. scratch must not alias ref.
+func (d *Delta) ApplyInto(scratch, ref Vector) (Vector, error) {
 	if d.Len != len(ref) {
 		return nil, fmt.Errorf("%w: delta encodes %d elements, reference has %d", ErrLenMismatch, d.Len, len(ref))
 	}
-	out := make(Vector, d.Len)
+	out := scratch
+	if out == nil || len(out) != d.Len {
+		out = make(Vector, d.Len)
+	}
 	dec := newDeltaDecoder(d)
 	i := 0
 	for dec.remaining > 0 {

@@ -1,0 +1,75 @@
+package ssl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"calibre/internal/nn"
+)
+
+// TestTrainArenaBitIdentical is the end-to-end determinism pin for the
+// allocation-free hot path: a full local training run with the buffer
+// arena enabled produces bit-identical parameters and loss to an
+// arena-free run. The method roster covers the cross-step escape paths —
+// MoCo's key queue, BYOL's momentum target, SwAV's prototype params —
+// that must deep-copy out of the tape's buffers before Reset.
+func TestTrainArenaBitIdentical(t *testing.T) {
+	for _, method := range []string{"simclr", "mocov2", "byol", "swav"} {
+		t.Run(method, func(t *testing.T) {
+			cfg := DefaultTrainConfig()
+			cfg.Epochs = 2
+			cfg.BatchSize = 4
+
+			run := func(noArena bool) (float64, []float64) {
+				b := testBackbone(t, 61)
+				tr := &Trainable{Backbone: b, Method: buildMethod(t, method, b)}
+				rng := rand.New(rand.NewSource(62))
+				rows := testRows(rand.New(rand.NewSource(63)), 10, 16)
+				c := cfg
+				c.NoArena = noArena
+				loss, err := Train(rng, tr, rows, c, nil)
+				if err != nil {
+					t.Fatalf("Train(noArena=%v): %v", noArena, err)
+				}
+				return loss, nn.Flatten(tr)
+			}
+
+			baseLoss, baseParams := run(true)
+			arenaLoss, arenaParams := run(false)
+
+			if math.Float64bits(arenaLoss) != math.Float64bits(baseLoss) {
+				t.Fatalf("loss differs: arena %v, fresh %v", arenaLoss, baseLoss)
+			}
+			if len(arenaParams) != len(baseParams) {
+				t.Fatalf("param count differs: %d vs %d", len(arenaParams), len(baseParams))
+			}
+			for i := range baseParams {
+				if math.Float64bits(arenaParams[i]) != math.Float64bits(baseParams[i]) {
+					t.Fatalf("param %d differs: arena %v, fresh %v", i, arenaParams[i], baseParams[i])
+				}
+			}
+		})
+	}
+}
+
+// TestTrainArenaReusesBuffers pins that the arena actually carries buffers
+// across steps: after a multi-step run, the trainable's arena has recycled
+// at least one buffer and everything was returned.
+func TestTrainArenaReusesBuffers(t *testing.T) {
+	b := testBackbone(t, 64)
+	tr := &Trainable{Backbone: b, Method: buildMethod(t, "simclr", b)}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	cfg.BatchSize = 4
+	if _, err := Train(rand.New(rand.NewSource(65)), tr, testRows(rand.New(rand.NewSource(66)), 10, 16), cfg, nil); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	st := tr.Arena().Stats()
+	if st.Hits == 0 {
+		t.Fatalf("arena never hit the free list: %+v", st)
+	}
+	if st.Outstanding != 0 {
+		t.Fatalf("arena has %d buffers outstanding after Train", st.Outstanding)
+	}
+}

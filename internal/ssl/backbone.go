@@ -58,6 +58,13 @@ func (b *Backbone) Encode(x *tensor.Tensor) *nn.Node {
 	return b.Encoder.Forward(nn.Input(x))
 }
 
+// EncodeOn is Encode with the graph's buffers drawn from tape's arena (nil
+// tape falls back to heap allocation). The returned node — and everything
+// derived from it — becomes invalid at the tape's next Reset.
+func (b *Backbone) EncodeOn(tp *nn.Tape, x *tensor.Tensor) *nn.Node {
+	return b.Encoder.Forward(nn.InputOn(tp, x))
+}
+
 // Project runs the projector on an encoding node.
 func (b *Backbone) Project(z *nn.Node) *nn.Node {
 	return b.Projector.Forward(z)
@@ -95,8 +102,15 @@ type StepContext struct {
 
 // NewStepContext performs the shared forward passes for a pair of views.
 func NewStepContext(rng *rand.Rand, b *Backbone, view1, view2 *tensor.Tensor) *StepContext {
-	z1 := b.Encode(view1)
-	z2 := b.Encode(view2)
+	return NewStepContextOn(nil, rng, b, view1, view2)
+}
+
+// NewStepContextOn is NewStepContext with the step's graph allocated on tp
+// (see nn.Tape). The whole context is step-scoped: after the caller resets
+// the tape, none of its nodes may be touched again.
+func NewStepContextOn(tp *nn.Tape, rng *rand.Rand, b *Backbone, view1, view2 *tensor.Tensor) *StepContext {
+	z1 := b.EncodeOn(tp, view1)
+	z2 := b.EncodeOn(tp, view2)
 	return &StepContext{
 		RNG:      rng,
 		Backbone: b,
@@ -143,9 +157,23 @@ type Factory func(rng *rand.Rand, b *Backbone) (Method, error)
 type Trainable struct {
 	Backbone *Backbone
 	Method   Method
+
+	arena *tensor.Arena // lazily created; backs training-step tapes
 }
 
 var _ nn.Module = (*Trainable)(nil)
+
+// Arena returns the trainable's buffer arena, creating it on first use. The
+// arena persists for the trainable's lifetime (for a federated client: across
+// rounds), which is what makes step buffers actually get reused. Callers that
+// train the same Trainable from multiple goroutines may share the arena (it
+// is mutex-guarded) but must not share training steps.
+func (t *Trainable) Arena() *tensor.Arena {
+	if t.arena == nil {
+		t.arena = tensor.NewArena()
+	}
+	return t.arena
+}
 
 // Params returns backbone params followed by method extras, in stable order.
 func (t *Trainable) Params() []*nn.Param {

@@ -64,6 +64,12 @@ type TrainConfig struct {
 	Momentum  float64
 	ClipNorm  float64 // 0 disables clipping
 	Augment   data.Augmenter
+
+	// NoArena disables the per-trainable buffer arena, making every training
+	// step allocate fresh tensors. Arena-on and arena-off runs are
+	// bit-identical (pinned by tests); the switch exists for benchmarking the
+	// allocation win and as an escape hatch.
+	NoArena bool
 }
 
 // DefaultTrainConfig returns the local-update hyperparameters used by the
@@ -96,6 +102,10 @@ func Train(rng *rand.Rand, t *Trainable, rows [][]float64, cfg TrainConfig, hook
 	opt := nn.NewSGD(t, cfg.LR, cfg.Momentum, 0)
 	stepsPerEpoch := (len(rows) + cfg.BatchSize - 1) / cfg.BatchSize
 	batcher := data.NewBatcher(rng, len(rows), cfg.BatchSize)
+	var tape *nn.Tape
+	if !cfg.NoArena {
+		tape = nn.NewTape(t.Arena())
+	}
 	var totalLoss float64
 	var steps int
 	for e := 0; e < cfg.Epochs; e++ {
@@ -109,13 +119,14 @@ func Train(rng *rand.Rand, t *Trainable, rows [][]float64, cfg TrainConfig, hook
 				batchRows[i] = rows[j]
 			}
 			v1, v2 := cfg.Augment.TwoViews(rng, batchRows)
-			ctx := NewStepContext(rng, t.Backbone, v1, v2)
+			ctx := NewStepContextOn(tape, rng, t.Backbone, v1, v2)
 			loss := t.Method.Loss(ctx)
 			if hook != nil {
 				loss = hook(ctx, loss)
 			}
 			opt.ZeroGrad()
 			if err := nn.Backward(loss); err != nil {
+				tape.Reset()
 				return 0, fmt.Errorf("ssl: backward: %w", err)
 			}
 			if cfg.ClipNorm > 0 {
@@ -125,6 +136,10 @@ func Train(rng *rand.Rand, t *Trainable, rows [][]float64, cfg TrainConfig, hook
 			t.Method.AfterStep(t.Backbone)
 			totalLoss += loss.Value.At(0, 0)
 			steps++
+			// The step's graph is dead: loss has been read, gradients applied
+			// and method state updated (methods deep-copy anything they keep,
+			// e.g. MoCo's key queue). Recycle every buffer the step borrowed.
+			tape.Reset()
 		}
 	}
 	if steps == 0 {

@@ -407,10 +407,10 @@ func readDeltaStatePayload(p []byte) (*deltaRef, error) {
 // --- Tensors ----------------------------------------------------------------
 
 func appendTensorPayload(e *encoder, t *tensor.Tensor) {
-	shape := t.Shape()
-	e.u32(uint32(len(shape)))
-	for _, d := range shape {
-		e.i64(int64(d))
+	nd := t.Dims()
+	e.u32(uint32(nd))
+	for i := 0; i < nd; i++ {
+		e.i64(int64(t.Dim(i)))
 	}
 	e.floats(t.Data())
 }

@@ -1,0 +1,142 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestArenaGetZeroedAndReused pins the two properties the hot path relies
+// on: a Get after a Put of the same length is served from the free list,
+// and the recycled buffer comes back fully zeroed (make-equivalent, the
+// bit-identity precondition).
+func TestArenaGetZeroedAndReused(t *testing.T) {
+	a := NewArena()
+	buf := a.Get(8)
+	for i := range buf {
+		buf[i] = float64(i) + 0.5 // dirty it
+	}
+	a.Put(buf)
+	got := a.Get(8)
+	if &got[0] != &buf[0] {
+		t.Fatal("Get after Put of same length did not reuse the buffer")
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("recycled buffer element %d = %v, want 0", i, v)
+		}
+	}
+	st := a.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 || st.Outstanding != 1 {
+		t.Fatalf("stats = %+v, want Gets 2 Hits 1 Puts 1 Outstanding 1", st)
+	}
+	// Different length misses the free list.
+	other := a.Get(4)
+	if len(other) != 4 {
+		t.Fatalf("Get(4) length = %d", len(other))
+	}
+	if got := a.Stats(); got.Hits != 1 {
+		t.Fatalf("Get of unseen length counted as hit: %+v", got)
+	}
+}
+
+func TestArenaPutMisusePanics(t *testing.T) {
+	a := NewArena()
+
+	buf := a.Get(6)
+	a.Put(buf)
+	mustPanic(t, "double Put", func() { a.Put(buf) })
+
+	mustPanic(t, "foreign-slice Put", func() { a.Put(make([]float64, 6)) })
+
+	b := NewArena()
+	foreign := b.Get(6)
+	mustPanic(t, "Put of another arena's buffer", func() { a.Put(foreign) })
+
+	sliced := a.Get(6)
+	mustPanic(t, "re-sliced Put", func() { a.Put(sliced[:3]) })
+	a.Put(sliced) // full-length return still works after the failed attempt
+}
+
+// TestArenaNilIsPlainMake pins the opt-in contract: every method on a nil
+// arena degrades to heap allocation and no-ops, so callers never branch.
+func TestArenaNilIsPlainMake(t *testing.T) {
+	var a *Arena
+	buf := a.Get(5)
+	if len(buf) != 5 {
+		t.Fatalf("nil arena Get(5) length = %d", len(buf))
+	}
+	a.Put(buf) // no-op, must not panic
+	tt := a.GetTensor(2, 3)
+	if tt.Rows() != 2 || tt.Cols() != 3 {
+		t.Fatalf("nil arena GetTensor shape = %v", tt.Shape())
+	}
+	like := a.GetTensorLike(tt)
+	if like.Rows() != 2 || like.Cols() != 3 {
+		t.Fatalf("nil arena GetTensorLike shape = %v", like.Shape())
+	}
+	a.PutTensor(tt)
+	if st := a.Stats(); st != (ArenaStats{}) {
+		t.Fatalf("nil arena stats = %+v", st)
+	}
+}
+
+func TestArenaTensorRoundTrip(t *testing.T) {
+	a := NewArena()
+	x := a.GetTensor(3, 4)
+	if x.Rows() != 3 || x.Cols() != 4 {
+		t.Fatalf("GetTensor shape = %v", x.Shape())
+	}
+	x.Data()[0] = 42
+	a.PutTensor(x)
+	y := a.GetTensorLike(New(3, 4))
+	if y.Data()[0] != 0 {
+		t.Fatal("recycled tensor not zeroed")
+	}
+	if a.Stats().Outstanding != 1 {
+		t.Fatalf("outstanding = %d, want 1", a.Stats().Outstanding)
+	}
+	a.PutTensor(y)
+	a.PutTensor(nil) // nil tensor is a no-op
+}
+
+// TestArenaConcurrent hammers one shared arena from several goroutines;
+// under -race this pins the mutex discipline workers rely on when they
+// share an arena (but never a tape).
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				n := 1 + rng.Intn(16)
+				buf := a.Get(n)
+				for j := range buf {
+					buf[j] = float64(j)
+				}
+				a.Put(buf)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Outstanding != 0 {
+		t.Fatalf("outstanding = %d after all Puts", st.Outstanding)
+	}
+	if st.Gets != 8*200 || st.Puts != 8*200 {
+		t.Fatalf("stats = %+v, want 1600 gets/puts", st)
+	}
+}

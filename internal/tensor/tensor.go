@@ -64,6 +64,13 @@ func New(shape ...int) *Tensor {
 	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
 }
 
+// NewLike returns a zero-filled tensor with t's shape. The shape slice is
+// shared with t — shapes are immutable after construction (Reshape allocates
+// a fresh one), so sharing is safe and avoids the per-tensor shape copy.
+func NewLike(t *Tensor) *Tensor {
+	return &Tensor{shape: t.shape, data: make([]float64, len(t.data))}
+}
+
 // FromSlice wraps data in a tensor with the given shape. The slice is used
 // directly (not copied); it must have exactly as many elements as the shape
 // implies.
@@ -282,6 +289,68 @@ func Apply(a *Tensor, f func(float64) float64) *Tensor {
 	return out
 }
 
+// --- Into variants ----------------------------------------------------------
+//
+// The Into forms write into a caller-provided destination (typically borrowed
+// from an Arena) instead of allocating. Every destination element is
+// overwritten, so dirty buffers are fine. Unless noted, dst may alias an
+// operand.
+
+// AddInto computes dst = a + b elementwise. All three shapes must match.
+func AddInto(dst, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		return fmt.Errorf("%w: AddInto %v = %v + %v", ErrShape, dst.shape, a.shape, b.shape)
+	}
+	for i := range a.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+	return nil
+}
+
+// SubInto computes dst = a - b elementwise. All three shapes must match.
+func SubInto(dst, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		return fmt.Errorf("%w: SubInto %v = %v - %v", ErrShape, dst.shape, a.shape, b.shape)
+	}
+	for i := range a.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+	return nil
+}
+
+// MulInto computes the elementwise product dst = a * b. Shapes must match.
+func MulInto(dst, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		return fmt.Errorf("%w: MulInto %v = %v * %v", ErrShape, dst.shape, a.shape, b.shape)
+	}
+	for i := range a.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+	return nil
+}
+
+// ScaleInto computes dst = a*s elementwise. Shapes must match.
+func ScaleInto(dst, a *Tensor, s float64) error {
+	if !SameShape(dst, a) {
+		return fmt.Errorf("%w: ScaleInto %v = %v * scalar", ErrShape, dst.shape, a.shape)
+	}
+	for i := range a.data {
+		dst.data[i] = a.data[i] * s
+	}
+	return nil
+}
+
+// ApplyInto computes dst = f(a) elementwise. Shapes must match.
+func ApplyInto(dst, a *Tensor, f func(float64) float64) error {
+	if !SameShape(dst, a) {
+		return fmt.Errorf("%w: ApplyInto %v = f(%v)", ErrShape, dst.shape, a.shape)
+	}
+	for i := range a.data {
+		dst.data[i] = f(a.data[i])
+	}
+	return nil
+}
+
 // --- Matrix ops ------------------------------------------------------------
 
 // The MatMul family lives in matmul.go: parallel cache-blocked kernels with
@@ -318,6 +387,38 @@ func AddRowVec(a *Tensor, v []float64) (*Tensor, error) {
 		}
 	}
 	return out, nil
+}
+
+// TransposeInto writes the transpose of 2-D tensor a into dst (shape n×m for
+// an m×n operand). dst must not alias a.
+func TransposeInto(dst, a *Tensor) error {
+	if a.Dims() != 2 || dst.Dims() != 2 || dst.shape[0] != a.shape[1] || dst.shape[1] != a.shape[0] {
+		return fmt.Errorf("%w: TransposeInto %v = (%v)^T", ErrShape, dst.shape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			dst.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return nil
+}
+
+// AddRowVecInto computes dst = a + v broadcast over rows (bias addition)
+// without allocating. dst may alias a.
+func AddRowVecInto(dst, a *Tensor, v []float64) error {
+	if a.Dims() != 2 || !SameShape(dst, a) || a.shape[1] != len(v) {
+		return fmt.Errorf("%w: AddRowVecInto %v = %v + vec(%d)", ErrShape, dst.shape, a.shape, len(v))
+	}
+	m, n := a.shape[0], a.shape[1]
+	for i := 0; i < m; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		orow := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] = arow[j] + v[j]
+		}
+	}
+	return nil
 }
 
 // --- Reductions ------------------------------------------------------------
@@ -393,8 +494,19 @@ func (t *Tensor) RowSums() []float64 {
 // L2NormalizeRows returns a copy of a 2-D tensor whose rows are scaled to
 // unit Euclidean norm. Rows with norm below eps are left unchanged.
 func L2NormalizeRows(a *Tensor, eps float64) *Tensor {
+	out := New(a.shape[0], a.shape[1])
+	if err := L2NormalizeRowsInto(out, a, eps); err != nil {
+		panic(err) // unreachable: shapes match by construction
+	}
+	return out
+}
+
+// L2NormalizeRowsInto writes row-normalized a into dst. dst may alias a.
+func L2NormalizeRowsInto(dst, a *Tensor, eps float64) error {
+	if a.Dims() != 2 || !SameShape(dst, a) {
+		return fmt.Errorf("%w: L2NormalizeRowsInto %v = norm(%v)", ErrShape, dst.shape, a.shape)
+	}
 	m, n := a.shape[0], a.shape[1]
-	out := New(m, n)
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
 		var ss float64
@@ -402,7 +514,7 @@ func L2NormalizeRows(a *Tensor, eps float64) *Tensor {
 			ss += v * v
 		}
 		norm := math.Sqrt(ss)
-		orow := out.data[i*n : (i+1)*n]
+		orow := dst.data[i*n : (i+1)*n]
 		if norm < eps {
 			copy(orow, row)
 			continue
@@ -412,7 +524,7 @@ func L2NormalizeRows(a *Tensor, eps float64) *Tensor {
 			orow[j] = v * inv
 		}
 	}
-	return out
+	return nil
 }
 
 // Dot returns the dot product of two equal-length vectors.
