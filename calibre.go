@@ -36,6 +36,7 @@ import (
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
 	"calibre/internal/flnet"
+	"calibre/internal/health"
 	"calibre/internal/obs"
 	"calibre/internal/param"
 	"calibre/internal/partition"
@@ -149,6 +150,26 @@ type (
 	// MetricsRoundSample is one federated round as the metrics plane saw
 	// it.
 	MetricsRoundSample = obs.RoundSample
+
+	// HealthConfig selects and tunes the streaming anomaly detectors
+	// (loss divergence/plateau, NaN/Inf, fairness drift, per-client
+	// update-norm outliers, quorum erosion); build one with
+	// DefaultHealthConfig or ParseHealthRules.
+	HealthConfig = health.Config
+	// HealthMonitor is the streaming detector engine: attach one to
+	// SimConfig.Health or ServerConfig.Health (sweeps instead take a
+	// *HealthConfig on SweepConfig.Health and build one fresh monitor
+	// per cell) and every completed round is judged without perturbing
+	// results — a run with a monitor attached is bit-identical to one
+	// without, and detectors are pure functions of the round stream, so
+	// two identical runs yield bit-identical diagnoses.
+	HealthMonitor = health.Monitor
+	// HealthDiagnosis is a monitor's full verdict — alerts in raise
+	// order, suspected-adversary IDs, per-client scores ranked least
+	// healthy first. Render with WriteText or serve it via /healthz.
+	HealthDiagnosis = health.Diagnosis
+	// HealthAlert is one raised finding (rule, severity, round, client).
+	HealthAlert = health.Alert
 )
 
 // Counter names for MetricsSnapshot.Counters lookups (the full set is in
@@ -290,6 +311,25 @@ func SSLMethodNames() []string { return ssl.MethodNames() }
 // with ServeMetrics. All registry methods are nil-receiver-safe, so
 // instrumented code never needs to check whether metrics are enabled.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultHealthConfig enables every streaming anomaly detector at its
+// documented default thresholds (see internal/health).
+func DefaultHealthConfig() HealthConfig { return health.DefaultConfig() }
+
+// ParseHealthRules builds a HealthConfig from the textual rule spec the
+// CLIs take ("default", "all", or a list like
+// "non-finite,norm-z(3.5,2)"); Config.Rules round-trips the canonical
+// form.
+func ParseHealthRules(spec string) (HealthConfig, error) { return health.ParseRules(spec) }
+
+// NewHealthMonitor builds a streaming health monitor; attach it via
+// SimConfig.Health or ServerConfig.Health (for sweeps, set the config on
+// SweepConfig.Health instead — one fresh monitor per cell), read the
+// verdict with its Diagnosis method, or serve it alongside the metrics
+// endpoints (calibre-server -health, calibre-sweep run -health). The
+// calibre-doctor CLI reaches the same verdict live over /metrics or
+// offline from a flight-recorder trace.
+func NewHealthMonitor(cfg *HealthConfig) *HealthMonitor { return health.NewMonitor(cfg) }
 
 // ServeMetrics binds addr (port 0 picks a free one) and serves the
 // registry read-only over HTTP — /metrics as a JSON MetricsSnapshot,

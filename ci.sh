@@ -13,6 +13,7 @@
 #   go run ./cmd/calibre-bench -exp sweep -out .
 #   go run ./cmd/calibre-bench -exp trace -out .
 #   go run ./cmd/calibre-bench -exp hotpath -out .
+#   go run ./cmd/calibre-bench -exp health -out .
 # (see README.md "Benchmark harness").
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -53,6 +54,9 @@ go run ./tools/tracesmoke
 echo "== alloc smoke =="
 go run ./tools/allocsmoke
 
+echo "== health smoke =="
+go run ./tools/healthsmoke
+
 echo "== kernel bench (quick) =="
 go run ./cmd/calibre-bench -exp kernels -quick -out "$(mktemp -d)"
 
@@ -70,5 +74,8 @@ go run ./cmd/calibre-bench -exp trace -quick -out "$(mktemp -d)"
 
 echo "== hotpath bench (quick) =="
 go run ./cmd/calibre-bench -exp hotpath -quick -out "$(mktemp -d)"
+
+echo "== health bench (quick) =="
+go run ./cmd/calibre-bench -exp health -quick -out "$(mktemp -d)"
 
 echo "CI gate passed."

@@ -1,0 +1,192 @@
+package main
+
+// The health harness (-exp health) is the reproducible perf gate for the
+// streaming anomaly detectors: it measures raw ObserveRound throughput on
+// synthetic per-client round samples, and the end-to-end overhead a live
+// monitor adds to a monitored federation versus a bare one, emitting
+// BENCH_health.json. The monitor's no-perturbation contract (monitored
+// runs are bit-identical to bare ones) is pinned by tests in internal/fl
+// and internal/flnet; this harness only measures time.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"calibre/internal/experiments"
+	"calibre/internal/fl"
+	"calibre/internal/health"
+	"calibre/internal/obs"
+)
+
+// HealthBenchSchema identifies the BENCH_health.json layout.
+const HealthBenchSchema = "calibre/bench-health/v1"
+
+// HealthBenchFile is the top-level layout of BENCH_health.json.
+type HealthBenchFile struct {
+	Schema     string             `json:"schema"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMaxProcs int                `json:"gomaxprocs"`
+	Observe    HealthBenchObserve `json:"observe"`
+	Round      HealthBenchRound   `json:"round"`
+}
+
+// HealthBenchObserve measures the detector hot path in isolation: every
+// default rule (loss divergence/plateau, non-finite, fairness drift,
+// norm outliers, quorum/deadline) evaluated per ObserveRound on a
+// synthetic round stream with full per-client detail.
+type HealthBenchObserve struct {
+	Rounds          int     `json:"rounds"`
+	ClientsPerRound int     `json:"clients_per_round"`
+	WallMS          int64   `json:"wall_ms"`
+	RoundsPerSec    float64 `json:"rounds_per_sec"`
+	NsPerRound      float64 `json:"ns_per_round"`
+	NsPerClient     float64 `json:"ns_per_client"`
+}
+
+// HealthBenchRound measures a fully monitored federation against a bare
+// one: the same smoke-scale fedavg simulation with and without a live
+// monitor. OverheadNsPerRound may be slightly negative on a noisy host —
+// the monitor's cost sits below scheduler jitter at smoke scale.
+type HealthBenchRound struct {
+	Reps               int   `json:"reps"`
+	RoundsPerRun       int   `json:"rounds_per_run"`
+	BareMS             int64 `json:"bare_ms"`
+	MonitoredMS        int64 `json:"monitored_ms"`
+	AlertsPerRun       int   `json:"alerts_per_run"`
+	OverheadNsPerRound int64 `json:"overhead_ns_per_round"`
+}
+
+// runHealthBench measures the health plane and writes BENCH_health.json
+// into outDir.
+func runHealthBench(outDir string, quick bool) error {
+	file := HealthBenchFile{
+		Schema:     HealthBenchSchema,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("health bench: %s/%s gomaxprocs=%d\n", file.GOOS, file.GOARCH, file.GOMaxProcs)
+
+	// Stage 1: raw ObserveRound throughput. A steady 10-client cohort with
+	// ID-spread norms and a slowly decaying loss keeps every default
+	// detector on its evaluation path (median/MAD per round, EWMA updates,
+	// fairness decile split) without tripping alerts on each round — the
+	// steady-state cost, not the edge-trigger cost.
+	rounds := 1_000_000
+	if quick {
+		rounds = 100_000
+	}
+	const cohort = 10
+	hc := health.DefaultConfig()
+	mon := health.NewMonitor(&hc)
+	sample := obs.RoundSample{
+		Runtime:      "sim",
+		Participants: cohort,
+		Responders:   cohort,
+		Clients:      make([]obs.ClientSample, cohort),
+	}
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		sample.Round = i
+		sample.MeanLoss = 1.0 / (1.0 + 0.001*float64(i%1000))
+		for id := 0; id < cohort; id++ {
+			sample.Clients[id] = obs.ClientSample{
+				ID:   id,
+				Loss: sample.MeanLoss * (0.9 + 0.02*float64(id)),
+				Norm: 0.2 + 0.01*float64(id) + 0.001*float64(i%7),
+			}
+		}
+		mon.ObserveRound(sample)
+	}
+	wall := time.Since(start)
+	file.Observe = HealthBenchObserve{
+		Rounds:          rounds,
+		ClientsPerRound: cohort,
+		WallMS:          wall.Milliseconds(),
+		RoundsPerSec:    float64(rounds) / wall.Seconds(),
+		NsPerRound:      float64(wall.Nanoseconds()) / float64(rounds),
+		NsPerClient:     float64(wall.Nanoseconds()) / float64(rounds*cohort),
+	}
+	fmt.Printf("observe: %d rounds × %d clients in %s — %.0f rounds/sec, %.0f ns/round, %.1f ns/client\n",
+		rounds, cohort, wall.Round(time.Millisecond), file.Observe.RoundsPerSec, file.Observe.NsPerRound, file.Observe.NsPerClient)
+
+	// Stage 2: monitored federation overhead. The same smoke fedavg
+	// simulation, bare then monitored, alternating to spread thermal and
+	// cache drift across both sides.
+	reps := 6
+	if quick {
+		reps = 2
+	}
+	setting, ok := experiments.Settings()["cifar10-q(2,500)"]
+	if !ok {
+		return fmt.Errorf("health bench: setting cifar10-q(2,500) missing")
+	}
+	runOnce := func(mon *health.Monitor) (int, error) {
+		env, err := experiments.BuildEnvironment(setting, experiments.ScaleSmoke, 1)
+		if err != nil {
+			return 0, err
+		}
+		m, err := experiments.BuildMethod(env, "fedavg")
+		if err != nil {
+			return 0, err
+		}
+		out, err := experiments.RunBuiltMethodWith(context.Background(), env, m, func(cfg *fl.SimConfig) {
+			cfg.Health = mon
+		})
+		if err != nil {
+			return 0, err
+		}
+		return len(out.History), nil
+	}
+	var bare, monitored time.Duration
+	simRounds, alertsPerRun := 0, 0
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		r, err := runOnce(nil)
+		if err != nil {
+			return fmt.Errorf("health bench bare run: %w", err)
+		}
+		bare += time.Since(t0)
+		simRounds = r
+
+		cfg := health.DefaultConfig()
+		simMon := health.NewMonitor(&cfg)
+		t1 := time.Now()
+		if _, err := runOnce(simMon); err != nil {
+			return fmt.Errorf("health bench monitored run: %w", err)
+		}
+		monitored += time.Since(t1)
+		alertsPerRun = len(simMon.Diagnosis().Alerts)
+	}
+	totalRounds := simRounds * reps
+	file.Round = HealthBenchRound{
+		Reps:               reps,
+		RoundsPerRun:       simRounds,
+		BareMS:             bare.Milliseconds(),
+		MonitoredMS:        monitored.Milliseconds(),
+		AlertsPerRun:       alertsPerRun,
+		OverheadNsPerRound: (monitored - bare).Nanoseconds() / int64(totalRounds),
+	}
+	fmt.Printf("round: %d reps × %d rounds — bare %dms, monitored %dms, %d alerts/run, overhead %dns/round\n",
+		reps, simRounds, file.Round.BareMS, file.Round.MonitoredMS, alertsPerRun, file.Round.OverheadNsPerRound)
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	path := filepath.Join(outDir, "BENCH_health.json")
+	buf, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}

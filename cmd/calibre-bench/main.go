@@ -33,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("calibre-bench", flag.ContinueOnError)
 	var (
-		exp   = fs.String("exp", "fig3", "experiment id (fig1..fig8, table1, 'kernels', 'codec', 'delta', 'sweep', 'trace', 'hotpath', or 'all')")
+		exp   = fs.String("exp", "fig3", "experiment id (fig1..fig8, table1, 'kernels', 'codec', 'delta', 'sweep', 'trace', 'hotpath', 'health', or 'all')")
 		scale = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
 		seed  = fs.Int64("seed", 42, "master seed")
 		out   = fs.String("out", "", "directory for CSV/JSON outputs (optional)")
@@ -45,14 +45,14 @@ func run(args []string) error {
 	}
 	if *list {
 		fmt.Println("experiments:", experiments.IDs())
-		fmt.Println("perf harnesses: kernels, codec, delta, sweep, trace, hotpath (run with -exp; not part of -exp all)")
+		fmt.Println("perf harnesses: kernels, codec, delta, sweep, trace, hotpath, health (run with -exp; not part of -exp all)")
 		fmt.Println("settings:")
 		for name := range experiments.Settings() {
 			fmt.Println("  ", name)
 		}
 		return nil
 	}
-	if *exp == "kernels" || *exp == "codec" || *exp == "delta" || *exp == "sweep" || *exp == "trace" || *exp == "hotpath" {
+	if *exp == "kernels" || *exp == "codec" || *exp == "delta" || *exp == "sweep" || *exp == "trace" || *exp == "hotpath" || *exp == "health" {
 		dir := *out
 		if dir == "" {
 			dir = "."
@@ -68,6 +68,8 @@ func run(args []string) error {
 			return runTraceBench(dir, *quick)
 		case "hotpath":
 			return runHotpathBench(dir, *quick)
+		case "health":
+			return runHealthBench(dir, *quick)
 		default:
 			return runDeltaBench(dir, *quick)
 		}

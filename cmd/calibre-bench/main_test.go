@@ -401,6 +401,71 @@ func TestSweepHarnessEmitsGoldenSchema(t *testing.T) {
 	warnEnvMismatch(t, filepath.Join(dir, "BENCH_sweep.json"), filepath.Join("..", "..", "BENCH_sweep.json"))
 }
 
+// TestHealthHarnessEmitsGoldenSchema runs the health-plane harness at
+// quick scale and validates BENCH_health.json structurally and against
+// the committed golden file. Throughput and overhead are host-dependent
+// and only sanity-checked (the per-round overhead may legitimately be
+// negative: at smoke scale the monitor's cost sits below scheduler
+// jitter); the no-perturbation contract itself is pinned by the
+// bit-identity tests in internal/fl and internal/flnet.
+func TestHealthHarnessEmitsGoldenSchema(t *testing.T) {
+	dir := t.TempDir()
+	out := climain.CaptureStdout(t, func() error {
+		return run([]string{"-exp", "health", "-quick", "-out", dir})
+	})
+	if !strings.Contains(out, "health bench:") || !strings.Contains(out, "rounds/sec") {
+		t.Fatalf("harness output not parseable:\n%s", out)
+	}
+
+	check := func(file HealthBenchFile, where string) {
+		t.Helper()
+		if file.Schema != HealthBenchSchema {
+			t.Fatalf("%s schema = %q, want %q", where, file.Schema, HealthBenchSchema)
+		}
+		if file.GOOS == "" || file.GOARCH == "" || file.GOMaxProcs < 1 {
+			t.Fatalf("%s host metadata incomplete: %+v", where, file)
+		}
+		o := file.Observe
+		if o.Rounds <= 0 || o.ClientsPerRound <= 0 {
+			t.Errorf("%s observe section measured nothing: %+v", where, o)
+		}
+		if o.RoundsPerSec <= 0 || o.NsPerRound <= 0 || o.NsPerClient <= 0 {
+			t.Errorf("%s observe section has non-positive measurements: %+v", where, o)
+		}
+		r := file.Round
+		if r.Reps <= 0 || r.RoundsPerRun <= 0 {
+			t.Errorf("%s round section measured nothing: %+v", where, r)
+		}
+		if r.BareMS < 0 || r.MonitoredMS <= 0 {
+			t.Errorf("%s round section has bad timings: %+v", where, r)
+		}
+		if r.AlertsPerRun < 0 {
+			t.Errorf("%s round section has negative alert count: %+v", where, r)
+		}
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_health.json"))
+	if err != nil {
+		t.Fatalf("read emitted json: %v", err)
+	}
+	var got HealthBenchFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("emitted json does not parse: %v", err)
+	}
+	check(got, "emitted")
+
+	goldenRaw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_health.json"))
+	if err != nil {
+		t.Fatalf("read committed golden BENCH_health.json: %v", err)
+	}
+	var golden HealthBenchFile
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatalf("golden json does not parse: %v", err)
+	}
+	check(golden, "golden")
+	warnEnvMismatch(t, filepath.Join(dir, "BENCH_health.json"), filepath.Join("..", "..", "BENCH_health.json"))
+}
+
 // TestHotpathHarnessEmitsGoldenSchema runs the hot-path harness at quick
 // scale and validates BENCH_hotpath.json structurally, against the
 // committed golden file, and against the acceptance criterion the

@@ -1,0 +1,288 @@
+// Command calibre-doctor diagnoses a federation's health: it feeds
+// observed round streams through the streaming detectors of
+// internal/health and renders the ranked diagnosis — alerts in raise
+// order, the suspected-adversary set, and the per-client health table,
+// least healthy first.
+//
+// Two sources:
+//
+//	calibre-doctor replay FILE [-cell KEY] [-health SPEC] [-json]
+//	calibre-doctor live   -addr HOST:PORT [-health SPEC] [-interval D] [-timeout D] [-once] [-json]
+//
+// replay reads a flight-recorder trace (calibre-server/-sweep -trace-out,
+// FILE may be "-" for stdin), reconstructs each federation's round stream
+// offline, and diagnoses it after the fact — sweeps are split per cell.
+// The verdict is a pure function of the trace bytes: two replays of the
+// same file render byte-identical reports, and replaying a trace written
+// by a monitored run reproduces that run's live diagnosis.
+//
+// live polls a running federation's -metrics-addr endpoint (the /metrics
+// JSON snapshot), streams newly completed rounds through its own monitor,
+// prints alerts as they trip, and renders the final diagnosis when the
+// run ends (or immediately with -once). Per-client detectors (update-norm
+// outliers, per-client scores) need per-client detail in the metrics
+// ring, which producers include when running with -health; without it the
+// federation-level detectors (loss, quorum) still apply.
+//
+// Norm-bearing traces require the producing run to have had a health
+// monitor or flight recorder attached — exactly the runs worth
+// diagnosing.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+
+	"calibre/internal/health"
+	"calibre/internal/obs"
+	"calibre/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calibre-doctor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: calibre-doctor <replay|live> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "replay":
+		return replay(rest, w)
+	case "live":
+		return live(rest, w)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want replay or live)", cmd)
+	}
+}
+
+// parseHealth builds the monitor config from the shared -health spec.
+func parseHealth(spec string) (*health.Config, error) {
+	hc, err := health.ParseRules(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &hc, nil
+}
+
+// replay diagnoses a recorded trace offline.
+func replay(args []string, w io.Writer) error {
+	if len(args) < 1 || args[0] == "" || args[0][0] == '-' {
+		return fmt.Errorf("replay: missing trace file (or - for stdin)")
+	}
+	path, args := args[0], args[1:]
+	fs := flag.NewFlagSet("calibre-doctor replay", flag.ContinueOnError)
+	var (
+		cell    = fs.String("cell", "", "diagnose only this sweep cell key; empty diagnoses every federation in the trace")
+		spec    = fs.String("health", "default", `detector rules: "default", "all", or a spec like "non-finite,norm-z(3.5,2)" (see internal/health)`)
+		jsonOut = fs.Bool("json", false, "emit the diagnosis as JSON instead of the text report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	hc, err := parseHealth(*spec)
+	if err != nil {
+		return err
+	}
+	events, truncated, err := loadTrace(path)
+	if err != nil {
+		return err
+	}
+	if truncated {
+		fmt.Fprintln(w, "note: trace ends mid-record (crash or live file); diagnosing the intact prefix")
+	}
+
+	// Split the event stream per federation: every event a sweep cell's
+	// simulation emits carries the cell key, a lone server/sim run none.
+	byCell := make(map[string][]trace.Event)
+	for _, e := range events {
+		byCell[e.Cell] = append(byCell[e.Cell], e)
+	}
+	if *cell != "" {
+		evs, ok := byCell[*cell]
+		if !ok {
+			return fmt.Errorf("replay: no events for cell %q in %s", *cell, path)
+		}
+		byCell = map[string][]trace.Event{*cell: evs}
+	}
+	keys := make([]string, 0, len(byCell))
+	diagnoses := make(map[string]health.Diagnosis, len(byCell))
+	for k, evs := range byCell {
+		samples := health.ReplaySamples(evs)
+		if len(samples) == 0 {
+			continue
+		}
+		mon := health.NewMonitor(hc)
+		for _, s := range samples {
+			mon.ObserveRound(s)
+		}
+		keys = append(keys, k)
+		diagnoses[k] = mon.Diagnosis()
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("replay: no completed rounds in %s", path)
+	}
+	sort.Strings(keys)
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if len(keys) == 1 && keys[0] == "" {
+			return enc.Encode(diagnoses[""])
+		}
+		return enc.Encode(diagnoses)
+	}
+	for i, k := range keys {
+		if k != "" || len(keys) > 1 {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			name := k
+			if name == "" {
+				name = "(no cell)"
+			}
+			fmt.Fprintf(w, "== cell %s ==\n", name)
+		}
+		if err := diagnoses[k].WriteText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// live attaches the detectors to a running federation's metrics endpoint.
+func live(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("calibre-doctor live", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9100", "host:port of a running -metrics-addr endpoint")
+		spec     = fs.String("health", "default", `detector rules: "default", "all", or a spec like "non-finite,norm-z(3.5,2)" (see internal/health)`)
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		timeout  = fs.Duration("timeout", 10*time.Second, "give up if the endpoint never answers within this window")
+		once     = fs.Bool("once", false, "diagnose one snapshot and exit")
+		jsonOut  = fs.Bool("json", false, "emit the final diagnosis as JSON (suppresses live alert lines)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	hc, err := parseHealth(*spec)
+	if err != nil {
+		return err
+	}
+	mon := health.NewMonitor(hc)
+	render := func() error {
+		if *jsonOut {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(mon.Diagnosis())
+		}
+		return mon.Diagnosis().WriteText(w)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	url := "http://" + *addr + "/metrics"
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(*timeout)
+	connected := false
+	// The metrics ring is chronological and overlaps between polls;
+	// (runtime, round) identifies a completed round exactly once.
+	seen := make(map[string]bool)
+	for {
+		snap, err := scrape(ctx, client, url)
+		switch {
+		case err == nil:
+			connected = true
+			for _, rs := range snap.Rounds {
+				key := rs.Runtime + "\x00" + strconv.Itoa(rs.Round)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				for _, a := range mon.ObserveRound(rs) {
+					if !*jsonOut {
+						fmt.Fprintln(w, a)
+					}
+				}
+			}
+			if *once {
+				return render()
+			}
+		case ctx.Err() != nil:
+			return render()
+		case connected:
+			// The endpoint answered before and is gone now: the federation
+			// finished. Render what the whole run added up to.
+			if !*jsonOut {
+				fmt.Fprintln(w, "live: metrics endpoint gone (run finished?) — final diagnosis:")
+			}
+			return render()
+		case time.Now().After(deadline):
+			return fmt.Errorf("live: no answer from %s within %s: %w", *addr, *timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return render()
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// scrape fetches and decodes one JSON metrics snapshot.
+func scrape(ctx context.Context, client *http.Client, url string) (obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// loadTrace decodes FILE (or stdin for "-"), tolerating a torn tail the
+// way calibre-trace does: the intact prefix is diagnosed.
+func loadTrace(path string) (events []trace.Event, truncated bool, err error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, false, err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err = trace.ReadAll(r)
+	if errors.Is(err, trace.ErrTruncated) {
+		return events, true, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, false, nil
+}

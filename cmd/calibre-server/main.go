@@ -37,6 +37,7 @@ import (
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
 	"calibre/internal/flnet"
+	"calibre/internal/health"
 	"calibre/internal/obs"
 	"calibre/internal/store"
 	"calibre/internal/trace"
@@ -52,28 +53,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("calibre-server", flag.ContinueOnError)
 	var (
-		addr      = fs.String("addr", ":9100", "listen address")
-		clients   = fs.Int("clients", 3, "number of clients that must join before training (late joiners admitted afterwards)")
-		rounds    = fs.Int("rounds", 5, "federated rounds")
-		perRound  = fs.Int("per-round", 2, "clients sampled per round")
-		method    = fs.String("method", "calibre-simclr", "method name (see calibre-bench -list)")
-		setting   = fs.String("setting", "cifar10-q(2,500)", "experiment setting")
-		scale     = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
-		seed      = fs.Int64("seed", 42, "master seed (must match clients)")
-		quorum    = fs.Int("quorum", 0, "min updates to close a round at the deadline (K of N); 0 waits for all")
-		deadline  = fs.Duration("deadline", 0, "per-round collection deadline; 0 waits for all participants")
-		straggler = fs.String("straggler", "requeue", "straggler policy at the deadline: requeue | drop")
-		ckptDir   = fs.String("checkpoint-dir", "", "durable checkpoint directory; snapshots round state for crash recovery")
-		ckptEvery = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
-		ckptDelta = fs.Bool("checkpoint-incremental", false, "encode checkpoints as lossless deltas against the previous version (full-snapshot fallback; see calibre-ckpt list)")
-		resume    = fs.Bool("resume", false, "resume from the latest matching checkpoint in -checkpoint-dir (fresh start when none exists)")
-		wire      = fs.String("update-wire", "delta", "client update encoding advertised at join: delta (compressed, lossless) | dense")
-		aggSpec   = fs.String("aggregator", "", "robust aggregator override: mean | median | trimmed(frac) | krum(f); empty keeps the method's own")
-		traceSpec = fs.String("trace", "", "seeded availability trace, e.g. diurnal(0.1,0.6,8) | flash(0,0.8,2,2) | markov(0,0.3,0.5); empty means always available")
-		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
-		traceOut  = fs.String("trace-out", "", "append flight-recorder events (length-prefixed JSONL) to this file; inspect with calibre-trace")
-		traceRot  = fs.Int64("trace-rotate-bytes", 0, "rotate the -trace-out file when it would exceed this size (keeps 3 generations); 0 disables rotation")
-		pprofAddr = fs.String("pprof-addr", "", "serve net/http/pprof on this host:port; port 0 picks a free one")
+		addr       = fs.String("addr", ":9100", "listen address")
+		clients    = fs.Int("clients", 3, "number of clients that must join before training (late joiners admitted afterwards)")
+		rounds     = fs.Int("rounds", 5, "federated rounds")
+		perRound   = fs.Int("per-round", 2, "clients sampled per round")
+		method     = fs.String("method", "calibre-simclr", "method name (see calibre-bench -list)")
+		setting    = fs.String("setting", "cifar10-q(2,500)", "experiment setting")
+		scale      = fs.String("scale", "smoke", "scale preset: smoke | ci | paper")
+		seed       = fs.Int64("seed", 42, "master seed (must match clients)")
+		quorum     = fs.Int("quorum", 0, "min updates to close a round at the deadline (K of N); 0 waits for all")
+		deadline   = fs.Duration("deadline", 0, "per-round collection deadline; 0 waits for all participants")
+		straggler  = fs.String("straggler", "requeue", "straggler policy at the deadline: requeue | drop")
+		ckptDir    = fs.String("checkpoint-dir", "", "durable checkpoint directory; snapshots round state for crash recovery")
+		ckptEvery  = fs.Int("checkpoint-every", 1, "rounds between checkpoints when -checkpoint-dir is set")
+		ckptDelta  = fs.Bool("checkpoint-incremental", false, "encode checkpoints as lossless deltas against the previous version (full-snapshot fallback; see calibre-ckpt list)")
+		resume     = fs.Bool("resume", false, "resume from the latest matching checkpoint in -checkpoint-dir (fresh start when none exists)")
+		wire       = fs.String("update-wire", "delta", "client update encoding advertised at join: delta (compressed, lossless) | dense")
+		aggSpec    = fs.String("aggregator", "", "robust aggregator override: mean | median | trimmed(frac) | krum(f); empty keeps the method's own")
+		traceSpec  = fs.String("trace", "", "seeded availability trace, e.g. diurnal(0.1,0.6,8) | flash(0,0.8,2,2) | markov(0,0.3,0.5); empty means always available")
+		metrics    = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
+		healthSpec = fs.String("health", "", `streaming anomaly detection rules: "default", "all", or a spec like "non-finite,norm-z(3.5,2)" (see internal/health); alerts print live and /healthz serves the diagnosis on -metrics-addr; empty disables`)
+		traceOut   = fs.String("trace-out", "", "append flight-recorder events (length-prefixed JSONL) to this file; inspect with calibre-trace")
+		traceRot   = fs.Int64("trace-rotate-bytes", 0, "rotate the -trace-out file when it would exceed this size (keeps 3 generations); 0 disables rotation")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this host:port; port 0 picks a free one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +114,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var mon *health.Monitor
+	if *healthSpec != "" {
+		hc, err := health.ParseRules(*healthSpec)
+		if err != nil {
+			return err
+		}
+		mon = health.NewMonitor(&hc)
+	}
 	cfg := flnet.ServerConfig{
 		Addr:            *addr,
 		NumClients:      *clients,
@@ -128,6 +138,10 @@ func run(args []string) error {
 		OnRound: func(stats fl.RoundStats) {
 			fmt.Println(stats)
 		},
+	}
+	if mon != nil {
+		cfg.Health = mon
+		cfg.OnAlert = func(a health.Alert) { fmt.Println(a) }
 	}
 	if *ckptDir != "" {
 		// Client-side trainer state is invisible to flnet's own validation,
@@ -206,11 +220,17 @@ func run(args []string) error {
 	if *metrics != "" {
 		reg := obs.NewRegistry()
 		cfg.Obs = reg
-		msrv, maddr, err := obs.Serve(*metrics, reg)
+		// The health handler wraps the metrics handler: /healthz and
+		// /healthz/prom answer from the monitor (404 without -health),
+		// everything else falls through to /metrics.
+		msrv, maddr, err := obs.ServeHandler(*metrics, health.Handler(mon, obs.Handler(reg)))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("metrics: listening on http://%s/metrics\n", maddr)
+		if mon != nil {
+			fmt.Printf("health: diagnosis on http://%s/healthz\n", maddr)
+		}
 		defer func() {
 			shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()

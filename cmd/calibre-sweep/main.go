@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"calibre/internal/health"
 	"calibre/internal/obs"
 	"calibre/internal/sweep"
 	"calibre/internal/trace"
@@ -70,6 +71,7 @@ func run(args []string) error {
 		ckptEvery = fs.Int("checkpoint-every", 0, "per-cell durable checkpoint stride in rounds; 0 = off")
 		kernels   = fs.Int("kernel-workers", 0, "resize the process-wide tensor kernel pool; 0 = leave as is")
 		quiet     = fs.Bool("quiet", false, "suppress per-cell progress lines")
+		healthStr = fs.String("health", "", `per-cell streaming anomaly detection rules: "default", "all", or a spec like "non-finite,norm-z(3.5,2)" (see internal/health); verdicts land on each manifest row; empty disables`)
 		metrics   = fs.String("metrics-addr", "", "serve live metrics on this host:port (/metrics JSON, /metrics/prom text); port 0 picks a free one")
 		traceOut  = fs.String("trace-out", "", "append flight-recorder events (length-prefixed JSONL) to this file; inspect with calibre-trace")
 		traceRot  = fs.Int64("trace-rotate-bytes", 0, "rotate the -trace-out file when it would exceed this size (keeps 3 generations); 0 disables rotation")
@@ -105,6 +107,13 @@ func run(args []string) error {
 			Dir:             *out,
 			Resume:          sub == "resume",
 		}
+		if *healthStr != "" {
+			hc, err := health.ParseRules(*healthStr)
+			if err != nil {
+				return err
+			}
+			cfg.Health = &hc
+		}
 		total, done := 0, 0
 		if !*quiet {
 			cfg.OnPlan = func(planned, pending int) {
@@ -120,6 +129,14 @@ func run(args []string) error {
 				status := res.Status
 				if res.Status == sweep.StatusOK {
 					status = fmt.Sprintf("ok mean=%.4f var=%.5f", res.Participants.Mean, res.Participants.Variance)
+				}
+				// Health verdicts ride the progress line only when the
+				// cell's monitor actually raised something.
+				if res.HealthAlerts > 0 {
+					status += fmt.Sprintf(" · health: %d alerts (%d critical)", res.HealthAlerts, res.HealthCritical)
+					if len(res.Suspects) > 0 {
+						status += fmt.Sprintf(", suspects %v", res.Suspects)
+					}
 				}
 				fmt.Printf("[%d/%d] %s: %s (%dms)\n", done, total, res.Key, status, res.DurationMS)
 			}

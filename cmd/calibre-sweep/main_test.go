@@ -171,6 +171,9 @@ func TestSweepRejectsBadInput(t *testing.T) {
 	if err := run([]string{"plan", "-grid", grid, "stray"}); err == nil {
 		t.Fatal("stray positional argument accepted")
 	}
+	if err := run([]string{"run", "-grid", grid, "-out", t.TempDir(), "-health", "frobnicate(9)"}); err == nil {
+		t.Fatal("invalid -health spec accepted")
+	}
 }
 
 // TestWatchSmoke runs `calibre-sweep watch` against a live metrics
@@ -184,6 +187,9 @@ func TestWatchSmoke(t *testing.T) {
 	reg.Counter(obs.CounterSweepCellsDone).Add(3)
 	reg.Counter(obs.CounterAdversarialUpdates).Add(5)
 	reg.Counter(obs.CounterRejectedUpdates).Add(2)
+	reg.Counter(obs.CounterHealthAlerts).Add(4)
+	reg.Counter(obs.CounterHealthCritical).Add(1)
+	reg.Gauge(obs.GaugeHealthSuspects).Set(2)
 	reg.ObserveRound(obs.RoundSample{
 		Runtime: "sim", Round: 7, Participants: 4, Responders: 4,
 		MeanLoss: 0.5, UplinkWireBytes: 1 << 11, UplinkDenseBytes: 1 << 13,
@@ -201,10 +207,23 @@ func TestWatchSmoke(t *testing.T) {
 		"cells 3/6 done", "2 in flight", "3 pending", "rounds 1",
 		"2.0KiB wire", "8.0KiB dense", "sim round 7: 4/4 responded, loss 0.5000",
 		"hostile: 5 adversarial, 2 rejected",
+		"health: 4 alerts (1 critical), 2 suspects",
 	} {
 		if !strings.Contains(out, needle) {
 			t.Errorf("watch line missing %q:\n%s", needle, out)
 		}
+	}
+
+	// -json swaps the human line for one machine-readable snapshot per poll.
+	out = climain.CaptureStdout(t, func() error {
+		return run([]string{"watch", "-addr", addr.String(), "-once", "-json"})
+	})
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(out), &snap); err != nil {
+		t.Fatalf("watch -json output is not one JSON snapshot: %v\n%s", err, out)
+	}
+	if snap.Counters[obs.CounterHealthAlerts] != 4 || snap.Gauges[obs.GaugeHealthSuspects] != 2 {
+		t.Fatalf("watch -json snapshot dropped health metrics: %+v", snap)
 	}
 }
 

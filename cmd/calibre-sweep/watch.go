@@ -26,6 +26,7 @@ func watch(args []string) error {
 		interval = fs.Duration("interval", time.Second, "poll interval")
 		timeout  = fs.Duration("timeout", 10*time.Second, "give up if the endpoint never answers within this window")
 		once     = fs.Bool("once", false, "render one snapshot and exit")
+		jsonOut  = fs.Bool("json", false, "emit each snapshot as one line of raw JSON instead of the human progress line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,7 +45,15 @@ func watch(args []string) error {
 		switch {
 		case err == nil:
 			connected = true
-			fmt.Println(renderWatchLine(snap))
+			if *jsonOut {
+				// One compact snapshot per line: pipeline-friendly (jq, log
+				// shippers) and carries every counter the human line elides.
+				if err := json.NewEncoder(os.Stdout).Encode(snap); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(renderWatchLine(snap))
+			}
 			if *once {
 				return nil
 			}
@@ -101,6 +110,12 @@ func renderWatchLine(s obs.Snapshot) string {
 	// aggregator rejection) actually fires, so benign sweeps stay terse.
 	if adv, rej := c[obs.CounterAdversarialUpdates], c[obs.CounterRejectedUpdates]; adv > 0 || rej > 0 {
 		line += fmt.Sprintf(" · hostile: %d adversarial, %d rejected", adv, rej)
+	}
+	// Health-plane signal: same policy — silent until a monitor somewhere
+	// behind this endpoint raises an alert or marks a suspect.
+	if al, su := c[obs.CounterHealthAlerts], g[obs.GaugeHealthSuspects]; al > 0 || su > 0 {
+		line += fmt.Sprintf(" · health: %d alerts (%d critical), %d suspects",
+			al, c[obs.CounterHealthCritical], su)
 	}
 	if last, ok := s.LastRound(); ok {
 		line += fmt.Sprintf(" · %s round %d: %d/%d responded, loss %.4f",

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"calibre/internal/health"
 	"calibre/internal/obs"
 	"calibre/internal/param"
 	"calibre/internal/partition"
@@ -95,6 +96,22 @@ type SimConfig struct {
 	// timestamps, so a non-thread-safe injected clock requires
 	// Parallelism 1 (real-clock runs may parallelize freely).
 	Recorder *trace.Recorder
+	// Health, if non-nil, streams every completed round through the
+	// detector layer (internal/health): loss divergence/plateau,
+	// fairness-gap drift, per-client update-norm outliers, quorum
+	// regression. Like Obs and Recorder it is nil-safe and purely
+	// observational — detectors read the round stream and never feed
+	// back into training, so an instrumented run is bit-identical to a
+	// bare one (pinned by TestHealthDoesNotPerturbRun). On resume the
+	// monitor is warm-started by replaying the checkpoint's per-round
+	// history (federation-level series only; per-client norm windows are
+	// not part of SimState — replay a trace through calibre-doctor for
+	// full-fidelity post-mortems).
+	Health *health.Monitor
+	// OnAlert, if set, receives every alert Health raises, from the
+	// round loop in round order (single-goroutine). Ignored when Health
+	// is nil.
+	OnAlert func(health.Alert)
 
 	// OnCheckpoint, if set, receives a deep-copied SimState after every
 	// CheckpointEvery-th completed round and after the final round. It
@@ -257,6 +274,12 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 	masterRNG := rand.New(rand.NewSource(s.Config.Seed))
 	s.trace = s.Config.Trace.Generator(s.Config.Seed)
 	rec, reg := s.Config.Recorder, s.Config.Obs
+	mon := s.Config.Health
+	healthOn := mon != nil
+	// The norm of each accepted update against the round's global feeds
+	// both the health detectors and (so post-mortem replays can run the
+	// same detectors) the trace's client_update events.
+	normOn := healthOn || rec != nil
 	// measure gates every clock read: a bare run draws no timestamps at
 	// all. Span timestamps come from the recorder's clock when one is
 	// attached (injected clocks make the trace bytes deterministic) and
@@ -325,6 +348,14 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		startRound = st.Round
 		rec.Emit(trace.Event{Kind: trace.KindResume, TS: now(), Runtime: "sim",
 			Round: startRound, Client: -1, N: len(alive)})
+		if healthOn {
+			// Warm-start the detectors from the checkpointed history so a
+			// resumed run re-derives the same federation-level verdicts an
+			// uninterrupted one would (re-announcing past alerts).
+			for _, h := range st.History {
+				s.deliverAlerts(mon.ObserveRound(HealthSample("sim", h)), reg)
+			}
+		}
 	}
 	for round := startRound; round < s.Config.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -354,6 +385,7 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		var tsRound int64
 		var spanEnd, spanDur, encodeNS, wireEach []int64
 		var wireDelta []bool
+		var normEach []float64
 		var slot map[int]int
 		if measure {
 			tsRound = now()
@@ -363,7 +395,10 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			wireEach = make([]int64, len(ids))
 			wireDelta = make([]bool, len(ids))
 		}
-		if measure || s.Config.DeltaUpdates {
+		if normOn {
+			normEach = make([]float64, len(ids))
+		}
+		if measure || normOn || s.Config.DeltaUpdates {
 			slot = make(map[int]int, len(ids))
 			for i, id := range ids {
 				slot[id] = i
@@ -465,6 +500,12 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			if wasDelta && deltaScratch != nil {
 				decodeScratch[ix] = u.Params
 			}
+			if normOn {
+				// The update norm against the pre-aggregation global — the
+				// health plane's adversary signal. A serial left-to-right
+				// reduction, so the value is identical at any worker count.
+				normEach[ix] = param.L2Dist(u.Params, global)
+			}
 			if measure {
 				spanEnd[ix] = now()
 				spanDur[ix] = spanEnd[ix] - t0
@@ -511,9 +552,13 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 				if wireDelta[i] {
 					wire = "delta"
 				}
-				rec.Emit(trace.Event{Kind: trace.KindClientUpdate, TS: spanEnd[i], Runtime: "sim",
+				ev := trace.Event{Kind: trace.KindClientUpdate, TS: spanEnd[i], Runtime: "sim",
 					Round: round, Client: id, Wire: wire, Bytes: wireEach[i],
-					Dur: spanDur[i], Loss: updates[i].TrainLoss})
+					Dur: spanDur[i], Loss: updates[i].TrainLoss}
+				if normOn {
+					ev.Norm = normEach[i]
+				}
+				rec.Emit(ev)
 				histTurn.Observe(spanDur[i])
 				if wireDelta[i] {
 					histEncode.Observe(encodeNS[i])
@@ -524,8 +569,8 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 			rec.Emit(trace.Event{Kind: trace.KindRoundEnd, TS: tsEnd, Runtime: "sim",
 				Round: round, Client: -1, N: len(ids), Dur: tsEnd - tsRound, Loss: stats.MeanLoss})
 		}
-		if reg := s.Config.Obs; reg != nil {
-			reg.ObserveRound(obs.RoundSample{
+		if reg != nil || healthOn {
+			sample := obs.RoundSample{
 				Runtime:            "sim",
 				Round:              round,
 				Participants:       len(sampled),
@@ -537,8 +582,20 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 				UplinkWireBytes:    wireBytes.Load(),
 				UplinkDenseBytes:   denseBytes.Load(),
 				DurationMS:         time.Since(roundStart).Milliseconds(),
-			})
+			}
+			if healthOn {
+				clients := make([]obs.ClientSample, len(ids))
+				for i, id := range ids {
+					clients[i] = obs.ClientSample{ID: id, Loss: updates[i].TrainLoss, Norm: normEach[i]}
+				}
+				sample.Clients = clients
+				sample.StragglerIDs = stats.Stragglers
+			}
+			reg.ObserveRound(sample)
 			reg.AddParticipation(ids)
+			if healthOn {
+				s.deliverAlerts(mon.ObserveRound(sample), reg)
+			}
 		}
 		if s.Config.OnCheckpoint != nil && CheckpointDue(round+1, s.Config.CheckpointEvery, s.Config.Rounds) {
 			st := &SimState{Round: round + 1, Global: global, History: history, EligibleCounts: eligibleCounts}
@@ -553,6 +610,53 @@ func (s *Simulator) Run(ctx context.Context) (param.Vector, []RoundStats, error)
 		}
 	}
 	return global, history, nil
+}
+
+// deliverAlerts fans one round's health alerts out to the OnAlert hook
+// and folds them into the metrics plane's alert counters and suspect
+// gauge (all nil-safe).
+func (s *Simulator) deliverAlerts(alerts []health.Alert, reg *obs.Registry) {
+	crit := 0
+	for _, a := range alerts {
+		if a.Severity == health.SevCrit {
+			crit++
+		}
+		if s.Config.OnAlert != nil {
+			s.Config.OnAlert(a)
+		}
+	}
+	if len(alerts) > 0 {
+		reg.Counter(obs.CounterHealthAlerts).Add(int64(len(alerts)))
+		if crit > 0 {
+			reg.Counter(obs.CounterHealthCritical).Add(int64(crit))
+		}
+	}
+	reg.Gauge(obs.GaugeHealthSuspects).Set(int64(s.Config.Health.SuspectCount()))
+}
+
+// HealthSample converts one checkpointed round's stats into the
+// federation-level observation the detectors consume on resume (both the
+// simulator and the flnet server warm-start through it). The per-client
+// loss/norm detail is not part of SimState, so warm-started detectors
+// carry the loss/fairness/quorum series but not per-client outlier
+// windows — replay a trace through calibre-doctor for those.
+func HealthSample(runtime string, h RoundStats) obs.RoundSample {
+	s := obs.RoundSample{
+		Runtime:            runtime,
+		Round:              h.Round,
+		Participants:       len(h.Participants),
+		Responders:         len(h.Participants),
+		Stragglers:         len(h.Stragglers),
+		LateUpdates:        h.LateUpdates,
+		DeadlineExpired:    h.DeadlineExpired,
+		AdversarialUpdates: h.AdversarialUpdates,
+		RejectedUpdates:    h.RejectedUpdates,
+		MeanLoss:           h.MeanLoss,
+	}
+	if h.Responders != nil {
+		s.Responders = len(h.Responders)
+	}
+	return s
 }
 
 // diffSorted returns the elements of a (ascending) not present in b

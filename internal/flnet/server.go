@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"calibre/internal/fl"
+	"calibre/internal/health"
 	"calibre/internal/obs"
 	"calibre/internal/param"
 	"calibre/internal/trace"
@@ -77,6 +78,17 @@ type ServerConfig struct {
 	// the dense baseline), and per-client participation. Nil-safe and
 	// side-effect-free on training.
 	Obs *obs.Registry
+	// Health, if non-nil, streams every completed round through the
+	// anomaly detectors: per-client losses and update norms (measured
+	// against the round's pre-aggregation global) feed the norm-z and
+	// fairness rules, ingress rejections and stragglers feed the
+	// per-client health scores, and the federation loss series feeds the
+	// trend detectors. Purely observational — verdicts never alter
+	// training — and warm-started from ResumeFrom's history on resume.
+	Health *health.Monitor
+	// OnAlert receives every alert the monitor raises, in round order,
+	// from the round engine goroutine. Ignored when Health is nil.
+	OnAlert func(health.Alert)
 	// Recorder, if non-nil, receives the flight-recorder event stream:
 	// round spans, per-client dispatch/update/drop events carrying client
 	// IDs, wire encoding (dense/delta) and payload bytes, checkpoint and
@@ -299,6 +311,13 @@ func (s *Server) Run(ctx context.Context) (*Result, error) {
 		startRound = st.Round
 		eng.rec.Emit(trace.Event{Kind: trace.KindResume, TS: eng.now(), Runtime: "server",
 			Round: startRound, Client: -1, N: len(s.Joined())})
+		// Warm-start the health monitor from the checkpointed history so
+		// its trend detectors carry the pre-crash loss/quorum series.
+		if mon := s.cfg.Health; mon != nil {
+			for _, h := range st.History {
+				s.deliverAlerts(mon.ObserveRound(fl.HealthSample("server", h)))
+			}
+		}
 	}
 	for round := startRound; round < s.cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
@@ -519,6 +538,29 @@ type roundEngine struct {
 	histRound, histTurn *obs.Histogram
 }
 
+// deliverAlerts fans one round's health alerts out to the OnAlert hook
+// and folds them into the metrics plane's alert counters and suspect
+// gauge (all nil-safe). Called from the round-engine goroutine only.
+func (s *Server) deliverAlerts(alerts []health.Alert) {
+	reg := s.cfg.Obs
+	crit := 0
+	for _, a := range alerts {
+		if a.Severity == health.SevCrit {
+			crit++
+		}
+		if s.cfg.OnAlert != nil {
+			s.cfg.OnAlert(a)
+		}
+	}
+	if len(alerts) > 0 {
+		reg.Counter(obs.CounterHealthAlerts).Add(int64(len(alerts)))
+		if crit > 0 {
+			reg.Counter(obs.CounterHealthCritical).Add(int64(crit))
+		}
+	}
+	reg.Gauge(obs.GaugeHealthSuspects).Set(int64(s.cfg.Health.SuspectCount()))
+}
+
 // eligible returns the sorted roster IDs with no in-flight request.
 func (e *roundEngine) eligible() []int {
 	all := e.s.Joined()
@@ -637,6 +679,18 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		lossSum   float64
 		nIngested = 0
 	)
+	// Per-slot loss/norm capture for the health plane (and the trace's
+	// norm stamp). Norms are measured at ingress against this round's
+	// pre-aggregation global — the update the client actually shipped —
+	// before the aggregate can dilute the attack signal.
+	healthOn := s.cfg.Health != nil
+	normOn := healthOn || e.rec != nil
+	var lossEach, normEach []float64
+	var rejectedIDs []int
+	if normOn {
+		normEach = make([]float64, len(participants))
+		lossEach = make([]float64, len(participants))
+	}
 	ingest := func() error {
 		for cursor < len(participants) {
 			if skipped[cursor] {
@@ -687,6 +741,7 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 		if e.malicious[id] {
 			reason = trace.DropAdversarial
 		}
+		rejectedIDs = append(rejectedIDs, id)
 		e.rec.Emit(trace.Event{Kind: trace.KindClientDrop, TS: e.now(), Runtime: "server",
 			Round: round, Client: id, Reason: reason, Note: cause})
 		if len(participants)-nSkipped < quorum {
@@ -755,11 +810,19 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 				pending[slot] = u
 				arrived[slot] = true
 				nArrived++
+				if normOn {
+					normEach[slot] = param.L2Dist(u.Params, global)
+					lossEach[slot] = u.TrainLoss
+				}
 				tsDone := e.now()
 				e.histTurn.Observe(tsDone - dispatchTS[slot])
-				e.rec.Emit(trace.Event{Kind: trace.KindClientUpdate, TS: tsDone, Runtime: "server",
+				ev2 := trace.Event{Kind: trace.KindClientUpdate, TS: tsDone, Runtime: "server",
 					Round: round, Client: ev.id, Wire: wire, Bytes: wireCost,
-					Dur: tsDone - dispatchTS[slot], Loss: u.TrainLoss})
+					Dur: tsDone - dispatchTS[slot], Loss: u.TrainLoss}
+				if normOn {
+					ev2.Norm = normEach[slot]
+				}
+				e.rec.Emit(ev2)
 				err = ingest()
 			case ev.env.Type == MsgError:
 				err = skipParticipant(ev.id, reqRound, fmt.Sprintf("reported %q", ev.env.Err))
@@ -824,12 +887,12 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 	if ra, ok := s.cfg.Aggregator.(fl.RobustAggregator); ok {
 		stats.RejectedUpdates = ra.Rejected(nIngested)
 	}
-	if reg := s.cfg.Obs; reg != nil {
+	if reg := s.cfg.Obs; reg != nil || healthOn {
 		respIDs := participants
 		if nSkipped > 0 {
 			respIDs = stats.Responders
 		}
-		reg.ObserveRound(obs.RoundSample{
+		sample := obs.RoundSample{
 			Runtime:            "server",
 			Round:              round,
 			Participants:       len(participants),
@@ -843,8 +906,24 @@ func (e *roundEngine) runRound(ctx context.Context, rng *rand.Rand, round int, g
 			UplinkWireBytes:    wireBytes,
 			UplinkDenseBytes:   denseBytes,
 			DurationMS:         time.Since(roundStart).Milliseconds(),
-		})
+		}
+		if healthOn {
+			clients := make([]obs.ClientSample, 0, nArrived)
+			for slot, id := range participants {
+				if arrived[slot] {
+					clients = append(clients, obs.ClientSample{ID: id, Loss: lossEach[slot], Norm: normEach[slot]})
+				}
+			}
+			sort.Ints(rejectedIDs)
+			sample.Clients = clients
+			sample.StragglerIDs = stats.Stragglers
+			sample.RejectedIDs = rejectedIDs
+		}
+		reg.ObserveRound(sample)
 		reg.AddParticipation(respIDs)
+		if healthOn {
+			s.deliverAlerts(s.cfg.Health.ObserveRound(sample))
+		}
 	}
 	tsEnd := e.now()
 	e.histRound.Observe(tsEnd - tsRound)

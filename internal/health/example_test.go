@@ -1,0 +1,46 @@
+package health_test
+
+import (
+	"fmt"
+
+	"calibre/internal/health"
+	"calibre/internal/obs"
+)
+
+// ExampleMonitor feeds a monitor three rounds of a six-client federation
+// in which client 4 ships update norms an order of magnitude off the
+// cohort's median. The robust norm-z detector flags it as a suspected
+// adversary on its second outlier round — no robust aggregator needed.
+func ExampleMonitor() {
+	mon := health.NewMonitor(&health.Config{NormZ: true, SuspectAfter: 2})
+	for round := 0; round < 3; round++ {
+		s := obs.RoundSample{Runtime: "sim", Round: round, Participants: 6, Responders: 6, MeanLoss: 0.9}
+		for id := 0; id < 6; id++ {
+			norm := 1 + 0.01*float64(id)
+			if id == 4 {
+				norm = 12
+			}
+			s.Clients = append(s.Clients, obs.ClientSample{ID: id, Loss: 0.9, Norm: norm})
+		}
+		for _, a := range mon.ObserveRound(s) {
+			fmt.Printf("%s round %d client %d: %s\n", a.Severity, a.Round, a.Client, a.Rule)
+		}
+	}
+	fmt.Println("suspects:", mon.Diagnosis().Suspects)
+	// Output:
+	// crit round 1 client 4: norm-z
+	// suspects: [4]
+}
+
+// ExampleParseRules parses a rule spec with partially-omitted arguments
+// and prints its canonical form — the fixed point ParseRules and
+// Config.Rules round-trip through.
+func ExampleParseRules() {
+	cfg, err := health.ParseRules("non-finite, norm-z(3), quorum(0.4,6)")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cfg.Rules())
+	// Output:
+	// non-finite,norm-z(3,2),quorum(0.4,6)
+}

@@ -1,0 +1,318 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"calibre/internal/obs"
+)
+
+// cohort builds a round sample with n responders whose losses/norms come
+// from the supplied functions.
+func cohort(round, n int, loss, norm func(id int) float64) obs.RoundSample {
+	s := obs.RoundSample{Runtime: "test", Round: round, Participants: n, Responders: n}
+	var sum float64
+	for id := 0; id < n; id++ {
+		l := loss(id)
+		s.Clients = append(s.Clients, obs.ClientSample{ID: id, Loss: l, Norm: norm(id)})
+		sum += l
+	}
+	s.MeanLoss = sum / float64(n)
+	return s
+}
+
+func TestNilMonitorSafe(t *testing.T) {
+	var m *Monitor
+	if got := m.ObserveRound(obs.RoundSample{}); got != nil {
+		t.Fatalf("nil monitor returned alerts: %v", got)
+	}
+	if m.SuspectCount() != 0 {
+		t.Fatal("nil monitor suspect count")
+	}
+	d := m.Diagnosis()
+	if d.Rounds != 0 || len(d.Alerts) != 0 {
+		t.Fatalf("nil monitor diagnosis: %+v", d)
+	}
+}
+
+func TestNonFiniteAlertEdge(t *testing.T) {
+	m := NewMonitor(&Config{NonFinite: true})
+	a := m.ObserveRound(obs.RoundSample{Round: 0, MeanLoss: math.NaN()})
+	if len(a) != 1 || a[0].Rule != "non-finite" || a[0].Severity != SevCrit {
+		t.Fatalf("want one crit non-finite alert, got %v", a)
+	}
+	// Still broken: edge-triggered, no second alert.
+	if a := m.ObserveRound(obs.RoundSample{Round: 1, MeanLoss: math.Inf(1)}); len(a) != 0 {
+		t.Fatalf("re-raised while active: %v", a)
+	}
+	// Clears, then breaks again: re-armed.
+	if a := m.ObserveRound(obs.RoundSample{Round: 2, MeanLoss: 1}); len(a) != 0 {
+		t.Fatalf("alert on healthy round: %v", a)
+	}
+	if a := m.ObserveRound(obs.RoundSample{Round: 3, MeanLoss: math.NaN()}); len(a) != 1 {
+		t.Fatalf("did not re-arm: %v", a)
+	}
+	if d := m.Diagnosis(); d.Critical != 2 {
+		t.Fatalf("critical = %d, want 2", d.Critical)
+	}
+}
+
+func TestNonFiniteClientNorm(t *testing.T) {
+	m := NewMonitor(&Config{NonFinite: true})
+	s := cohort(0, 4, func(int) float64 { return 1 }, func(id int) float64 {
+		if id == 2 {
+			return math.Inf(1)
+		}
+		return 1
+	})
+	if a := m.ObserveRound(s); len(a) != 1 || a[0].Rule != "non-finite" {
+		t.Fatalf("want non-finite from client norm, got %v", a)
+	}
+}
+
+func TestDivergenceAlert(t *testing.T) {
+	m := NewMonitor(&Config{Divergence: true, DivergenceFactor: 0.5, DivergenceWarmup: 2})
+	losses := []float64{1, 0.9, 0.85, 2, 4, 8, 8, 8}
+	var fired []int
+	for r, l := range losses {
+		for _, a := range m.ObserveRound(obs.RoundSample{Round: r, MeanLoss: l}) {
+			if a.Rule != "loss-divergence" || a.Severity != SevWarn {
+				t.Fatalf("unexpected alert %v", a)
+			}
+			fired = append(fired, r)
+		}
+	}
+	if len(fired) != 1 {
+		t.Fatalf("divergence fired at rounds %v, want exactly once", fired)
+	}
+	if fired[0] < 3 || fired[0] > 6 {
+		t.Fatalf("divergence fired at round %d, want during the blow-up", fired[0])
+	}
+}
+
+func TestHealthyDecayNoDivergence(t *testing.T) {
+	m := NewMonitor(&Config{Divergence: true})
+	loss := 4.0
+	for r := 0; r < 50; r++ {
+		if a := m.ObserveRound(obs.RoundSample{Round: r, MeanLoss: loss}); len(a) != 0 {
+			t.Fatalf("round %d: alerts on a cleanly converging run: %v", r, a)
+		}
+		loss *= 0.9
+	}
+}
+
+func TestPlateauAlert(t *testing.T) {
+	m := NewMonitor(&Config{Plateau: true, PlateauWindow: 4, PlateauEps: 0.01})
+	var got []Alert
+	for r := 0; r < 8; r++ {
+		got = append(got, m.ObserveRound(obs.RoundSample{Round: r, MeanLoss: 2.0})...)
+	}
+	if len(got) != 1 || got[0].Rule != "plateau" || got[0].Severity != SevInfo {
+		t.Fatalf("want one info plateau alert, got %v", got)
+	}
+	if got[0].Round != 3 {
+		t.Fatalf("plateau fired at round %d, want 3 (first full window)", got[0].Round)
+	}
+}
+
+func TestFairnessDriftAlert(t *testing.T) {
+	m := NewMonitor(&Config{Fairness: true, FairnessFactor: 0.5, FairnessWarmup: 2})
+	fired := false
+	for r := 0; r < 12; r++ {
+		gap := float64(r) // client 9's loss pulls away round by round
+		s := cohort(r, 10, func(id int) float64 {
+			if id == 9 {
+				return 1 + gap
+			}
+			return 1
+		}, func(int) float64 { return 1 })
+		for _, a := range m.ObserveRound(s) {
+			if a.Rule != "fairness-drift" {
+				t.Fatalf("unexpected alert %v", a)
+			}
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("fairness-drift never fired on a widening tail gap")
+	}
+	// Uniform losses: never fires.
+	m2 := NewMonitor(&Config{Fairness: true})
+	for r := 0; r < 12; r++ {
+		s := cohort(r, 10, func(int) float64 { return 1 }, func(int) float64 { return 1 })
+		if a := m2.ObserveRound(s); len(a) != 0 {
+			t.Fatalf("fairness alert on uniform losses: %v", a)
+		}
+	}
+}
+
+// attackers returns norm 9 for the compromised ids, 1±ε for honest ones.
+func attackNorm(compromised map[int]bool) func(id int) float64 {
+	return func(id int) float64 {
+		if compromised[id] {
+			return 9
+		}
+		return 1 + 0.01*float64(id)
+	}
+}
+
+func TestNormZSuspects(t *testing.T) {
+	bad := map[int]bool{2: true, 5: true, 9: true} // 30% of 10
+	m := NewMonitor(&Config{NormZ: true, NormZThreshold: 3.5, SuspectAfter: 2})
+	var crit []Alert
+	for r := 0; r < 4; r++ {
+		s := cohort(r, 10, func(int) float64 { return 1 }, attackNorm(bad))
+		for _, a := range m.ObserveRound(s) {
+			if a.Severity == SevCrit {
+				crit = append(crit, a)
+			}
+		}
+	}
+	d := m.Diagnosis()
+	if want := []int{2, 5, 9}; !reflect.DeepEqual(d.Suspects, want) {
+		t.Fatalf("suspects = %v, want %v", d.Suspects, want)
+	}
+	if len(crit) != 3 {
+		t.Fatalf("crit alerts = %d, want one per compromised client", len(crit))
+	}
+	if m.SuspectCount() != 3 {
+		t.Fatalf("SuspectCount = %d", m.SuspectCount())
+	}
+	// Ranked table: the three suspects must occupy the three worst rows.
+	for i := 0; i < 3; i++ {
+		if !d.Clients[i].Suspect {
+			t.Fatalf("rank %d is %+v, want a suspect", i, d.Clients[i])
+		}
+	}
+	// Honest cohort: zero alerts, zero suspects.
+	m2 := NewMonitor(&Config{NormZ: true})
+	for r := 0; r < 4; r++ {
+		s := cohort(r, 10, func(int) float64 { return 1 }, attackNorm(nil))
+		if a := m2.ObserveRound(s); len(a) != 0 {
+			t.Fatalf("alerts on honest cohort: %v", a)
+		}
+	}
+	if got := m2.Diagnosis().Suspects; len(got) != 0 {
+		t.Fatalf("honest suspects: %v", got)
+	}
+}
+
+func TestQuorumAlerts(t *testing.T) {
+	m := NewMonitor(&Config{Quorum: true, QuorumStragglerRate: 0.3, QuorumWarmup: 2})
+	var rules []string
+	for r := 0; r < 6; r++ {
+		s := obs.RoundSample{Round: r, Participants: 10, Responders: 4, Stragglers: 6, MeanLoss: 1, DeadlineExpired: true}
+		for _, a := range m.ObserveRound(s) {
+			rules = append(rules, a.Rule)
+		}
+	}
+	if len(rules) != 2 {
+		t.Fatalf("want straggler-rate and deadline-streak alerts, got %v", rules)
+	}
+	for _, r := range rules {
+		if r != "quorum" {
+			t.Fatalf("unexpected rule %q", r)
+		}
+	}
+}
+
+func TestClientTableBoundKeepsSuspects(t *testing.T) {
+	cfg := Config{NormZ: true, SuspectAfter: 1, MaxClients: 6}
+	m := NewMonitor(&cfg)
+	// Round 0: client 0 is an extreme outlier among 0..9 → suspect.
+	s := cohort(0, 10, func(int) float64 { return 1 }, func(id int) float64 {
+		if id == 0 {
+			return 50
+		}
+		return 1 + 0.01*float64(id)
+	})
+	m.ObserveRound(s)
+	// Rounds of fresh clients churn the LRU far past the bound.
+	for r := 1; r < 5; r++ {
+		s := obs.RoundSample{Round: r, MeanLoss: 1, Participants: 10, Responders: 10}
+		for i := 0; i < 10; i++ {
+			id := 100*r + i
+			s.Clients = append(s.Clients, obs.ClientSample{ID: id, Loss: 1, Norm: 1})
+		}
+		m.ObserveRound(s)
+	}
+	d := m.Diagnosis()
+	if len(d.Clients) > 6 {
+		t.Fatalf("client table grew to %d rows, bound is 6", len(d.Clients))
+	}
+	if !reflect.DeepEqual(d.Suspects, []int{0}) {
+		t.Fatalf("suspect evicted by churn: suspects = %v", d.Suspects)
+	}
+}
+
+func TestAlertRingBound(t *testing.T) {
+	m := NewMonitor(&Config{NonFinite: true, MaxAlerts: 3})
+	for r := 0; r < 10; r++ {
+		// Alternate broken/healthy so the edge re-arms every other round.
+		loss := math.NaN()
+		if r%2 == 1 {
+			loss = 1
+		}
+		m.ObserveRound(obs.RoundSample{Round: r, MeanLoss: loss})
+	}
+	d := m.Diagnosis()
+	if len(d.Alerts) != 3 || d.Dropped != 2 || d.Critical != 5 {
+		t.Fatalf("alerts=%d dropped=%d critical=%d, want 3/2/5", len(d.Alerts), d.Dropped, d.Critical)
+	}
+	if d.Alerts[0].Round != 4 {
+		t.Fatalf("oldest retained alert from round %d, want 4", d.Alerts[0].Round)
+	}
+}
+
+func TestDiagnosisDeterministic(t *testing.T) {
+	bad := map[int]bool{3: true, 7: true}
+	run := func() Diagnosis {
+		m := NewMonitor(nil)
+		for r := 0; r < 10; r++ {
+			s := cohort(r, 10, func(id int) float64 { return 1 + 0.1*float64(id%3) }, attackNorm(bad))
+			s.Stragglers = r % 2
+			m.ObserveRound(s)
+		}
+		return m.Diagnosis()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("diagnoses differ:\n%+v\n%+v", a, b)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("JSON encodings differ")
+	}
+	var ta, tb bytes.Buffer
+	if err := a.WriteText(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteText(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ta.Bytes(), tb.Bytes()) {
+		t.Fatal("text renderings differ")
+	}
+}
+
+func TestAlertJSONRoundTrip(t *testing.T) {
+	in := Alert{Rule: "norm-z", Severity: SevCrit, Round: 3, Client: 7, Value: 8.5, Threshold: 3.5, Message: "m"}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Alert
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if !bytes.Contains(b, []byte(`"severity":"crit"`)) {
+		t.Fatalf("severity not string-encoded: %s", b)
+	}
+}

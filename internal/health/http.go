@@ -1,0 +1,69 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler wraps next (typically obs.Handler's /metrics mux) with the
+// health plane's two read-only views:
+//
+//	/healthz       JSON Diagnosis
+//	/healthz/prom  Prometheus text exposition of the verdict
+//
+// Each request takes its own Diagnosis snapshot, so scrapes never block
+// the training hot path. A nil next 404s everything but the two health
+// paths; a nil monitor 404s the health paths themselves, so callers can
+// wrap unconditionally and let the -health flag decide.
+func Handler(m *Monitor, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if m == nil && (req.URL.Path == "/healthz" || req.URL.Path == "/healthz/prom") {
+			http.NotFound(w, req)
+			return
+		}
+		switch req.URL.Path {
+		case "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(m.Diagnosis())
+		case "/healthz/prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = m.Diagnosis().WriteProm(w)
+		default:
+			if next != nil {
+				next.ServeHTTP(w, req)
+				return
+			}
+			http.NotFound(w, req)
+		}
+	})
+}
+
+// WriteProm renders the diagnosis in Prometheus text exposition format:
+// the alert/suspect aggregates plus one calibre_health_client_score
+// sample per tracked client, in the table's ranked order.
+func (d Diagnosis) WriteProm(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		"# TYPE calibre_health_rounds counter\ncalibre_health_rounds %d\n"+
+			"# TYPE calibre_health_alerts_total counter\ncalibre_health_alerts_total %d\n"+
+			"# TYPE calibre_health_critical_alerts_total counter\ncalibre_health_critical_alerts_total %d\n"+
+			"# TYPE calibre_health_suspect_clients gauge\ncalibre_health_suspect_clients %d\n",
+		d.Rounds, len(d.Alerts)+d.Dropped, d.Critical, len(d.Suspects)); err != nil {
+		return err
+	}
+	if len(d.Clients) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE calibre_health_client_score gauge\n"); err != nil {
+		return err
+	}
+	for _, c := range d.Clients {
+		if _, err := fmt.Fprintf(w, "calibre_health_client_score{client=%q} %g\n", fmt.Sprint(c.ID), c.Score); err != nil {
+			return err
+		}
+	}
+	return nil
+}

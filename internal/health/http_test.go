@@ -1,0 +1,55 @@
+package health
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"calibre/internal/obs"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	m := NewMonitor(&Config{NormZ: true, SuspectAfter: 1})
+	s := cohort(0, 10, func(int) float64 { return 1 }, attackNorm(map[int]bool{7: true}))
+	m.ObserveRound(s)
+
+	srv := httptest.NewServer(Handler(m, obs.Handler(obs.NewRegistry())))
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	var d Diagnosis
+	if err := json.Unmarshal([]byte(get("/healthz")), &d); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if d.Rounds != 1 || len(d.Suspects) != 1 || d.Suspects[0] != 7 {
+		t.Fatalf("/healthz diagnosis: %+v", d)
+	}
+	prom := get("/healthz/prom")
+	for _, want := range []string{
+		"calibre_health_rounds 1",
+		"calibre_health_suspect_clients 1",
+		`calibre_health_client_score{client="7"}`,
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/healthz/prom missing %q:\n%s", want, prom)
+		}
+	}
+	// The wrapped next handler still serves the metrics plane.
+	if body := get("/metrics"); !strings.Contains(body, `"counters"`) {
+		t.Fatalf("/metrics not forwarded: %s", body)
+	}
+}

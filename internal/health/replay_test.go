@@ -1,0 +1,98 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+
+	"calibre/internal/obs"
+	"calibre/internal/trace"
+)
+
+// TestReplaySamplesServerTrace reconstructs a server-style round — update
+// events in network-arrival order, an ingress rejection, a deadline
+// straggler — and checks the sample matches what the live server fed its
+// monitor: clients in dispatch order, the rejection in both StragglerIDs
+// and RejectedIDs (sorted), DeadlineExpired inferred from the
+// straggler-reason drop.
+func TestReplaySamplesServerTrace(t *testing.T) {
+	ev := func(kind trace.Kind, round, client int, mut ...func(*trace.Event)) trace.Event {
+		e := trace.Event{Kind: kind, Runtime: "server", Round: round, Client: client}
+		for _, m := range mut {
+			m(&e)
+		}
+		return e
+	}
+	events := []trace.Event{
+		ev(trace.KindRoundStart, 0, -1, func(e *trace.Event) { e.N = 5 }),
+		ev(trace.KindClientDispatch, 0, 3),
+		ev(trace.KindClientDispatch, 0, 1),
+		ev(trace.KindClientDispatch, 0, 4),
+		ev(trace.KindClientDispatch, 0, 0),
+		ev(trace.KindClientDispatch, 0, 2),
+		// Arrival order scrambles dispatch order.
+		ev(trace.KindClientUpdate, 0, 4, func(e *trace.Event) { e.Loss = 0.4; e.Norm = 4 }),
+		ev(trace.KindClientDrop, 0, 2, func(e *trace.Event) { e.Reason = trace.DropAdversarial }),
+		ev(trace.KindClientUpdate, 0, 1, func(e *trace.Event) { e.Loss = 0.1; e.Norm = 1 }),
+		ev(trace.KindClientUpdate, 0, 3, func(e *trace.Event) { e.Loss = 0.3; e.Norm = 3 }),
+		// Deadline expiry: client 0 never answered.
+		ev(trace.KindClientDrop, 0, 0, func(e *trace.Event) { e.Reason = trace.DropStraggler }),
+		ev(trace.KindRoundEnd, 0, -1, func(e *trace.Event) { e.N = 3; e.Loss = 0.25 }),
+		// A second, torn round: dropped, like the live monitor never saw it.
+		ev(trace.KindRoundStart, 1, -1, func(e *trace.Event) { e.N = 2 }),
+		ev(trace.KindClientDispatch, 1, 0),
+	}
+	got := ReplaySamples(events)
+	want := []obs.RoundSample{{
+		Runtime:      "server",
+		Round:        0,
+		Participants: 5,
+		Responders:   3,
+		Stragglers:   2,
+		// Dispatch order was 3, 1, 4, 0, 2 — the live sample lists the
+		// three responders in that order, not arrival order.
+		Clients: []obs.ClientSample{
+			{ID: 3, Loss: 0.3, Norm: 3},
+			{ID: 1, Loss: 0.1, Norm: 1},
+			{ID: 4, Loss: 0.4, Norm: 4},
+		},
+		StragglerIDs:    []int{2, 0},
+		RejectedIDs:     []int{2},
+		DeadlineExpired: true,
+		MeanLoss:        0.25,
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReplaySamples = %+v\nwant %+v", got, want)
+	}
+}
+
+// TestReplaySamplesSimTrace covers the simulator's shape: drops before
+// any dispatch, no rejections, no deadline — and a trace-reason drop
+// never inferring deadline expiry.
+func TestReplaySamplesSimTrace(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRoundStart, Runtime: "sim", Round: 0, Client: -1, N: 3},
+		{Kind: trace.KindClientDispatch, Runtime: "sim", Round: 0, Client: 0},
+		{Kind: trace.KindClientDispatch, Runtime: "sim", Round: 0, Client: 2},
+		{Kind: trace.KindClientDrop, Runtime: "sim", Round: 0, Client: 1, Reason: trace.DropTrace},
+		{Kind: trace.KindClientUpdate, Runtime: "sim", Round: 0, Client: 0, Loss: 0.5, Norm: 1},
+		{Kind: trace.KindClientUpdate, Runtime: "sim", Round: 0, Client: 2, Loss: 0.7, Norm: 2},
+		{Kind: trace.KindRoundEnd, Runtime: "sim", Round: 0, Client: -1, N: 2, Loss: 0.6},
+	}
+	got := ReplaySamples(events)
+	want := []obs.RoundSample{{
+		Runtime:      "sim",
+		Round:        0,
+		Participants: 3,
+		Responders:   2,
+		Stragglers:   1,
+		Clients: []obs.ClientSample{
+			{ID: 0, Loss: 0.5, Norm: 1},
+			{ID: 2, Loss: 0.7, Norm: 2},
+		},
+		StragglerIDs: []int{1},
+		MeanLoss:     0.6,
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReplaySamples = %+v\nwant %+v", got, want)
+	}
+}

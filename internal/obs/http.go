@@ -35,11 +35,20 @@ func Handler(reg *Registry) http.Handler {
 // listener address, which callers print so scrapers and `calibre-sweep
 // watch` know where to point.
 func Serve(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	return ServeHandler(addr, Handler(reg))
+}
+
+// ServeHandler binds addr (host:port; port 0 picks a free one) and serves
+// an arbitrary handler in a background goroutine — the same lifecycle as
+// Serve, for callers that wrap Handler(reg) with extra endpoints (the
+// health plane's /healthz mounts this way without obs importing the
+// detector layer).
+func ServeHandler(addr string, h http.Handler) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"container/list"
 	"sort"
 	"strconv"
 	"sync"
@@ -44,6 +45,13 @@ const (
 	CounterSweepCellsDone     = "sweep_cells_done_total"
 	CounterSweepCellsFailed   = "sweep_cells_failed_total"
 	CounterSweepCellsRestored = "sweep_cells_restored_total"
+
+	// CounterHealthAlerts / CounterHealthCritical count health-plane alerts
+	// raised by an attached health.Monitor, total and critical-severity
+	// only. The runtimes (not the obs package) bump these, which keeps obs
+	// free of a dependency on the detector layer.
+	CounterHealthAlerts   = "health_alerts_total"
+	CounterHealthCritical = "health_critical_alerts_total"
 )
 
 // Canonical gauge names.
@@ -56,6 +64,9 @@ const (
 	GaugeSweepCellsPlanned  = "sweep_cells_planned"
 	GaugeSweepCellsPending  = "sweep_cells_pending"
 	GaugeSweepCellsInFlight = "sweep_cells_in_flight"
+	// GaugeHealthSuspects is the number of clients the attached
+	// health.Monitor currently considers suspected adversaries.
+	GaugeHealthSuspects = "health_suspect_clients"
 )
 
 // Canonical histogram names. All three record nanoseconds into the fixed
@@ -74,6 +85,13 @@ const (
 // million-round run keeps live memory constant while the scraper still
 // sees recent history. NewRegistryWithRing overrides it.
 const roundWindow = 256
+
+// clientWindow is the default bound on the per-client participation
+// table: an LRU over client IDs, so a million-client federation keeps
+// the hottest ~4096 participants visible at constant memory instead of
+// growing one map entry per client ever seen. NewRegistryWithClients
+// overrides it.
+const clientWindow = 4096
 
 // histBounds are the shared fixed latency bucket upper bounds in
 // nanoseconds: 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s, 100s, then +Inf.
@@ -176,6 +194,18 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// ClientSample is one responder's contribution to a round as the health
+// plane needs to see it: the client's local training loss and the L2 norm
+// of its update against the round's pre-aggregation global model. The
+// runtimes only populate these (on RoundSample.Clients) when a
+// health.Monitor is attached — bare metrics scrapes stay as cheap as
+// before.
+type ClientSample struct {
+	ID   int     `json:"id"`
+	Loss float64 `json:"loss"`
+	Norm float64 `json:"norm"`
+}
+
 // RoundSample is one completed round as the metrics plane sees it — the
 // fl.RoundStats straggler accounting plus the wire-byte and wall-clock
 // facts the runtimes know at round close.
@@ -201,6 +231,14 @@ type RoundSample struct {
 	RejectedUpdates    int `json:"rejected_updates,omitempty"`
 	// MeanLoss is the round's mean local training loss.
 	MeanLoss float64 `json:"mean_loss"`
+	// Clients lists per-responder loss/update-norm detail in canonical
+	// (dispatch) order; StragglerIDs and RejectedIDs name the round's
+	// stragglers and robust-aggregator rejections. All three are only
+	// populated when a health.Monitor is attached to the producing
+	// runtime.
+	Clients      []ClientSample `json:"clients,omitempty"`
+	StragglerIDs []int          `json:"straggler_ids,omitempty"`
+	RejectedIDs  []int          `json:"rejected_ids,omitempty"`
 	// UplinkWireBytes is the actual uplink payload cost of the round;
 	// UplinkDenseBytes what the same updates would cost shipped dense.
 	UplinkWireBytes  int64 `json:"uplink_wire_bytes"`
@@ -216,19 +254,32 @@ type RoundSample struct {
 // use and safe on a nil receiver (recording becomes a no-op), so runtime
 // code instruments unconditionally.
 type Registry struct {
-	mu            sync.Mutex
-	counters      map[string]*Counter
-	gauges        map[string]*Gauge
-	histograms    map[string]*Histogram
-	rounds        []RoundSample
-	ringCap       int
-	participation map[int]int64
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	rounds     []RoundSample
+	ringCap    int
+	// participation is a bounded LRU over client IDs: the map indexes
+	// list elements whose values are *partEntry, with the
+	// most-recently-seen client at the list front. Touch order is the
+	// canonical order ids arrive in AddParticipation calls, so eviction
+	// is deterministic for deterministic runs.
+	participation map[int]*list.Element
+	partOrder     *list.List
+	clientsCap    int
+}
+
+// partEntry is one client's row in the participation LRU.
+type partEntry struct {
+	id    int
+	count int64
 }
 
 // NewRegistry returns an empty registry with the default 256-sample
-// round ring.
+// round ring and 4096-client participation table.
 func NewRegistry() *Registry {
-	return NewRegistryWithRing(roundWindow)
+	return newRegistry(roundWindow, clientWindow)
 }
 
 // NewRegistryWithRing returns an empty registry whose round-sample ring
@@ -239,12 +290,31 @@ func NewRegistryWithRing(n int) *Registry {
 	if n < 1 {
 		n = roundWindow
 	}
+	return newRegistry(n, clientWindow)
+}
+
+// NewRegistryWithClients returns an empty registry whose per-client
+// participation table keeps the n most-recently-seen clients (n < 1
+// falls back to the 4096 default). When a federation exceeds the bound,
+// the least-recently-participating client's row is evicted — aggregate
+// counters are unaffected, only the per-client breakdown forgets cold
+// clients.
+func NewRegistryWithClients(n int) *Registry {
+	if n < 1 {
+		n = clientWindow
+	}
+	return newRegistry(roundWindow, n)
+}
+
+func newRegistry(ring, clients int) *Registry {
 	return &Registry{
 		counters:      make(map[string]*Counter),
 		gauges:        make(map[string]*Gauge),
 		histograms:    make(map[string]*Histogram),
-		ringCap:       n,
-		participation: make(map[int]int64),
+		ringCap:       ring,
+		participation: make(map[int]*list.Element),
+		partOrder:     list.New(),
+		clientsCap:    clients,
 	}
 }
 
@@ -330,7 +400,9 @@ func (r *Registry) ObserveRound(s RoundSample) {
 }
 
 // AddParticipation bumps the per-client participation count for every id
-// (one round each).
+// (one round each) and marks each id most-recently-seen in the bounded
+// LRU; when the table exceeds its client cap the least-recently-seen
+// rows are evicted.
 func (r *Registry) AddParticipation(ids []int) {
 	if r == nil {
 		return
@@ -338,7 +410,21 @@ func (r *Registry) AddParticipation(ids []int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, id := range ids {
-		r.participation[id]++
+		if el, ok := r.participation[id]; ok {
+			el.Value.(*partEntry).count++
+			r.partOrder.MoveToFront(el)
+			continue
+		}
+		r.participation[id] = r.partOrder.PushFront(&partEntry{id: id, count: 1})
+	}
+	cap := r.clientsCap
+	if cap < 1 {
+		cap = clientWindow
+	}
+	for len(r.participation) > cap {
+		back := r.partOrder.Back()
+		delete(r.participation, back.Value.(*partEntry).id)
+		r.partOrder.Remove(back)
 	}
 }
 
@@ -406,8 +492,8 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if len(r.participation) > 0 {
 		snap.Participation = make(map[string]int64, len(r.participation))
-		for id, n := range r.participation {
-			snap.Participation[strconv.Itoa(id)] = n
+		for id, el := range r.participation {
+			snap.Participation[strconv.Itoa(id)] = el.Value.(*partEntry).count
 		}
 	}
 	return snap

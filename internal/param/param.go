@@ -29,6 +29,8 @@
 // bit-identity guarantees.
 package param
 
+import "math"
+
 // Vector is a model parameter vector in nn.Flatten layout. It is a named
 // slice type, so existing []float64 values convert freely; the name is the
 // update plane's contract marker: anything typed Vector may be carried as
@@ -41,4 +43,23 @@ func (v Vector) Clone() Vector {
 		return nil
 	}
 	return append(Vector(nil), v...)
+}
+
+// L2Dist returns the Euclidean distance ‖a−b‖₂ over the common prefix of
+// a and b (callers are expected to pass equal-length vectors; the prefix
+// rule keeps the helper total). The accumulation is a single serial
+// left-to-right loop, so the result is bit-deterministic regardless of
+// kernel pool size — which is what lets the health plane's update-norm
+// detectors promise identical verdicts at any worker count.
+func L2Dist(a, b Vector) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
 }

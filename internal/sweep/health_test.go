@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"calibre/internal/experiments"
+	"calibre/internal/fl"
+	"calibre/internal/health"
+)
+
+// healthGrid is a 30% sign-flip attack beside its honest twin at CI
+// scale (20 clients, 5 per round — large enough round cohorts for the
+// norm-z detector to engage, unlike the 3-per-round smoke preset).
+func healthGrid() *Grid {
+	return &Grid{
+		Name:           "health-acceptance",
+		Methods:        []string{"fedavg-ft"},
+		Settings:       []string{"cifar10-q(2,500)"},
+		Scales:         []experiments.Scale{experiments.ScaleCI},
+		Seeds:          []int64{1},
+		Aggregators:    []string{"mean"},
+		Adversaries:    []string{"sign-flip(3)"},
+		AdversaryFracs: []float64{0, 0.3},
+	}
+}
+
+// stripHealth zeroes the health verdict fields, leaving the training
+// outcome a monitored sweep must not perturb.
+func stripHealth(cells []CellResult) []CellResult {
+	out := stripVolatile(cells)
+	for i := range out {
+		out[i].HealthAlerts = 0
+		out[i].HealthCritical = 0
+		out[i].Suspects = nil
+	}
+	return out
+}
+
+// TestSweepHealthVerdicts wires the health plane through the sweep
+// scheduler: every cell gets its own monitor, verdicts land on the cell's
+// manifest row, the hostile cell's suspect set is exactly the seeded
+// compromised population, verdicts are bit-identical across worker
+// counts, and monitoring perturbs no training outcome.
+func TestSweepHealthVerdicts(t *testing.T) {
+	g := healthGrid()
+	hc := health.DefaultConfig()
+
+	serial, err := Run(context.Background(), g, Config{Workers: 1, Health: &hc})
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	parallel, err := Run(context.Background(), g, Config{Workers: 2, Health: &hc})
+	if err != nil {
+		t.Fatalf("workers=2: %v", err)
+	}
+	if !reflect.DeepEqual(stripVolatile(serial.Cells), stripVolatile(parallel.Cells)) {
+		t.Errorf("health verdicts drifted across worker counts:\n%+v\nvs\n%+v",
+			stripVolatile(serial.Cells), stripVolatile(parallel.Cells))
+	}
+
+	bare, err := Run(context.Background(), g, Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("bare: %v", err)
+	}
+	if !reflect.DeepEqual(stripHealth(bare.Cells), stripHealth(parallel.Cells)) {
+		t.Error("training outcomes drifted under health monitoring")
+	}
+
+	var hostile, honest *CellResult
+	for i := range serial.Cells {
+		c := &serial.Cells[i]
+		if c.Status != StatusOK {
+			t.Fatalf("cell failed: %+v", c)
+		}
+		if c.Cell.AdvFrac > 0 {
+			hostile = c
+		} else {
+			honest = c
+		}
+	}
+	if hostile == nil || honest == nil {
+		t.Fatalf("grid did not produce a hostile/honest pair: %+v", serial.Cells)
+	}
+
+	// The hostile cell's suspects are exactly the seeded compromised set
+	// — derived here the same way the simulator derives it.
+	adv, err := fl.ParseAdversary(hostile.Cell.Adversary)
+	if err != nil {
+		t.Fatalf("ParseAdversary: %v", err)
+	}
+	adv.Frac = hostile.Cell.AdvFrac
+	setting, ok := experiments.Settings()[hostile.Cell.Setting]
+	if !ok {
+		t.Fatalf("unknown setting %q", hostile.Cell.Setting)
+	}
+	env, err := experiments.BuildEnvironment(setting, hostile.Cell.Scale, hostile.Cell.EnvSeed())
+	if err != nil {
+		t.Fatalf("BuildEnvironment: %v", err)
+	}
+	want := adv.Malicious(env.Seed, len(env.Participants))
+	if !reflect.DeepEqual(hostile.Suspects, want) {
+		t.Errorf("hostile cell suspects = %v, want the compromised set %v", hostile.Suspects, want)
+	}
+	if hostile.HealthCritical < len(want) {
+		t.Errorf("hostile cell critical alerts = %d, want ≥%d", hostile.HealthCritical, len(want))
+	}
+	// The honest twin may surface a few norm outliers on real
+	// heterogeneous training (that is what "suspected" means), but never
+	// more than the attacked cell.
+	if len(honest.Suspects) >= len(hostile.Suspects) {
+		t.Errorf("honest twin flagged %v — as many suspects as the attacked cell %v",
+			honest.Suspects, hostile.Suspects)
+	}
+}

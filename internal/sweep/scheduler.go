@@ -15,6 +15,7 @@ import (
 	"calibre/internal/eval"
 	"calibre/internal/experiments"
 	"calibre/internal/fl"
+	"calibre/internal/health"
 	"calibre/internal/obs"
 	"calibre/internal/store"
 	"calibre/internal/tensor"
@@ -92,6 +93,13 @@ type Config struct {
 	// spans nest round spans unambiguously even with concurrent cells.
 	// Nil disables tracing at zero cost.
 	Recorder *trace.Recorder
+	// Health, if non-nil, attaches a fresh health.Monitor with this
+	// detector config to every cell's simulation. Verdicts land on the
+	// cell's CellResult (HealthAlerts/HealthCritical/Suspects) and the
+	// alert counters accumulate on Obs sweep-wide — the health line
+	// `calibre-sweep watch` renders. Purely observational: a monitored
+	// sweep's cells are bit-identical to a bare sweep's.
+	Health *health.Config
 
 	// buildEnv stubs environment construction in tests; nil means
 	// experiments.BuildEnvironment.
@@ -118,6 +126,13 @@ type CellResult struct {
 	// last round's mean training loss.
 	Rounds    int     `json:"rounds,omitempty"`
 	FinalLoss float64 `json:"final_loss,omitempty"`
+	// HealthAlerts/HealthCritical count the alerts the cell's health
+	// monitor raised, and Suspects lists the client IDs it flagged as
+	// suspected adversaries (ascending). All zero when Config.Health is
+	// nil or the cell stayed healthy.
+	HealthAlerts   int   `json:"health_alerts,omitempty"`
+	HealthCritical int   `json:"health_critical,omitempty"`
+	Suspects       []int `json:"suspects,omitempty"`
 	// Participants and Novel summarize per-client accuracy for the two
 	// cohorts (Novel.N == 0 when the preset has no novel clients).
 	Participants eval.Summary `json:"participants"`
@@ -376,11 +391,23 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 	rec := s.cfg.Recorder.WithCell(c.Key())
 	tsCell := rec.Now()
 	rec.Emit(trace.Event{Kind: trace.KindCellStart, TS: tsCell, Runtime: "sweep", Round: -1, Client: -1})
+	var mon *health.Monitor
+	if s.cfg.Health != nil {
+		mon = health.NewMonitor(s.cfg.Health)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Status = StatusFailed
 			res.Error = fmt.Sprintf("panic: %v", r)
 			res.Panicked = true
+		}
+		// Record health verdicts whatever the outcome — a cell that
+		// diverged into failure is exactly the one whose alerts matter.
+		if mon != nil {
+			d := mon.Diagnosis()
+			res.HealthAlerts = len(d.Alerts) + d.Dropped
+			res.HealthCritical = d.Critical
+			res.Suspects = d.Suspects
 		}
 		res.DurationMS = time.Since(start).Milliseconds()
 		tsEnd := rec.Now()
@@ -487,6 +514,9 @@ func (s *sweeper) runCell(ctx context.Context, c Cell) (res CellResult) {
 		// The cell-scoped view stamps the cell key onto the simulator's
 		// round and client spans.
 		cfg.Recorder = rec
+		// Each cell gets its own monitor (detector state is per-
+		// federation); the sim folds its alerts into the shared registry.
+		cfg.Health = mon
 		if onCheckpoint != nil {
 			cfg.OnCheckpoint = onCheckpoint
 			cfg.CheckpointEvery = s.cfg.CheckpointEvery

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -60,7 +61,7 @@ func TestSchedulerDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 	a, b := stripVolatile(serial.Cells), stripVolatile(parallel.Cells)
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("cell %s differs between worker counts:\n%+v\nvs\n%+v", a[i].Key, a[i], b[i])
 		}
 	}

@@ -99,6 +99,10 @@ func appendEventJSON(dst []byte, e *Event) []byte {
 		dst = append(dst, `,"loss":`...)
 		dst = strconv.AppendFloat(dst, e.Loss, 'g', -1, 64)
 	}
+	if e.Norm != 0 && !math.IsNaN(e.Norm) && !math.IsInf(e.Norm, 0) {
+		dst = append(dst, `,"norm":`...)
+		dst = strconv.AppendFloat(dst, e.Norm, 'g', -1, 64)
+	}
 	if e.Note != "" {
 		dst = append(dst, `,"note":`...)
 		dst = appendJSONString(dst, e.Note)

@@ -79,7 +79,12 @@ type Event struct {
 	Dur     int64      `json:"dur_ns,omitempty"`
 	N       int        `json:"n,omitempty"`
 	Loss    float64    `json:"loss,omitempty"`
-	Note    string     `json:"note,omitempty"`
+	// Norm is the L2 norm of the client's update against the round's
+	// pre-aggregation global model. Runtimes stamp it on client_update
+	// events when a health.Monitor is attached, which is what lets
+	// calibre-doctor replay a trace through the update-norm detectors.
+	Norm float64 `json:"norm,omitempty"`
+	Note string  `json:"note,omitempty"`
 }
 
 // Clock returns a monotonic timestamp in nanoseconds. The default clock

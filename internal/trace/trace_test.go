@@ -47,7 +47,7 @@ func TestRoundTrip(t *testing.T) {
 		{Kind: KindRoundStart, TS: r.Now(), Runtime: "sim", Round: 0, Client: -1, N: 3},
 		{Kind: KindClientDispatch, TS: r.Now(), Runtime: "sim", Round: 0, Client: 7},
 		{Kind: KindClientUpdate, TS: r.Now(), Runtime: "sim", Round: 0, Client: 7,
-			Wire: "delta", Bytes: 512, Dur: 90, Loss: 0.25},
+			Wire: "delta", Bytes: 512, Dur: 90, Loss: 0.25, Norm: 1.75},
 		{Kind: KindClientDrop, TS: r.Now(), Runtime: "sim", Round: 0, Client: 8, Reason: DropStraggler},
 		{Kind: KindRoundEnd, TS: r.Now(), Runtime: "sim", Round: 0, Client: -1, N: 1, Dur: 40, Loss: 0.25},
 		{Kind: KindCheckpointSave, TS: r.Now(), Runtime: "sim", Round: 0, Client: -1, Note: "round 0"},

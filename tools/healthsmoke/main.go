@@ -1,0 +1,345 @@
+// Command healthsmoke is the CI gate for the health plane, run by ci.sh.
+// It drives a seeded 30%-sign-flip federation (10 clients, 3 compromised)
+// with a health monitor, metrics registry and flight recorder attached,
+// then checks the whole detection story end to end:
+//
+//   - calibre-doctor replay and live modes both report EXACTLY the seeded
+//     compromised client set, plus a loss-divergence alert (the poisoned
+//     aggregate drags the global model away from its optimum).
+//   - The honest twin federation raises zero alerts.
+//   - Detector output is bit-identical across two runs and across kernel
+//     worker counts: trace bytes, live diagnoses and doctor reports.
+//   - The instrumented run's training outcome is bit-identical to a bare
+//     run's — the health plane observes, never perturbs.
+//
+// The federation uses a controlled trainer (honest clients pull the
+// global toward zero at an ID-keyed rate and report the global's mean
+// magnitude as loss) so the honest twin is provably quiet and the
+// attack's signature — update norms ~9× the honest cohort, a global that
+// grows instead of shrinking — is exact rather than statistical.
+//
+//	go run ./tools/healthsmoke
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"calibre/internal/data"
+	"calibre/internal/fl"
+	"calibre/internal/health"
+	"calibre/internal/obs"
+	"calibre/internal/param"
+	"calibre/internal/partition"
+	"calibre/internal/trace"
+)
+
+const (
+	numClients = 10
+	rounds     = 12
+	seed       = 7
+)
+
+// doctorTrainer pulls the global toward zero at an ID-keyed rate and
+// reports the global's mean magnitude as loss. Honest federations
+// converge (shrinking loss, tight ID-spread norm cohort); a sign-flip
+// attacker's reflected update pushes the global outward, so the poisoned
+// aggregate GROWS — the loss stream diverges and compromised norms sit
+// ~scale× outside the honest spread.
+type doctorTrainer struct{}
+
+func (doctorTrainer) Train(ctx context.Context, _ *rand.Rand, c *partition.Client, global param.Vector, round int) (*fl.Update, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eta := 0.1 + 0.005*float64(c.ID)
+	params := make(param.Vector, len(global))
+	var loss float64
+	for i, v := range global {
+		params[i] = (1 - eta) * v
+		loss += math.Abs(v)
+	}
+	loss /= float64(len(global))
+	return &fl.Update{ClientID: c.ID, Params: params, NumSamples: c.Train.Len(), TrainLoss: loss}, nil
+}
+
+type noPersonalizer struct{}
+
+func (noPersonalizer) Personalize(ctx context.Context, _ *rand.Rand, c *partition.Client, _ param.Vector) (float64, error) {
+	return 0, nil
+}
+
+func method() *fl.Method {
+	return &fl.Method{
+		Name:         "healthsmoke",
+		Trainer:      doctorTrainer{},
+		Aggregator:   fl.WeightedAverage{},
+		Personalizer: noPersonalizer{},
+		InitGlobal: func(*rand.Rand) (param.Vector, error) {
+			g := make(param.Vector, 4)
+			for i := range g {
+				g[i] = 1
+			}
+			return g, nil
+		},
+	}
+}
+
+func buildClients() ([]*partition.Client, error) {
+	g, err := data.NewGenerator(data.CIFAR10Spec(), 1)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(2))
+	ds := g.GenerateLabeled(rng, 40)
+	parts, err := partition.IID(rng, ds, numClients, 20)
+	if err != nil {
+		return nil, err
+	}
+	return partition.BuildClients(rng, ds, parts, nil), nil
+}
+
+// runOutcome is everything one federation run produces that the gate
+// compares.
+type runOutcome struct {
+	global  param.Vector
+	history []fl.RoundStats
+	diag    health.Diagnosis
+	reg     *obs.Registry
+}
+
+// runFed runs the seeded federation. hostile attaches the 30% sign-flip
+// adversary; tracePath (when nonempty) attaches a deterministic flight
+// recorder; monitored attaches a monitor + ring registry.
+func runFed(clients []*partition.Client, hostile, monitored bool, tracePath string, kernelWorkers int) (*runOutcome, error) {
+	cfg := fl.SimConfig{
+		Rounds: rounds, ClientsPerRound: numClients, Seed: seed,
+		Parallelism: 1, KernelWorkers: kernelWorkers,
+	}
+	if hostile {
+		cfg.Adversary = &fl.Adversary{Kind: fl.AdvSignFlip, Scale: 9, Frac: 0.3}
+	}
+	out := &runOutcome{}
+	var mon *health.Monitor
+	if monitored {
+		mon = health.NewMonitor(nil)
+		out.reg = obs.NewRegistryWithRing(rounds + 4)
+		cfg.Health = mon
+		cfg.Obs = out.reg
+	}
+	var rec *trace.Recorder
+	if tracePath != "" {
+		sink, err := trace.OpenFile(tracePath, trace.FileOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rec = trace.New(sink, trace.Config{Clock: trace.StepClock(1)})
+		cfg.Recorder = rec
+	}
+	sim, err := fl.NewSimulator(cfg, method(), clients)
+	if err != nil {
+		return nil, err
+	}
+	out.global, out.history, err = sim.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return nil, err
+		}
+	}
+	out.diag = mon.Diagnosis()
+	return out, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "healthsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("healthsmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "calibre-healthsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	doctor := filepath.Join(dir, "calibre-doctor")
+	if out, err := exec.Command("go", "build", "-o", doctor, "./cmd/calibre-doctor").CombinedOutput(); err != nil {
+		return fmt.Errorf("build calibre-doctor: %v\n%s", err, out)
+	}
+	clients, err := buildClients()
+	if err != nil {
+		return err
+	}
+	want := (&fl.Adversary{Kind: fl.AdvSignFlip, Scale: 9, Frac: 0.3}).Malicious(seed, numClients)
+
+	// Reference hostile run, instrumented head to toe.
+	h1 := filepath.Join(dir, "hostile1.trace")
+	ref, err := runFed(clients, true, true, h1, 1)
+	if err != nil {
+		return fmt.Errorf("hostile run: %v", err)
+	}
+	if !reflect.DeepEqual(ref.diag.Suspects, want) {
+		return fmt.Errorf("live monitor suspects = %v, want the compromised set %v", ref.diag.Suspects, want)
+	}
+	if !hasRule(ref.diag, "loss-divergence") {
+		return fmt.Errorf("poisoned aggregate raised no loss-divergence alert: %+v", ref.diag.Alerts)
+	}
+
+	// Bit-identity: a second run, and a run with a resized kernel pool,
+	// must reproduce the trace byte for byte (the diagnosis rides along).
+	h2 := filepath.Join(dir, "hostile2.trace")
+	rerun, err := runFed(clients, true, true, h2, 1)
+	if err != nil {
+		return fmt.Errorf("hostile rerun: %v", err)
+	}
+	if !reflect.DeepEqual(rerun.diag, ref.diag) {
+		return fmt.Errorf("diagnosis drifted between two identical runs")
+	}
+	if err := sameBytes(h1, h2, "two identical hostile runs"); err != nil {
+		return err
+	}
+	h4 := filepath.Join(dir, "hostile-kw4.trace")
+	kw4, err := runFed(clients, true, true, h4, 4)
+	if err != nil {
+		return fmt.Errorf("hostile kernel-workers=4 run: %v", err)
+	}
+	if !reflect.DeepEqual(kw4.diag, ref.diag) {
+		return fmt.Errorf("diagnosis drifted at kernel-workers=4")
+	}
+	if err := sameBytes(h1, h4, "kernel-workers 1 vs 4"); err != nil {
+		return err
+	}
+
+	// Observation never perturbs: a bare run (no monitor, registry or
+	// recorder) trains to the exact same model and history.
+	bare, err := runFed(clients, true, false, "", 1)
+	if err != nil {
+		return fmt.Errorf("bare run: %v", err)
+	}
+	if !reflect.DeepEqual(bare.global, ref.global) || !reflect.DeepEqual(bare.history, ref.history) {
+		return fmt.Errorf("instrumented run diverged from bare run")
+	}
+
+	// Honest twin: same federation, no adversary, nothing to report.
+	honestTrace := filepath.Join(dir, "honest.trace")
+	honest, err := runFed(clients, false, true, honestTrace, 1)
+	if err != nil {
+		return fmt.Errorf("honest run: %v", err)
+	}
+	if len(honest.diag.Alerts) != 0 || len(honest.diag.Suspects) != 0 || honest.diag.Critical != 0 {
+		return fmt.Errorf("honest twin raised alerts: %+v", honest.diag)
+	}
+
+	// Doctor replay: exact suspect line, divergence alert, deterministic
+	// bytes across invocations.
+	replay1, err := exec.Command(doctor, "replay", h1).Output()
+	if err != nil {
+		return fmt.Errorf("doctor replay: %v", err)
+	}
+	suspectLine := "suspects: [" + joinInts(want) + "]"
+	for _, needle := range []string{suspectLine, "loss-divergence", "suspected adversary"} {
+		if !bytes.Contains(replay1, []byte(needle)) {
+			return fmt.Errorf("doctor replay report lacks %q:\n%s", needle, replay1)
+		}
+	}
+	replay2, err := exec.Command(doctor, "replay", h1).Output()
+	if err != nil {
+		return fmt.Errorf("doctor replay (second): %v", err)
+	}
+	if !bytes.Equal(replay1, replay2) {
+		return fmt.Errorf("two doctor replays of the same trace differ")
+	}
+
+	// Replay reproduces the live monitor's diagnosis exactly.
+	replayJSON, err := exec.Command(doctor, "replay", h1, "-json").Output()
+	if err != nil {
+		return fmt.Errorf("doctor replay -json: %v", err)
+	}
+	var replayed health.Diagnosis
+	if err := json.Unmarshal(replayJSON, &replayed); err != nil {
+		return fmt.Errorf("doctor replay -json output: %v", err)
+	}
+	if !reflect.DeepEqual(replayed, ref.diag) {
+		return fmt.Errorf("doctor replay diagnosis diverges from the live monitor's:\nreplay: %+v\nlive:   %+v", replayed, ref.diag)
+	}
+
+	// The honest twin's replay is explicitly clean.
+	honestOut, err := exec.Command(doctor, "replay", honestTrace).Output()
+	if err != nil {
+		return fmt.Errorf("doctor replay honest: %v", err)
+	}
+	if !bytes.Contains(honestOut, []byte("no alerts — federation healthy")) {
+		return fmt.Errorf("honest twin replay not clean:\n%s", honestOut)
+	}
+
+	// Doctor live: poll the reference run's real /metrics endpoint and
+	// reach the same verdict.
+	srv, addr, err := obs.Serve("127.0.0.1:0", ref.reg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	liveJSON, err := exec.Command(doctor, "live", "-addr", addr.String(), "-once", "-json").Output()
+	if err != nil {
+		return fmt.Errorf("doctor live: %v", err)
+	}
+	var liveDiag health.Diagnosis
+	if err := json.Unmarshal(liveJSON, &liveDiag); err != nil {
+		return fmt.Errorf("doctor live -json output: %v", err)
+	}
+	if !reflect.DeepEqual(liveDiag, ref.diag) {
+		return fmt.Errorf("doctor live diagnosis diverges from the in-process monitor's:\nlive-cli: %+v\nmonitor:  %+v", liveDiag, ref.diag)
+	}
+
+	fmt.Printf("healthsmoke: doctor flagged exactly %v live+replay, honest twin quiet, traces bit-identical across runs and kernel pools\n", want)
+	return nil
+}
+
+// hasRule reports whether the diagnosis carries an alert for rule.
+func hasRule(d health.Diagnosis, rule string) bool {
+	for _, a := range d.Alerts {
+		if a.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func sameBytes(a, b, what string) error {
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		return err
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(ab, bb) {
+		return fmt.Errorf("trace bytes differ between %s", what)
+	}
+	return nil
+}
